@@ -1,0 +1,90 @@
+"""Shared plumbing for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper and records
+its rows both to stdout and to ``results/<name>.txt`` so the numbers
+survive pytest's output capture.  Campaign sizes adapt to circuit size
+to keep the full `pytest benchmarks/ --benchmark-only` run tractable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Paper numbers for side-by-side reporting (Table 1).
+PAPER_TABLE1 = {
+    # name: (gates, area %, approx %, max cov %, achieved cov %)
+    "i8": (106, 28.0, 80.0, 65.0, 50.0),
+    "des": (191, 2.7, 95.6, 56.0, 48.0),
+    "dalu": (862, 25.0, 93.8, 85.0, 71.0),
+    "i10": (1141, 1.5, 91.0, 76.0, 64.0),
+}
+
+#: Paper numbers for Table 2 (subset of columns).
+PAPER_TABLE2 = {
+    # name: (gates, max cov, area no-share, power no-share, cov no-share,
+    #        area share, cov share, area pdup, cov pdup,
+    #        area parity, power parity, cov parity)
+    "cmb": (57, 99.7, 32, 26, 98, 29, 98, 48, 98, 87, 43, 66),
+    "cordic": (116, 88, 28, 37, 82, 24, 82, 26, 82, 29, 33, 71),
+    "term1": (260, 82, 15, 25, 71, 13, 70, 17, 70, 100, 101, 92),
+    "x1": (442, 78, 36, 45, 68, 26, 65, 30, 68, 125, 120, 86),
+    "i2": (440, 89, 5, 6, 84, 3, 83, 6, 82, 100, 100, 100),
+    "frg2": (1089, 90, 30, 47, 80, 22, 75, 46, 79, 161, 133, 91),
+    "dalu": (1166, 92, 21, 35, 80, 15, 77, 44, 77, 110, 109, 94),
+    "i10": (2866, 85, 36, 56, 81, 30, 77, 54, 81, 139, 135, 64),
+}
+
+#: Paper Table 3: CED coverage across five implementations.
+PAPER_TABLE3 = {
+    "cmb": (95.8, 96, 96.6, 95.1, 96.7),
+    "cordic": (74, 74.5, 74.1, 74.6, 73),
+    "term1": (70, 73, 75, 80, 71),
+    "x1": (67.8, 68.6, 64.1, 64.5, 68),
+    "i2": (79, 84, 82, 85, 83),
+    "frg2": (70, 69, 71.3, 76.1, 75.2),
+    "dalu": (71.2, 72.1, 73, 72.4, 75),
+    "i10": (70, 71.2, 70.5, 71.7, 72.2),
+}
+
+#: Circuits exercised by default.  Set REPRO_BENCH_FULL=1 to run the
+#: complete Table 2/3 suites including frg2 and i10 (tens of minutes).
+SMALL_SUITE = ["cmb", "cordic", "term1", "x1", "i2", "dalu"]
+FULL_SUITE = SMALL_SUITE + ["frg2", "i10"]
+
+
+def selected_suite() -> list[str]:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return list(FULL_SUITE)
+    return list(SMALL_SUITE)
+
+
+def campaign_words(gate_count: int) -> int:
+    """64-vector words per fault, scaled down for large circuits."""
+    if gate_count <= 150:
+        return 8
+    if gate_count <= 600:
+        return 4
+    if gate_count <= 1500:
+        return 2
+    return 1
+
+
+class TableWriter:
+    """Accumulates table rows and flushes them to results/<name>.txt."""
+
+    def __init__(self, name: str, title: str):
+        self.name = name
+        self.lines: list[str] = [title, "=" * len(title)]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+        print(text)
+
+    def flush(self) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+        return path

@@ -1,0 +1,104 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* stage-1 strategy: conformance / significance / both (Sec 2.1.2 vs
+  the free reduction of Sec 2.2);
+* ODC-based repair on/off (the richer selection space);
+* phase-aware request tiebreak on/off (paper-literal rule iii);
+* correctness checking backend: BDD vs simulation;
+* logic sharing on/off (Sec 3.1).
+"""
+
+import pytest
+
+from repro.approx import ApproxConfig
+from repro.bench import load_benchmark
+from repro.ced import run_ced_flow
+
+from _tables import TableWriter, campaign_words
+
+_writer = TableWriter("ablation",
+                      "Ablations on term1 (area% / approx% / cov%)")
+
+CONFIGS = {
+    "default(both)": ApproxConfig(),
+    "stage1=conformance": ApproxConfig(stage1="conformance"),
+    "stage1=significance": ApproxConfig(stage1="significance"),
+    "no-odc-repair": ApproxConfig(odc_in_repair=False),
+    "paper-literal-ruleiii": ApproxConfig(phase_aware_requests=False),
+    "conservative-ex": ApproxConfig(conservative_ex=True),
+    "no-dc-collapse": ApproxConfig(collapse_dc=False),
+    "check=sim": ApproxConfig(check="sim"),
+    "check=sat": ApproxConfig(check="sat"),
+}
+
+_results: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return load_benchmark("term1")
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_ablation_point(benchmark, circuit, label):
+    words = campaign_words(260)
+
+    def run():
+        return run_ced_flow(circuit, config=CONFIGS[label],
+                            reliability_words=words,
+                            coverage_words=words)
+
+    flow = benchmark.pedantic(run, rounds=1, iterations=1)
+    s = flow.summary()
+    _results[label] = s
+    _writer.row(f"{label:<22} area {s['area_overhead_pct']:5.1f}  "
+                f"approx {s['approximation_pct']:5.1f}  "
+                f"cov {s['ced_coverage_pct']:5.1f}  "
+                f"(max {s['max_ced_coverage_pct']:.1f})")
+    _writer.flush()
+    assert 0.0 <= s["ced_coverage_pct"] <= 100.0
+
+
+def test_sharing_ablation(benchmark, circuit):
+    words = campaign_words(260)
+
+    def run():
+        plain = run_ced_flow(circuit, reliability_words=words,
+                             coverage_words=words)
+        shared = run_ced_flow(circuit, share_logic=True,
+                              reliability_words=words,
+                              coverage_words=words)
+        return plain, shared
+
+    plain, shared = benchmark.pedantic(run, rounds=1, iterations=1)
+    ps, ss = plain.summary(), shared.summary()
+    _writer.row(f"{'sharing=off':<22} area {ps['area_overhead_pct']:5.1f}"
+                f"  cov {ps['ced_coverage_pct']:5.1f}")
+    _writer.row(f"{'sharing=on':<22} area {ss['area_overhead_pct']:5.1f}"
+                f"  cov {ss['ced_coverage_pct']:5.1f}  "
+                f"(shared {int(ss['shared_gates'])} gates)")
+    _writer.flush()
+    assert ss["area_overhead_pct"] <= ps["area_overhead_pct"] + 1e-6
+
+
+def test_ablation_relationships(benchmark):
+    if len(_results) < len(CONFIGS):
+        pytest.skip("ablation points did not all run")
+
+    def analyze():
+        default = _results["default(both)"]
+        literal = _results["paper-literal-ruleiii"]
+        conservative = _results["conservative-ex"]
+        return default, literal, conservative
+
+    default, literal, conservative = benchmark.pedantic(
+        analyze, rounds=1, iterations=1)
+    # Paper-literal rule (iii) types far more of the circuit EX: its
+    # approximation is more faithful but the circuit is bigger.
+    assert literal["approximation_pct"] >= \
+        default["approximation_pct"] - 1.0
+    assert literal["area_overhead_pct"] >= \
+        default["area_overhead_pct"] - 1.0
+    # Conservative EX likewise trades area for fidelity.
+    assert conservative["approximation_pct"] >= \
+        default["approximation_pct"] - 1.0

@@ -1,0 +1,66 @@
+"""Delay claims: zero performance penalty & slow parity predictors.
+
+The paper reports the approximate logic circuit's critical path 38%
+shorter than the original on average (hence non-intrusive CED with no
+performance penalty), while single-bit parity prediction circuits are
+51% slower.  This bench measures both deltas on the suite.
+"""
+
+import pytest
+
+from repro.bench import load_benchmark
+from repro.ced import run_ced_flow
+from repro.ced.baselines.parity import build_parity_predictor
+from repro.synth import quick_map
+
+from _tables import (PAPER_TABLE2, TableWriter, campaign_words,
+                     selected_suite)
+
+_writer = TableWriter(
+    "delay", "Delay vs original (paper: approx -38%, parity +51% avg)")
+
+_deltas: dict[str, tuple[float, float]] = {}
+
+
+@pytest.mark.parametrize("name", selected_suite())
+def test_delay_row(benchmark, name):
+    def run():
+        net = load_benchmark(name)
+        words = campaign_words(PAPER_TABLE2[name][0])
+        flow = run_ced_flow(net, reliability_words=words,
+                            coverage_words=1)
+        predictor = quick_map(build_parity_predictor(net))
+        return flow, predictor
+
+    flow, predictor = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = flow.original_mapped.delay()
+    approx_delta = 100.0 * (flow.approx_mapped.delay() - base) / base
+    parity_delta = 100.0 * (predictor.delay() - base) / base
+    _deltas[name] = (approx_delta, parity_delta)
+    _writer.row(f"{name:<6} original {base:6.1f}  "
+                f"approx {approx_delta:+6.1f}%  "
+                f"parity predictor {parity_delta:+6.1f}%")
+    _writer.flush()
+
+    # Non-intrusive CED must not slow the circuit down: the check
+    # symbol generator is never slower than the original.
+    assert approx_delta <= 5.0
+    # The parity predictor re-computes everything plus an XOR tree.
+    assert parity_delta > approx_delta
+
+
+def test_delay_averages(benchmark):
+    def averages():
+        approx = sum(d[0] for d in _deltas.values()) / len(_deltas)
+        parity = sum(d[1] for d in _deltas.values()) / len(_deltas)
+        return approx, parity
+
+    if not _deltas:
+        pytest.skip("per-circuit rows did not run")
+    approx_avg, parity_avg = benchmark.pedantic(averages, rounds=1,
+                                                iterations=1)
+    _writer.row(f"AVERAGE approx {approx_avg:+.1f}% (paper -38%), "
+                f"parity {parity_avg:+.1f}% (paper +51%)")
+    _writer.flush()
+    assert approx_avg < 0.0
+    assert parity_avg > 0.0

@@ -1,0 +1,72 @@
+"""Extension benches: error masking and delay-fault CED (paper Sec 5).
+
+Not tables of the paper — these regenerate the future-work directions
+the conclusion proposes, quantifying (a) the residual output error rate
+after approximate-logic masking and (b) CED coverage under the
+transition-fault model.
+"""
+
+import pytest
+
+from repro.bench import load_benchmark
+from repro.ced import (build_masked_circuit, evaluate_delay_fault_ced,
+                       evaluate_masking, run_ced_flow)
+
+from _tables import PAPER_TABLE2, TableWriter, campaign_words
+
+CIRCUITS = ["cmb", "cordic", "term1"]
+
+_writer = TableWriter(
+    "extensions",
+    "Sec 5 extensions — masking + delay-fault CED")
+
+
+@pytest.fixture(scope="module")
+def flows():
+    result = {}
+    for name in CIRCUITS:
+        net = load_benchmark(name)
+        words = campaign_words(PAPER_TABLE2[name][0])
+        result[name] = (run_ced_flow(net, reliability_words=words,
+                                     coverage_words=words), words)
+    return result
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_masking_row(benchmark, flows, name):
+    flow, words = flows[name]
+
+    def run():
+        masked = build_masked_circuit(flow.original_mapped,
+                                      flow.approx_mapped,
+                                      flow.assembly.directions)
+        return evaluate_masking(masked, n_words=words)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _writer.row(f"{name:<7} masking: raw err "
+                f"{result.raw_error_rate:.4f} -> masked "
+                f"{result.masked_error_rate:.4f}  "
+                f"({result.reduction_pct:.1f}% masked)")
+    _writer.flush()
+    # Masking never increases the error rate, and with a sound
+    # approximation it strictly helps on these circuits.
+    assert result.masked_error_runs <= result.raw_error_runs
+    assert result.reduction_pct > 10.0
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_delay_fault_row(benchmark, flows, name):
+    flow, words = flows[name]
+    result = benchmark.pedantic(
+        lambda: evaluate_delay_fault_ced(flow.assembly, n_words=words),
+        rounds=1, iterations=1)
+    margin = -flow.metrics["delay_change_pct"]
+    _writer.row(f"{name:<7} delay-fault CED: coverage "
+                f"{result.coverage:5.1f}%  (timing margin "
+                f"{margin:+.1f}%)")
+    _writer.flush()
+    assert result.error_runs > 0
+    assert result.coverage > 10.0
+    # The check side must be faster than the protected circuit for the
+    # delay-fault argument to hold.
+    assert margin > 0.0

@@ -1,0 +1,45 @@
+"""Figure 1: the exact vs ODC cube-selection example.
+
+Regenerates the three published selection outcomes on the reconstructed
+example circuit and times the two cube-selection procedures.
+"""
+
+from repro.approx import NodeType, exact_select, odc_select
+from repro.bench import figure1_network, figure1_selections
+
+from _tables import TableWriter
+
+_writer = TableWriter("figure1",
+                      "Figure 1 — cube selection on the example circuit")
+
+
+def test_figure1_selection_outcomes(benchmark):
+    selections = benchmark.pedantic(figure1_selections, rounds=5,
+                                    iterations=1)
+    _writer.row(f"solution1 (exact, n2/n5 type 1): "
+                f"{selections['solution1'].to_strings()}")
+    _writer.row(f"solution2 (exact, +n4 type 1)  : "
+                f"{sorted(selections['solution2'].to_strings())}")
+    _writer.row(f"odc (same types as solution 1) : "
+                f"{sorted(selections['odc'].to_strings())}")
+    _writer.flush()
+
+    assert selections["solution1"].to_strings() == ["1--"]
+    assert sorted(selections["solution2"].to_strings()) == \
+        ["--1", "1--"]
+    assert "-11" in selections["odc"].to_strings()
+
+
+def test_figure1_odc_strictly_richer(benchmark):
+    net = figure1_network()
+    sop = net.nodes["n5"].cover
+    types = [NodeType.ONE, NodeType.DC, NodeType.DC]
+
+    def both():
+        return exact_select(sop, types), odc_select(sop, types)
+
+    exact, odc = benchmark.pedantic(both, rounds=5, iterations=1)
+    assert exact.implies(odc)
+    assert not odc.implies(exact)
+    # The ODC space covers strictly more minterm mass.
+    assert odc.count_minterms() > exact.count_minterms()

@@ -1,0 +1,53 @@
+"""Table 1: approximation percentage and CED coverage for output cones.
+
+For each of the four single-output cones (i8, des, dalu, i10) the paper
+reports area overhead, approximation percentage, and the maximum /
+achieved CED coverage.  This bench regenerates those rows on the
+generated stand-in cones and prints them next to the paper's values.
+"""
+
+import pytest
+
+from repro.bench import load_benchmark
+from repro.ced import run_ced_flow
+
+from _tables import PAPER_TABLE1, TableWriter, campaign_words
+
+CONES = ["i8", "des", "dalu", "i10"]
+
+_writer = TableWriter(
+    "table1", "Table 1 — single-output cones "
+    "(measured | paper: area%, approx%, max cov%, achieved cov%)")
+
+
+def _run_cone(name):
+    net = load_benchmark(name, table=1)
+    words = campaign_words(PAPER_TABLE1[name][0])
+    return net, run_ced_flow(net, reliability_words=words,
+                             coverage_words=words)
+
+
+@pytest.mark.parametrize("name", CONES)
+def test_table1_row(benchmark, name):
+    net, flow = benchmark.pedantic(
+        lambda: _run_cone(name), rounds=1, iterations=1)
+    s = flow.summary()
+    gates, p_area, p_apx, p_max, p_cov = PAPER_TABLE1[name]
+    _writer.row(
+        f"{name:<6} gates {int(s['gates']):>5} | measured: "
+        f"area {s['area_overhead_pct']:5.1f}%  "
+        f"approx {s['approximation_pct']:5.1f}%  "
+        f"max {s['max_ced_coverage_pct']:5.1f}%  "
+        f"cov {s['ced_coverage_pct']:5.1f}%"
+        f"   | paper: area {p_area}%  approx {p_apx}%  "
+        f"max {p_max}%  cov {p_cov}%")
+    _writer.flush()
+
+    # Shape assertions: the qualitative Table 1 relationships.
+    assert s["ced_coverage_pct"] <= s["max_ced_coverage_pct"] + 8.0, \
+        "achieved coverage cannot beat the direction-protection bound"
+    assert s["approximation_pct"] > 50.0
+    assert flow.approx_result.all_correct or \
+        flow.approx_result.check_method == "sim"
+    # Single-output cone: one checker, no TRC tree beyond it.
+    assert len(flow.assembly.checker_pairs) == 1

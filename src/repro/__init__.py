@@ -1,0 +1,42 @@
+"""repro — Approximate logic circuits for low-overhead, non-intrusive
+concurrent error detection.
+
+A from-scratch Python reproduction of Choudhury & Mohanram, DATE 2008.
+The package layers a complete logic-synthesis substrate (two-level
+covers, BDDs, multi-level networks, technology mapping, bit-parallel
+fault simulation, reliability analysis) under the paper's contribution:
+approximate logic synthesis (``repro.approx``) and its CED application
+(``repro.ced``).
+
+Quickstart::
+
+    from repro.bench import load_benchmark
+    from repro.ced import run_ced_flow
+
+    net = load_benchmark("cmb")
+    result = run_ced_flow(net)
+    print(result.summary())
+"""
+
+from .approx import (ApproxConfig, ApproxResult, NodeType,
+                     approximation_percentage, assign_types,
+                     synthesize_approximation)
+from .ced import (CedAssembly, CedFlowResult, CoverageResult, build_ced,
+                  evaluate_ced, run_ced_flow)
+from .cubes import Cover, Cube
+from .network import Network, parse_blif, read_blif, write_blif
+from .reliability import analyze_reliability
+from .synth import (LIB_GENERIC, MappedNetlist, TABLE3_SCRIPTS, quick_map,
+                    technology_map)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ApproxConfig", "ApproxResult", "CedAssembly", "CedFlowResult",
+    "CoverageResult", "Cover", "Cube", "LIB_GENERIC", "MappedNetlist",
+    "Network", "NodeType", "TABLE3_SCRIPTS", "analyze_reliability",
+    "approximation_percentage", "assign_types", "build_ced",
+    "evaluate_ced", "parse_blif", "quick_map", "read_blif",
+    "run_ced_flow", "synthesize_approximation", "technology_map",
+    "write_blif", "__version__",
+]

@@ -1,0 +1,98 @@
+"""Configuration for approximate logic synthesis.
+
+The thresholds here are the paper's fine-grained area-overhead vs.
+CED-coverage trade-off knobs (abstract: "provides fine-grained
+trade-offs between area-power overhead and CED coverage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ApproxConfig:
+    """Knobs of the synthesis algorithm (paper Sec 2.1-2.2)."""
+
+    # -- type assignment (Sec 2.1.1) -----------------------------------
+    #: A fanin whose total local observability falls below this fraction
+    #: of the most observable fanin gets a DC request (rule i).
+    dc_threshold: float = 0.25
+    #: Guard on rule (i): a DC request additionally requires that the
+    #: cubes reading the fanin carry at most this share of the node's
+    #: phase-SOP probability mass.  Dropping a fanin whose cubes hold
+    #: most of the function would wreck the approximation percentage
+    #: even when its observability looks small relative to a dominant
+    #: sibling.
+    dc_mass_limit: float = 0.3
+    #: Ratio of 0- to 1-observability (or vice versa) beyond which the
+    #: dominant direction is requested (rule ii); otherwise EX (rule iii).
+    disparity_ratio: float = 4.0
+    #: When the observability ratio is inconclusive (rule iii), break
+    #: the tie by which literal phase of the fanin carries more cube
+    #: mass in the requesting node's phase SOP, instead of falling
+    #: straight to EX.  The paper's rule (iii) always answers EX; on
+    #: networks with balanced signal probabilities that freezes most of
+    #: the circuit exact, so this tiebreak is on by default and
+    #: disabled in the paper-literal ablation.
+    phase_aware_requests: bool = True
+    #: Cube-mass ratio needed for the phase-aware tiebreak to pick a
+    #: direction rather than EX.
+    phase_tiebreak: float = 3.0
+    #: The paper applies the observability request rules uniformly,
+    #: regardless of the requesting node's own type; EX nodes therefore
+    #: also hand out 0/1/DC requests and rely on the repair loop.
+    #: Setting this makes EX nodes conservatively request EX instead
+    #: (guaranteed-correct stage 1, far less reduction) — an ablation.
+    conservative_ex: bool = False
+
+    # -- stage 1: SOP reduction (Sec 2.1.2 + Sec 2.2) --------------------
+    #: Reduction strategy for type-0/1 nodes:
+    #: "conformance" applies exact cube selection against the fanin
+    #: types (Sec 2.1.2 — provably correct, no repair needed);
+    #: "significance" freely drops low-mass cubes (Sec 2.2 stage 1 —
+    #: richer, repaired afterwards); "both" (default) selects
+    #: conforming cubes first and then drops insignificant ones.
+    stage1: str = "both"
+    #: Drop a cube when its probability mass, relative to the node's
+    #: phase-function probability, is below this threshold.  Higher
+    #: values give smaller approximate circuits and lower coverage.
+    cube_drop_threshold: float = 0.02
+    #: Replace DC-typed nodes by their most likely constant value.
+    #: DC means neither minterm space is essential; collapsing the node
+    #: lets the whole cone underneath it be swept away.
+    collapse_dc: bool = True
+    #: Apply stage-1 significance reduction to EX nodes too (the paper
+    #: reduces every node; disabling avoids repair churn).
+    reduce_ex_nodes: bool = True
+
+    # -- correctness checking / repair (Sec 2.2) ------------------------
+    #: "bdd" = exact implication checks on global BDDs; "sat" = exact
+    #: checks with the CDCL solver (the paper's named alternative);
+    #: "sim" = bit-parallel random simulation; "auto" = BDD with
+    #: fallback to simulation when the node budget is exceeded.
+    check: str = "auto"
+    #: Node budget for the shared global-BDD manager in "auto"/"bdd".
+    bdd_node_budget: int = 500_000
+    #: Words (x64 vectors) for simulation-based checking.
+    sim_check_words: int = 64
+    #: Attempt ODC-based cube selection before exact selection in repair.
+    odc_in_repair: bool = True
+    #: Safety bound on check-repair rounds before restoring exact cones.
+    max_repair_rounds: int = 64
+
+    # -- shared ----------------------------------------------------------
+    #: Words (x64 vectors) for signal-probability estimation.
+    prob_words: int = 32
+    #: Seed for every random choice in the synthesis flow.
+    seed: int = 2008
+
+    def __post_init__(self):
+        if self.check not in ("bdd", "sat", "sim", "auto"):
+            raise ValueError(f"unknown check method {self.check!r}")
+        if self.stage1 not in ("conformance", "significance", "both"):
+            raise ValueError(f"unknown stage1 strategy {self.stage1!r}")
+        if not 0.0 <= self.cube_drop_threshold < 1.0:
+            raise ValueError("cube_drop_threshold must be in [0, 1)")
+        if self.disparity_ratio < 1.0:
+            raise ValueError("disparity_ratio must be >= 1")

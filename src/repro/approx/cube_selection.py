@@ -1,0 +1,131 @@
+"""Cube selection: exact and observability-don't-care based.
+
+Both techniques shrink a node's *phase SOP* — the node's on-set cover
+for a type-1 node, or its off-set cover (the complement) for a type-0
+node — by keeping only cubes that are safe given the approximation types
+of the fanins (paper Sec 2.1.2).
+
+* :func:`exact_select` keeps cubes that *conform* to every fanin type.
+  By the paper's implication theorem, if every fanin is correctly
+  approximated per its type, the resulting node function is a correct
+  approximation — unconditionally.
+* :func:`odc_select` computes the feasible subspace of Eq. 1 with local
+  observability don't cares and re-extracts an irredundant cover of it.
+  It explores a strictly richer space (it may invent cubes not present
+  in the SOP) but only guarantees correctness for single bit flips.
+"""
+
+from __future__ import annotations
+
+from repro.bdd import BddManager, isop
+from repro.cubes import Cover, Cube, minimize
+
+from .types import NodeType
+
+
+def phase_cover(cover: Cover, node_type: NodeType) -> Cover:
+    """The node SOP written in the phase matching its type.
+
+    Type-0 nodes select cubes from the zero-phase (off-set) expression;
+    all other types use the one-phase (on-set) SOP.
+    """
+    if node_type is NodeType.ZERO:
+        return minimize(cover.complement())
+    return cover
+
+
+def implement_phase(selected: Cover, node_type: NodeType) -> Cover:
+    """Turn a selected phase cover back into the node's local function."""
+    if node_type is NodeType.ZERO:
+        return minimize(selected.complement())
+    return selected
+
+
+def conforms(cube: Cube, fanin_types: list[NodeType]) -> bool:
+    """Paper's conformance test of one cube against the fanin types.
+
+    A literal '1' needs a type-1 (or exact) fanin, '0' a type-0 (or
+    exact) fanin; a DC fanin must not be read at all; EX fanins accept
+    anything.
+    """
+    for i, fanin_type in enumerate(fanin_types):
+        literal = cube.literal(i)
+        if literal == "-":
+            continue
+        if fanin_type is NodeType.EX:
+            continue
+        if literal == "1" and fanin_type is not NodeType.ONE:
+            return False
+        if literal == "0" and fanin_type is not NodeType.ZERO:
+            return False
+    return True
+
+
+def exact_select(phase_sop: Cover,
+                 fanin_types: list[NodeType]) -> Cover:
+    """Keep exactly the cubes that conform to every fanin type.
+
+    An empty result is legitimate: it yields a constant approximation
+    (constant 0 for a type-1 node, constant 1 for a type-0 node), which
+    is always correct.
+    """
+    if len(fanin_types) != phase_sop.n:
+        raise ValueError("fanin type list does not match cover width")
+    kept = [cube for cube in phase_sop.cubes
+            if conforms(cube, fanin_types)]
+    return Cover(phase_sop.n, kept)
+
+
+def feasible_subspace(mgr: BddManager, phase_function: int,
+                      fanin_types: list[NodeType]) -> int:
+    """Eq. 1: the feasible subspace of a node's phase function.
+
+    For each fanin the cube space is restricted to points that either
+    carry the conforming literal value or where the fanin is not locally
+    observable (``x_i + !Obs_i`` for type 1, ``!x_i + !Obs_i`` for type
+    0, ``!Obs_i`` for DC, unconstrained for EX).
+    """
+    result = phase_function
+    for i, fanin_type in enumerate(fanin_types):
+        if fanin_type is NodeType.EX:
+            continue
+        not_obs = mgr.not_(mgr.boolean_difference(phase_function, i))
+        if fanin_type is NodeType.ONE:
+            term = mgr.or_(mgr.var(i), not_obs)
+        elif fanin_type is NodeType.ZERO:
+            term = mgr.or_(mgr.nvar(i), not_obs)
+        else:  # DC
+            term = not_obs
+        result = mgr.and_(result, term)
+    return result
+
+
+def odc_select(phase_sop: Cover, fanin_types: list[NodeType]) -> Cover:
+    """ODC-based cube selection (Sec 2.1.2, Eq. 1).
+
+    Computes the feasible subspace exactly and re-extracts an
+    irredundant SOP of it, so the selection is not limited to cubes of
+    the original expression.  The exact-selection result is always
+    contained in this space, so the explored space is strictly richer.
+    """
+    if len(fanin_types) != phase_sop.n:
+        raise ValueError("fanin type list does not match cover width")
+    mgr = BddManager(phase_sop.n)
+    f = mgr.from_cover(phase_sop)
+    feasible = feasible_subspace(mgr, f, fanin_types)
+    return isop(mgr, feasible, feasible, num_vars=phase_sop.n)
+
+
+def odc_select_from_sop(phase_sop: Cover,
+                        fanin_types: list[NodeType]) -> Cover:
+    """Restricted ODC selection: keep original cubes inside Eq. 1's space.
+
+    Ablation variant — like :func:`exact_select` but with the relaxed
+    feasibility criterion instead of literal conformance.
+    """
+    mgr = BddManager(phase_sop.n)
+    f = mgr.from_cover(phase_sop)
+    feasible = feasible_subspace(mgr, f, fanin_types)
+    kept = [cube for cube in phase_sop.cubes
+            if mgr.implies(mgr.from_cube(cube), feasible)]
+    return Cover(phase_sop.n, kept)

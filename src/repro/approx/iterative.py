@@ -1,0 +1,483 @@
+"""The iterative cube-selection algorithm (paper Sec 2.2).
+
+Pipeline:
+
+1. assign types (Sec 2.1.1 preprocessing);
+2. *approximation of SOPs*: every node's phase SOP is reduced by freely
+   discarding insignificant cubes;
+3. *ensuring correctness*: primary outputs are checked for the
+   implication condition (BDDs, with a simulation fallback); incorrect
+   outputs trigger a backward traversal to *sources* of incorrect
+   approximation — incorrectly approximated nodes whose fanins are all
+   correct — which are repaired with ODC-based cube selection first and
+   exact cube selection second.
+
+Exact selection at a source provably restores correctness (the paper's
+theorem), so the loop terminates; a round bound with a restore-exact
+fallback guards the simulation-checked path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bdd import BddOverflowError
+from repro.cubes import Cover, minimize
+from repro.network import (GlobalBdds, Network, dfs_input_order,
+                           eliminate, propagate_constants, strash,
+                           sweep, trim_unread_fanins)
+from repro.sim import BitSimulator, signal_probabilities
+
+from .config import ApproxConfig
+from .cube_selection import (exact_select, implement_phase, odc_select,
+                             phase_cover)
+from .types import NodeType, assign_types
+
+
+@dataclass
+class ApproxResult:
+    """Output of approximate synthesis."""
+
+    approx: Network
+    types: dict[str, NodeType]
+    output_approximations: dict[str, int]
+    #: Per-output correctness: True means the implication was verified
+    #: (exactly under BDD checking, statistically under simulation).
+    correctness: dict[str, bool]
+    check_method: str
+    repair_rounds: int = 0
+    repaired_nodes: dict[str, str] = field(default_factory=dict)
+    dropped_cubes: int = 0
+    restored_cones: list[str] = field(default_factory=list)
+
+    @property
+    def all_correct(self) -> bool:
+        return all(self.correctness.values())
+
+
+def synthesize_approximation(network: Network,
+                             output_approximations: dict[str, int],
+                             config: ApproxConfig | None = None
+                             ) -> ApproxResult:
+    """Synthesize an approximate logic circuit for ``network``.
+
+    ``output_approximations`` maps every primary output to 0 or 1: the
+    approximation direction (0-approximation detects 0->1 errors at that
+    output, 1-approximation detects 1->0 errors).  The returned network
+    shares the primary-input names and output names of the original.
+    """
+    config = config or ApproxConfig()
+    probs = signal_probabilities(network, n_words=config.prob_words,
+                                 seed=config.seed)
+    types = assign_types(network, output_approximations, config, probs)
+
+    approx = network.copy("approx")
+    dropped = _reduce_all_sops(approx, types, probs, config)
+
+    checker = _make_checker(network, approx, output_approximations,
+                            types, config)
+    repaired: dict[str, str] = {}
+    repair_stage: dict[str, int] = {}
+    restored: list[str] = []
+    rounds = 0
+    while rounds < config.max_repair_rounds:
+        incorrect = [po for po in network.outputs
+                     if not checker.po_correct(po)]
+        if not incorrect:
+            break
+        rounds += 1
+        sources = _find_sources(network, checker, incorrect)
+        if not sources:
+            # POs disagree but no internal source is isolatable (can
+            # happen under statistical checking): restore the cones.
+            for po in incorrect:
+                _restore_cone(network, approx, po)
+                restored.append(po)
+            checker = _safe_refresh(checker, network, approx,
+                                    output_approximations, types, config)
+            continue
+        for name in sources:
+            stage = repair_stage.get(name, 0)
+            action = _repair_node(network, approx, types, name, stage,
+                                  config)
+            repaired[name] = action
+            repair_stage[name] = stage + 1
+        checker = _safe_refresh(checker, network, approx,
+                                output_approximations, types, config)
+    else:
+        # Round budget exhausted: make the remaining outputs exact.
+        for po in network.outputs:
+            if not checker.po_correct(po):
+                _restore_cone(network, approx, po)
+                restored.append(po)
+        checker = _safe_refresh(checker, network, approx,
+                                output_approximations, types, config)
+
+    correctness = {po: checker.po_correct(po) for po in network.outputs}
+    _resynthesize(approx)
+    return ApproxResult(
+        approx=approx,
+        types=types,
+        output_approximations=dict(output_approximations),
+        correctness=correctness,
+        check_method=checker.method,
+        repair_rounds=rounds,
+        repaired_nodes=repaired,
+        dropped_cubes=dropped,
+        restored_cones=restored)
+
+
+def _resynthesize(approx: Network) -> None:
+    """Function-preserving cleanup of the approximate network.
+
+    Cube selection leaves constants, unread fanins, single-fanout
+    chains, and redundant SOPs behind; re-optimizing them is where much
+    of the paper's area saving comes from (their flow hands the
+    approximate network back to the synthesis tool).
+    """
+    propagate_constants(approx)
+    trim_unread_fanins(approx)
+    sweep(approx)
+    for name in approx.topological_order():
+        node = approx.nodes[name]
+        if node.fanins:
+            approx.replace_cover(name, minimize(node.cover))
+    trim_unread_fanins(approx)
+    eliminate(approx, max_support=8, max_cubes=12)
+    propagate_constants(approx)
+    strash(approx)
+    sweep(approx)
+
+
+# ----------------------------------------------------------------------
+# Stage 1: free SOP reduction
+# ----------------------------------------------------------------------
+def _reduce_all_sops(approx: Network, types: dict[str, NodeType],
+                     probs: dict[str, float],
+                     config: ApproxConfig) -> int:
+    """Stage-1 reduction of every node's phase SOP.
+
+    Type-0/1 nodes go through cube selection (conformance and/or
+    significance dropping, per ``config.stage1``); DC nodes collapse to
+    their most likely constant; EX nodes optionally get significance
+    dropping only (any damage is repaired later).
+    """
+    dropped = 0
+    for name in approx.topological_order():
+        node = approx.nodes[name]
+        node_type = types[name]
+        if not node.fanins:
+            continue
+        if node_type is NodeType.DC and config.collapse_dc:
+            value = probs[name] >= 0.5
+            dropped += len(node.cover)
+            approx.replace_node(
+                name, [], Cover.one(0) if value else Cover.zero(0))
+            continue
+        if node_type is NodeType.EX and not config.reduce_ex_nodes:
+            continue
+        fanin_probs = [probs[f] for f in node.fanins]
+        phase = phase_cover(node.cover, node_type)
+        before = len(phase)
+        if node_type in (NodeType.ZERO, NodeType.ONE) and \
+                config.stage1 in ("conformance", "both"):
+            fanin_types = [NodeType.EX if approx.is_input(f)
+                           else types[f] for f in node.fanins]
+            phase = exact_select(phase, fanin_types)
+        if config.stage1 in ("significance", "both") and len(phase) > 1:
+            phase, _ = _drop_insignificant(phase, fanin_probs, config)
+        dropped += before - len(phase)
+        approx.replace_cover(name, implement_phase(phase, node_type))
+    trim_unread_fanins(approx)
+    return dropped
+
+
+def _drop_insignificant(phase: Cover, fanin_probs: list[float],
+                        config: ApproxConfig) -> tuple[Cover, int]:
+    if config.cube_drop_threshold <= 0.0 or len(phase) <= 1:
+        return phase, 0
+    total = max(phase.probability(fanin_probs), 1e-12)
+    kept = []
+    for cube in phase.cubes:
+        mass = Cover(phase.n, [cube]).probability(fanin_probs)
+        if mass / total >= config.cube_drop_threshold:
+            kept.append(cube)
+    if not kept:
+        # Keep the single most significant cube rather than collapsing
+        # the node to a constant outright; repair may still shrink it.
+        best = max(phase.cubes, key=lambda c: Cover(
+            phase.n, [c]).probability(fanin_probs))
+        kept = [best]
+    return Cover(phase.n, kept), len(phase) - len(kept)
+
+
+# ----------------------------------------------------------------------
+# Stage 2: correctness
+# ----------------------------------------------------------------------
+def _find_sources(network: Network, checker: "_Checker",
+                  incorrect_pos: list[str]) -> list[str]:
+    """Sources of incorrect approximation in the cones of bad outputs."""
+    cone = network.transitive_fanin(
+        [po for po in incorrect_pos if not network.is_input(po)])
+    sources = []
+    for name in network.topological_order():
+        if name not in cone:
+            continue
+        if checker.node_correct(name):
+            continue
+        node = network.nodes[name]
+        if all(network.is_input(f) or checker.node_correct(f)
+               for f in node.fanins):
+            sources.append(name)
+    return sources
+
+
+def _repair_node(network: Network, approx: Network,
+                 types: dict[str, NodeType], name: str, stage: int,
+                 config: ApproxConfig) -> str:
+    """Repair one source node.  Returns the action taken.
+
+    The repair ladder: ODC-based cube selection, then exact cube
+    selection (provably correct when the fanins are correct), then —
+    should a node still be incorrect, which can happen for EX nodes
+    whose fanins are only directionally correct — restoring its entire
+    transitive fanin cone to exact logic.  The final rung guarantees
+    progress unconditionally.
+    """
+    node_type = types[name]
+    original = network.nodes[name]
+    if node_type in (NodeType.EX, NodeType.DC):
+        if stage == 0:
+            approx.replace_node(name, list(original.fanins),
+                                original.cover.copy())
+            return "restore"
+        _restore_cone(network, approx, name)
+        return "restore-cone"
+    fanin_types = [NodeType.EX if network.is_input(f) else types[f]
+                   for f in original.fanins]
+    phase = phase_cover(original.cover, node_type)
+    if stage == 0 and config.odc_in_repair:
+        selected = odc_select(phase, fanin_types)
+        approx.replace_node(name, list(original.fanins),
+                            implement_phase(selected, node_type))
+        return "odc"
+    if stage <= 1:
+        selected = exact_select(phase, fanin_types)
+        approx.replace_node(name, list(original.fanins),
+                            implement_phase(selected, node_type))
+        return "exact"
+    _restore_cone(network, approx, name)
+    return "restore-cone"
+
+
+def _restore_cone(network: Network, approx: Network, po: str) -> None:
+    """Make the whole cone of ``po`` exact (the always-correct fallback)."""
+    if network.is_input(po):
+        return
+    cone = network.transitive_fanin([po])
+    node_type = type(next(iter(network.nodes.values())))
+    for name in network.topological_order():
+        if name in cone:
+            node = network.nodes[name]
+            # Restoring original nodes cannot create cycles (the
+            # original network is acyclic), so the per-node
+            # replace_node acyclicity re-check is skipped.
+            approx.nodes[name] = node_type(name, list(node.fanins),
+                                           node.cover.copy())
+    approx._topo_cache = None
+
+
+# ----------------------------------------------------------------------
+# Correctness checkers
+# ----------------------------------------------------------------------
+class _Checker:
+    method = "abstract"
+
+    def __init__(self, network: Network, approx: Network,
+                 output_approximations: dict[str, int],
+                 types: dict[str, NodeType]):
+        self.network = network
+        self.approx = approx
+        self.directions = output_approximations
+        self.types = types
+
+    def refresh(self) -> None:
+        raise NotImplementedError
+
+    def po_correct(self, po: str) -> bool:
+        if self.network.is_input(po):
+            return True
+        direction = self.directions[po]
+        return self._implication_holds(po, 1 if direction == 1 else 0)
+
+    def node_correct(self, name: str) -> bool:
+        node_type = self.types[name]
+        if node_type is NodeType.DC:
+            return True
+        if node_type is NodeType.EX:
+            return self._equal(name)
+        return self._implication_holds(
+            name, 1 if node_type is NodeType.ONE else 0)
+
+    def _implication_holds(self, name: str, direction: int) -> bool:
+        raise NotImplementedError
+
+    def _equal(self, name: str) -> bool:
+        raise NotImplementedError
+
+
+class _BddChecker(_Checker):
+    """Exact implication checks on global BDDs of both networks."""
+
+    method = "bdd"
+
+    def __init__(self, network, approx, output_approximations, types,
+                 budget: int | None):
+        super().__init__(network, approx, output_approximations, types)
+        self.budget = budget
+        self._orig_cache: dict[str, bool] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        self.bdds = GlobalBdds(dfs_input_order(self.network),
+                               max_nodes=self.budget)
+        self.bdds.add_network(self.network, prefix="o_")
+        self.bdds.add_network(self.approx, prefix="a_")
+        self._cache: dict[str, bool] = {}
+
+    def _implication_holds(self, name: str, direction: int) -> bool:
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        f = self.bdds.function("o_" + name)
+        g = self.bdds.function("a_" + name)
+        if direction == 1:
+            ok = self.bdds.manager.implies(g, f)  # 1-approx: G => F
+        else:
+            ok = self.bdds.manager.implies(f, g)  # 0-approx: F => G
+        self._cache[name] = ok
+        return ok
+
+    def _equal(self, name: str) -> bool:
+        return self.bdds.function("o_" + name) == \
+            self.bdds.function("a_" + name)
+
+
+class _SatChecker(_Checker):
+    """Exact implication checks by SAT (the paper's named alternative).
+
+    Each refresh re-encodes both networks into a fresh CDCL solver;
+    per-node queries are incremental solves under assumptions on the
+    miter variables.
+    """
+
+    method = "sat"
+
+    def __init__(self, network, approx, output_approximations, types):
+        super().__init__(network, approx, output_approximations, types)
+        self.refresh()
+
+    def refresh(self) -> None:
+        from repro.sat import NetworkEncoder
+        self.encoder = NetworkEncoder(self.network.inputs)
+        self.encoder.add_network(self.network, prefix="o_")
+        self.encoder.add_network(self.approx, prefix="a_")
+        self._cache: dict[str, bool] = {}
+
+    def _implication_holds(self, name: str, direction: int) -> bool:
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        if direction == 1:   # 1-approx: G => F
+            ok = self.encoder.implication_holds("a_" + name, "o_" + name)
+        else:                # 0-approx: F => G
+            ok = self.encoder.implication_holds("o_" + name, "a_" + name)
+        self._cache[name] = ok
+        return ok
+
+    def _equal(self, name: str) -> bool:
+        return bool(self.encoder.equivalent("o_" + name, "a_" + name))
+
+
+class _SimChecker(_Checker):
+    """Statistical implication checks with bit-parallel simulation."""
+
+    method = "sim"
+
+    def __init__(self, network, approx, output_approximations, types,
+                 n_words: int, seed: int):
+        super().__init__(network, approx, output_approximations, types)
+        self.n_words = n_words
+        self.seed = seed
+        self._orig_sim = BitSimulator(network)
+        rng = np.random.default_rng(seed)
+        self._pi_words = self._orig_sim.random_inputs(rng, n_words)
+        self._orig_values = self._orig_sim.run(self._pi_words)
+        self.refresh()
+
+    def refresh(self) -> None:
+        approx_sim = BitSimulator(self.approx)
+        # Input rows must align with the original's input ordering.
+        reorder = [self.network.inputs.index(pi)
+                   for pi in approx_sim.input_names]
+        self._approx_sim = approx_sim
+        self._approx_values = approx_sim.run(self._pi_words[reorder])
+        self._cache = {}
+
+    def _rows(self, name: str):
+        o = self._orig_values[self._orig_sim.index[name]]
+        a = self._approx_values[self._approx_sim.index[name]]
+        return o, a
+
+    def _implication_holds(self, name: str, direction: int) -> bool:
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        o, a = self._rows(name)
+        if direction == 1:
+            ok = not bool((a & ~o).any())   # G => F on every vector
+        else:
+            ok = not bool((o & ~a).any())   # F => G
+        self._cache[name] = ok
+        return ok
+
+    def _equal(self, name: str) -> bool:
+        o, a = self._rows(name)
+        return bool(np.array_equal(o, a))
+
+
+def _safe_refresh(checker: "_Checker", network: Network, approx: Network,
+                  output_approximations: dict[str, int],
+                  types: dict[str, NodeType],
+                  config: ApproxConfig) -> "_Checker":
+    """Refresh a checker, downgrading BDD -> simulation on overflow."""
+    try:
+        checker.refresh()
+        return checker
+    except BddOverflowError:
+        if config.check == "bdd":
+            raise
+        return _SimChecker(network, approx, output_approximations, types,
+                           config.sim_check_words, config.seed)
+
+
+def _make_checker(network: Network, approx: Network,
+                  output_approximations: dict[str, int],
+                  types: dict[str, NodeType],
+                  config: ApproxConfig) -> _Checker:
+    if config.check == "sim":
+        return _SimChecker(network, approx, output_approximations, types,
+                           config.sim_check_words, config.seed)
+    if config.check == "sat":
+        return _SatChecker(network, approx, output_approximations,
+                           types)
+    try:
+        return _BddChecker(network, approx, output_approximations, types,
+                           config.bdd_node_budget)
+    except BddOverflowError:
+        if config.check == "bdd":
+            raise
+        return _SimChecker(network, approx, output_approximations, types,
+                           config.sim_check_words, config.seed)

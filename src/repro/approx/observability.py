@@ -1,0 +1,80 @@
+"""Local observabilities and observability don't cares.
+
+Everything here is *local*: computed on a node's SOP cover over its
+fanin variables (paper Sec 2.1.1: "for each node g ... the local
+observability of the fanin nodes of g are computed with respect to the
+output of g"; and Sec 2.1.2's "local observability don't cares").  The
+covers are tiny — a handful of fanins — so exact computation with a
+scratch BDD manager per node is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bdd import BddManager, cover_from_bdd
+from repro.cubes import Cover
+
+
+@dataclass(frozen=True)
+class LocalObservability:
+    """Observability of one fanin at its node's output.
+
+    ``obs0`` is the probability that the fanin is 0 *and* observable
+    (a flip of the fanin would change the node output); ``obs1``
+    likewise for value 1.
+    """
+
+    obs0: float
+    obs1: float
+
+    @property
+    def total(self) -> float:
+        return self.obs0 + self.obs1
+
+    @property
+    def ratio(self) -> float:
+        """obs0/obs1 clipped to [eps, 1/eps]; >1 means 0-dominant."""
+        eps = 1e-9
+        return max(self.obs0, eps) / max(self.obs1, eps)
+
+
+def local_observabilities(cover: Cover,
+                          fanin_probs: Sequence[float] | None = None
+                          ) -> list[LocalObservability]:
+    """Exact local 0/1-observabilities of every fanin of a node.
+
+    ``fanin_probs[i]`` is P(fanin_i = 1); defaults to 0.5 (the paper's
+    uniform-input assumption, applied locally).  Fanins are treated as
+    independent, which is the standard local approximation.
+    """
+    n = cover.n
+    mgr = BddManager(n)
+    f = mgr.from_cover(cover)
+    probs = list(fanin_probs) if fanin_probs is not None else [0.5] * n
+    result = []
+    for i in range(n):
+        diff = mgr.boolean_difference(f, i)
+        obs0 = mgr.probability(mgr.and_(mgr.nvar(i), diff), probs)
+        obs1 = mgr.probability(mgr.and_(mgr.var(i), diff), probs)
+        result.append(LocalObservability(obs0, obs1))
+    return result
+
+
+def local_odc_cover(cover: Cover, fanin: int) -> Cover:
+    """The local observability don't-care set of one fanin, as a cover.
+
+    The ODC of fanin ``i`` is the set of local input vectors on which
+    the node output does not depend on ``i`` — the complement of the
+    Boolean difference.
+    """
+    mgr = BddManager(cover.n)
+    f = mgr.from_cover(cover)
+    odc = mgr.not_(mgr.boolean_difference(f, fanin))
+    return cover_from_bdd(mgr, odc)
+
+
+def observability_bdds(mgr: BddManager, f: int) -> list[int]:
+    """Boolean-difference BDDs of every variable of a local function."""
+    return [mgr.boolean_difference(f, i) for i in range(mgr.num_vars)]

@@ -1,0 +1,188 @@
+"""Type assignment: the preprocessing stage of approximate synthesis.
+
+Every node of the multi-level network is assigned one of four types
+(paper Sec 2.1.1):
+
+* ``ONE`` — the node will be 1-approximated (its on-set shrinks);
+* ``ZERO`` — the node will be 0-approximated (its off-set shrinks);
+* ``EX`` — the node must stay exact;
+* ``DC`` — the node's function is inessential (fanouts are expected not
+  to read it after cube selection).
+
+The pass walks the network in reverse topological order: a node is
+assigned a type from the requests of its fanout nodes, then issues
+requests for its own fanins based on their local observabilities.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.network import Network
+from repro.sim import signal_probabilities
+
+from .config import ApproxConfig
+from .observability import local_observabilities
+
+
+class NodeType(Enum):
+    ZERO = "0"
+    ONE = "1"
+    EX = "EX"
+    DC = "DC"
+
+
+def resolve_type(requests: set[NodeType]) -> NodeType:
+    """The paper's request-combination rules, in order."""
+    if not requests:
+        return NodeType.DC
+    if NodeType.EX in requests:
+        return NodeType.EX
+    if requests == {NodeType.DC}:
+        return NodeType.DC
+    if requests <= {NodeType.ZERO, NodeType.DC}:
+        return NodeType.ZERO
+    if requests <= {NodeType.ONE, NodeType.DC}:
+        return NodeType.ONE
+    return NodeType.EX  # conflicting 0 and 1 requests
+
+
+def fanin_requests(node_cover, fanin_probs: list[float],
+                   node_type: NodeType,
+                   config: ApproxConfig) -> list[NodeType]:
+    """Requests a node issues to its fanins (paper rules i-iii).
+
+    * (i) both observabilities small relative to other fanins -> DC;
+    * (ii) large 0/1-observability disparity -> the dominant type;
+    * (iii) comparable observabilities -> EX.
+
+    DC nodes request DC everywhere (their function is inessential).
+    The paper applies rules (i)-(iii) uniformly whatever the requesting
+    node's own type; with ``config.conservative_ex`` EX nodes instead
+    request EX for every fanin (correct-by-construction, less
+    reduction).
+    """
+    n = node_cover.n
+    if node_type is NodeType.DC:
+        return [NodeType.DC] * n
+    if node_type is NodeType.EX and config.conservative_ex:
+        return [NodeType.EX] * n
+    obs = local_observabilities(node_cover, fanin_probs)
+    max_total = max((o.total for o in obs), default=0.0)
+    mass_shares = _read_mass_shares(node_cover, fanin_probs)
+    requests: list[NodeType] = []
+    for i, o in enumerate(obs):
+        if max_total > 0 and o.total < config.dc_threshold * max_total \
+                and mass_shares[i] <= config.dc_mass_limit:
+            requests.append(NodeType.DC)
+        elif o.ratio >= config.disparity_ratio:
+            requests.append(NodeType.ZERO)
+        elif o.ratio <= 1.0 / config.disparity_ratio:
+            requests.append(NodeType.ONE)
+        elif config.phase_aware_requests:
+            requests.append(_phase_request(node_cover, i, fanin_probs,
+                                           config))
+        else:
+            requests.append(NodeType.EX)
+    return requests
+
+
+def _read_mass_shares(cover, fanin_probs: list[float]) -> list[float]:
+    """Per fanin: fraction of phase-SOP mass held by cubes reading it."""
+    from repro.cubes import Cover
+    masses = [Cover(cover.n, [c]).probability(fanin_probs)
+              for c in cover.cubes]
+    total = sum(masses)
+    if total <= 0:
+        return [0.0] * cover.n
+    shares = []
+    for i in range(cover.n):
+        read = sum(m for cube, m in zip(cover.cubes, masses)
+                   if cube.literal(i) != "-")
+        shares.append(read / total)
+    return shares
+
+
+def _phase_request(cover, fanin: int, fanin_probs: list[float],
+                   config: ApproxConfig) -> NodeType:
+    """Tiebreak rule (iii) by literal-phase cube mass.
+
+    If the fanin's positive literals carry (say) most of the cube mass
+    of the requesting node's phase SOP, a 1-approximation of the fanin
+    keeps the heavy cubes selectable and only sacrifices light ones, so
+    ONE is requested; symmetrically for ZERO; EX when balanced.
+    """
+    from repro.cubes import Cover
+    mass1 = mass0 = 0.0
+    for cube in cover.cubes:
+        literal = cube.literal(fanin)
+        if literal == "-":
+            continue
+        mass = Cover(cover.n, [cube]).probability(fanin_probs)
+        if literal == "1":
+            mass1 += mass
+        else:
+            mass0 += mass
+    tie = config.phase_tiebreak
+    if mass1 > tie * mass0:
+        return NodeType.ONE
+    if mass0 > tie * mass1:
+        return NodeType.ZERO
+    return NodeType.EX
+
+
+def assign_types(network: Network, output_approximations: dict[str, int],
+                 config: ApproxConfig | None = None,
+                 probs: dict[str, float] | None = None
+                 ) -> dict[str, NodeType]:
+    """Assign a type to every internal node of ``network``.
+
+    ``output_approximations`` maps each primary output to 0 or 1 — the
+    approximation direction chosen by reliability analysis.  Outputs
+    driven directly by primary inputs need no approximation and are
+    skipped (the wire is exact).
+    """
+    config = config or ApproxConfig()
+    if probs is None:
+        probs = signal_probabilities(network, n_words=config.prob_words,
+                                     seed=config.seed)
+
+    requests: dict[str, set[NodeType]] = {}
+    for po in network.outputs:
+        if network.is_input(po):
+            continue
+        direction = output_approximations.get(po)
+        if direction is None:
+            raise ValueError(f"no approximation direction for output "
+                             f"{po!r}")
+        requested = NodeType.ONE if direction == 1 else NodeType.ZERO
+        requests.setdefault(po, set()).add(requested)
+
+    types: dict[str, NodeType] = {}
+    for name in network.reverse_topological_order():
+        node = network.nodes[name]
+        node_type = resolve_type(requests.get(name, set()))
+        types[name] = node_type
+        if not node.fanins:
+            continue
+        fanin_probs = [probs[f] for f in node.fanins]
+        # Requests are made against the phase SOP the node will select
+        # cubes from: the off-set expression for type-0 nodes.
+        cover = node.cover
+        if node_type is NodeType.ZERO:
+            cover = node.cover.complement().sccc()
+        for fanin, request in zip(node.fanins,
+                                  fanin_requests(cover, fanin_probs,
+                                                 node_type, config)):
+            if network.is_input(fanin):
+                continue  # primary inputs are exact by definition
+            requests.setdefault(fanin, set()).add(request)
+    return types
+
+
+def type_histogram(types: dict[str, NodeType]) -> dict[NodeType, int]:
+    """Count of nodes per assigned type (reporting helper)."""
+    histogram = {t: 0 for t in NodeType}
+    for node_type in types.values():
+        histogram[node_type] += 1
+    return histogram

@@ -1,0 +1,6 @@
+"""Reduced ordered BDDs: manager, ISOP extraction, node budgets."""
+
+from .manager import BddManager, BddOverflowError
+from .isop import cover_from_bdd, isop
+
+__all__ = ["BddManager", "BddOverflowError", "cover_from_bdd", "isop"]

@@ -1,0 +1,81 @@
+"""Irredundant sum-of-products extraction from BDDs (Minato-Morreale).
+
+Given an interval ``[lower, upper]`` of Boolean functions (onset plus
+don't-care set) represented as BDDs, :func:`isop` computes an irredundant
+SOP cover ``C`` with ``lower <= C <= upper``.  This is the bridge back
+from BDD-space computations (observability don't cares, feasible
+subspaces, Eq. 1 of the paper) to the cube covers stored on network
+nodes.
+"""
+
+from __future__ import annotations
+
+from repro.cubes import Cover, Cube
+
+from .manager import BddManager
+
+
+def isop(manager: BddManager, lower: int, upper: int,
+         num_vars: int | None = None) -> Cover:
+    """Minato-Morreale irredundant SOP for the interval [lower, upper].
+
+    ``num_vars`` sets the variable count of the returned cover (defaults
+    to the manager's variable count).  Raises ValueError when
+    ``lower => upper`` does not hold (the interval is empty).
+    """
+    if not manager.implies(lower, upper):
+        raise ValueError("isop interval is empty: lower does not imply upper")
+    n = manager.num_vars if num_vars is None else num_vars
+    cache: dict[tuple[int, int], tuple[list[Cube], int]] = {}
+    cubes, _ = _isop(manager, lower, upper, n, cache)
+    return Cover(n, cubes)
+
+
+def _isop(manager: BddManager, lower: int, upper: int, n: int,
+          cache: dict) -> tuple[list[Cube], int]:
+    """Returns (cubes, bdd) where bdd is the function of the cubes."""
+    if lower == 0:
+        return [], 0
+    if upper == 1:
+        return [Cube.full(n)], 1
+    key = (lower, upper)
+    if key in cache:
+        return cache[key]
+
+    var = min(manager.var_of(lower), manager.var_of(upper))
+    l0, l1 = _cofactors(manager, lower, var)
+    u0, u1 = _cofactors(manager, upper, var)
+
+    # Minterms that can only be covered with the negative / positive
+    # literal on this variable.
+    lower_neg = manager.and_(l0, manager.not_(u1))
+    cubes_neg, f_neg = _isop(manager, lower_neg, u0, n, cache)
+    lower_pos = manager.and_(l1, manager.not_(u0))
+    cubes_pos, f_pos = _isop(manager, lower_pos, u1, n, cache)
+
+    # What remains must be covered by cubes free of this variable.
+    rest = manager.or_(manager.and_(l0, manager.not_(f_neg)),
+                       manager.and_(l1, manager.not_(f_pos)))
+    cubes_free, f_free = _isop(manager, rest, manager.and_(u0, u1), n, cache)
+
+    cubes = ([c.with_literal(var, 0) for c in cubes_neg]
+             + [c.with_literal(var, 1) for c in cubes_pos]
+             + cubes_free)
+    func = manager.or_(
+        f_free,
+        manager.or_(manager.and_(manager.nvar(var), f_neg),
+                    manager.and_(manager.var(var), f_pos)))
+    cache[key] = (cubes, func)
+    return cubes, func
+
+
+def _cofactors(manager: BddManager, f: int, var: int) -> tuple[int, int]:
+    if not manager.is_terminal(f) and manager.var_of(f) == var:
+        return manager.lo_of(f), manager.hi_of(f)
+    return f, f
+
+
+def cover_from_bdd(manager: BddManager, f: int,
+                   num_vars: int | None = None) -> Cover:
+    """Exact SOP cover of a BDD function (no don't cares)."""
+    return isop(manager, f, f, num_vars)

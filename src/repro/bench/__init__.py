@@ -1,0 +1,14 @@
+"""Benchmark circuits: generators, suite, cones, the Figure 1 example."""
+
+from .generators import random_network, sized_network
+from .suite import (BenchmarkSpec, TABLE1_CONE_SPECS, TABLE2_SPECS,
+                    load_benchmark, tiny_benchmark)
+from .cones import extract_cone, largest_cone
+from .figure1 import figure1_network, figure1_selections
+
+__all__ = [
+    "BenchmarkSpec", "TABLE1_CONE_SPECS", "TABLE2_SPECS", "extract_cone",
+    "figure1_network", "figure1_selections", "largest_cone",
+    "load_benchmark", "random_network", "sized_network",
+    "tiny_benchmark",
+]

@@ -1,0 +1,36 @@
+"""Single-output cone extraction (Table 1 workloads).
+
+Table 1 evaluates approximate synthesis on single-output cones extracted
+from benchmark circuits.  :func:`extract_cone` carves the transitive
+fanin of one primary output into a standalone network.
+"""
+
+from __future__ import annotations
+
+from repro.network import Network
+
+
+def extract_cone(network: Network, output: str,
+                 name: str | None = None) -> Network:
+    """The standalone subcircuit driving one primary output."""
+    if output not in network.outputs:
+        raise ValueError(f"{output!r} is not a primary output")
+    cone_signals = network.transitive_fanin([output])
+    cone = Network(name or f"{network.name}_{output}")
+    for pi in network.inputs:
+        if pi in cone_signals:
+            cone.add_input(pi)
+    for node_name in network.topological_order():
+        if node_name in cone_signals:
+            node = network.nodes[node_name]
+            cone.add_node(node_name, list(node.fanins), node.cover.copy())
+    cone.add_output(output)
+    return cone
+
+
+def largest_cone(network: Network) -> Network:
+    """The cone of the output with the most logic underneath it."""
+    best_output = max(
+        network.outputs,
+        key=lambda po: len(network.transitive_fanin([po])))
+    return extract_cone(network, best_output)

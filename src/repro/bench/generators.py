@@ -1,0 +1,217 @@
+"""Seeded benchmark-circuit generation.
+
+The paper evaluates on MCNC benchmark netlists, which are not
+redistributable here.  This module generates deterministic multi-level
+networks with controlled size, depth, fanin distribution, and output
+error skew — the structural properties the synthesis algorithm and the
+CED evaluation actually exercise.  The suite in :mod:`repro.bench.suite`
+instantiates one generated stand-in per paper benchmark, matching its
+gate count and I/O profile.
+
+Skew control: the paper picked "logic benchmarks with a reasonably large
+skew in the errors at the outputs".  Nodes here are biased toward
+AND-like (low signal probability) or OR-like (high) functions, which
+skews output error directions the same way.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cubes import Cover, Cube
+from repro.network import Network, sweep
+
+
+def random_network(seed: int, n_nodes: int, n_inputs: int,
+                   n_outputs: int, max_fanin: int = 4,
+                   and_bias: float = 0.6, locality: int = 24,
+                   xor_fraction: float = 0.08, periphery: float = 0.45,
+                   name: str = "random") -> Network:
+    """Generate a random combinational network.
+
+    The network has two tiers, mimicking real netlists:
+
+    * a **spine** of cross-linked logic that carries the outputs, with
+      moderate signal probabilities;
+    * **peripheral cones** — tree-shaped sub-circuits consumed by spine
+      nodes through low-probability "exception" cubes.  Roughly a
+      ``periphery`` fraction of nodes lives in these cones.  They model
+      the rarely-exercised logic that makes real circuits compressible
+      and lets approximate synthesis trade large area chunks for small
+      coverage losses (cf. des in Table 1: 95.6% approximation at 2.7%
+      area).
+
+    ``and_bias`` steers nodes toward AND-like (probability below 1/2,
+    0->1-dominated output errors) vs OR-like shapes; ``locality`` bounds
+    fanin distance.  Everything is driven by ``seed``.
+    """
+    rng = random.Random(seed)
+    net = Network(name)
+    spine: list[str] = []
+    tips: list[str] = []           # unconsumed peripheral cone tips
+    periph_pool: list[str] = []    # all peripheral signals + PIs
+    probs: dict[str, float] = {}
+    for i in range(n_inputs):
+        name_i = net.add_input(f"pi{i}")
+        spine.append(name_i)
+        periph_pool.append(name_i)
+        probs[name_i] = 0.5
+
+    for i in range(n_nodes):
+        build_peripheral = rng.random() < periphery
+        if build_peripheral:
+            window = periph_pool[-locality:]
+            k = rng.randint(2, min(max_fanin, len(window)))
+            fanins = rng.sample(window, k)
+            fanin_probs = [probs[f] for f in fanins]
+            cover = _random_cover(rng, k, fanin_probs, and_bias,
+                                  xor_fraction)
+            node_name = net.add_node(f"n{i}", fanins, cover)
+            probs[node_name] = cover.probability(fanin_probs)
+            periph_pool.append(node_name)
+            # Consumed children stop being tips: cones stay tree-like.
+            for f in fanins:
+                if f in tips:
+                    tips.remove(f)
+            tips.append(node_name)
+            continue
+        window = spine[-locality:]
+        k = rng.randint(2, min(max_fanin, len(window)))
+        fanins = rng.sample(window, k)
+        fanin_probs = [probs[f] for f in fanins]
+        cover = _random_cover(rng, k, fanin_probs, and_bias,
+                              xor_fraction)
+        if tips and rng.random() < 0.7:
+            # Attach a peripheral cone through a low-mass cube: the
+            # spine node also fires when the (rare) exception holds.
+            tip = tips.pop(rng.randrange(len(tips)))
+            fanins = fanins + [tip]
+            fanin_probs = fanin_probs + [probs[tip]]
+            cover = _attach_exception(rng, cover, fanin_probs)
+        node_name = net.add_node(f"n{i}", fanins, cover)
+        probs[node_name] = cover.probability(fanin_probs)
+        spine.append(node_name)
+
+    outputs = _pick_outputs(rng, net, n_outputs)
+    for po in outputs:
+        net.add_output(po)
+    sweep(net)
+    return net
+
+
+def _attach_exception(rng: random.Random, cover: Cover,
+                      fanin_probs: list[float]) -> Cover:
+    """Widen a cover by one fanin, read only through a low-mass cube."""
+    k = cover.n + 1
+    widened = [Cube(k, c.ones, c.zeros) for c in cover.cubes]
+    tip_prob = fanin_probs[-1]
+    rare_phase = 1 if tip_prob < 0.5 else 0
+    exception = Cube.full(k).with_literal(k - 1, rare_phase)
+    # Guard the exception with one or two spine literals so its mass is
+    # small even when the cone tip probability is moderate.
+    for i in rng.sample(range(k - 1), min(2, k - 1)):
+        guard_phase = 0 if fanin_probs[i] >= 0.5 else 1
+        if rng.random() < 0.7:
+            exception = exception.with_literal(i, guard_phase)
+    return Cover(k, widened + [exception]).sccc()
+
+
+def _random_cover(rng: random.Random, k: int, fanin_probs: list[float],
+                  and_bias: float, xor_fraction: float) -> Cover:
+    """A random node function with a non-degenerate signal probability.
+
+    Literal phases are chosen against the fanin probabilities so node
+    probabilities stay away from 0/1 (deep unbiased random logic
+    saturates to constants otherwise, which no real benchmark does).
+    ``and_bias`` steers nodes toward AND-like (probability below 1/2,
+    0->1-dominated errors) vs OR-like shapes.
+    """
+    roll = rng.random()
+    if k == 2 and roll < xor_fraction:
+        return Cover.from_strings(["10", "01"]) if rng.random() < 0.5 \
+            else Cover.from_strings(["11", "00"])
+    and_like = roll < xor_fraction + and_bias * (1 - xor_fraction)
+    if and_like:
+        # Cubes of high-probability literals: P(node) in a moderate
+        # low band.  A second, narrower cube adds SOP heterogeneity.
+        width = k if k <= 3 else rng.randint(3, k)
+        cubes = [_biased_cube(rng, k, fanin_probs, width, high=True)]
+        if rng.random() < 0.5 and k >= 3:
+            cubes.append(_biased_cube(rng, k, fanin_probs,
+                                      rng.randint(2, k - 1), high=True))
+        return Cover(k, cubes).sccc()
+    # OR-like: a few single-literal cubes of low-probability literals,
+    # plus, frequently, one wide low-mass cube — the "exception logic"
+    # found in real netlists, which approximation prunes away.
+    n_lits = rng.randint(2, max(2, k - 1))
+    indices = rng.sample(range(k), n_lits)
+    cubes = []
+    for i in indices:
+        positive = fanin_probs[i] <= 0.5 or rng.random() < 0.25
+        cubes.append(Cube.full(k).with_literal(i, 1 if positive else 0))
+    if rng.random() < 0.6 and k >= 3:
+        cubes.append(_biased_cube(rng, k, fanin_probs,
+                                  rng.randint(2, k), high=False))
+    return Cover(k, cubes).sccc()
+
+
+def _biased_cube(rng: random.Random, k: int, fanin_probs: list[float],
+                 width: int, high: bool) -> Cube:
+    """A cube over ``width`` fanins whose literal phases mostly track
+    the likely fanin values (keeps the cube's probability mass up)."""
+    cube = Cube.full(k)
+    for i in rng.sample(range(k), width):
+        likely = 1 if fanin_probs[i] >= 0.5 else 0
+        phase = likely if rng.random() < 0.8 else 1 - likely
+        cube = cube.with_literal(i, phase if high else 1 - phase)
+    return cube
+
+
+def _pick_outputs(rng: random.Random, net: Network,
+                  n_outputs: int) -> list[str]:
+    """Prefer deep nodes with no fanout (natural cone tips)."""
+    fanouts = net.fanouts()
+    levels = net.level_map()
+    tips = [n for n in net.nodes if not fanouts[n]]
+    tips.sort(key=lambda n: -levels[n])
+    chosen = tips[:n_outputs]
+    if len(chosen) < n_outputs:
+        rest = sorted((n for n in net.nodes if n not in chosen),
+                      key=lambda n: -levels[n])
+        chosen += rest[:n_outputs - len(chosen)]
+    if len(chosen) < n_outputs:
+        # Degenerate tiny networks: allow duplicate-driver outputs.
+        pool = list(net.nodes) or list(net.inputs)
+        while len(chosen) < n_outputs:
+            chosen.append(rng.choice(pool))
+    return chosen
+
+
+def sized_network(seed: int, target_gates: int, n_inputs: int,
+                  n_outputs: int, gate_counter, tolerance: float = 0.10,
+                  max_iterations: int = 6, name: str = "sized",
+                  **kwargs) -> Network:
+    """Generate a network whose *mapped* gate count hits a target.
+
+    ``gate_counter`` maps a Network to a gate count (e.g. quick-map and
+    count).  A secant-style search adjusts the node count until the
+    count is within ``tolerance`` of ``target_gates`` (or iterations run
+    out — the closest attempt is returned).
+    """
+    n_nodes = max(4, int(target_gates * 0.55))
+    best = None
+    best_error = float("inf")
+    for _ in range(max_iterations):
+        net = random_network(seed, n_nodes, n_inputs, n_outputs,
+                             name=name, **kwargs)
+        gates = gate_counter(net)
+        error = abs(gates - target_gates) / max(target_gates, 1)
+        if error < best_error:
+            best, best_error = net, error
+        if error <= tolerance:
+            break
+        if gates <= 0:
+            n_nodes *= 2
+        else:
+            n_nodes = max(4, int(round(n_nodes * target_gates / gates)))
+    return best

@@ -1,0 +1,27 @@
+"""Concurrent error detection with approximate logic circuits (Sec 3)."""
+
+from .checker import (checker_reference, emit_approximate_checker,
+                      emit_trc_tree, emit_two_rail_cell, is_two_rail,
+                      two_rail_cell_reference, valid_codeword)
+from .architecture import CedAssembly, build_ced, clone_netlist
+from .coverage import CoverageResult, evaluate_ced
+from .sharing import merge_equivalent_gates
+from .baselines import (DuplicationPlan, build_parity_ced,
+                        build_parity_predictor,
+                        build_partial_duplication, plan_duplication)
+from .flow import CedFlowResult, run_ced_flow
+from .masking import (MaskedCircuit, MaskingResult, build_masked_circuit,
+                      evaluate_masking)
+from .delay import evaluate_delay_fault_ced
+
+__all__ = [
+    "CedAssembly", "CedFlowResult", "CoverageResult", "DuplicationPlan",
+    "MaskedCircuit", "MaskingResult", "build_masked_circuit",
+    "build_ced", "build_parity_ced", "build_parity_predictor",
+    "build_partial_duplication", "checker_reference", "clone_netlist",
+    "emit_approximate_checker", "emit_trc_tree", "emit_two_rail_cell",
+    "evaluate_ced", "evaluate_delay_fault_ced", "evaluate_masking",
+    "is_two_rail", "merge_equivalent_gates",
+    "plan_duplication", "run_ced_flow", "two_rail_cell_reference",
+    "valid_codeword",
+]

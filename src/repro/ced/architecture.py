@@ -1,0 +1,117 @@
+"""CED circuit assembly (paper Sec 3, Fig. 2).
+
+Combines a technology-mapped original circuit, its mapped approximate
+logic circuit (the check symbol generator), per-output 0/1-approximate
+checkers, and a TRC consolidation tree into one gate-level netlist.  The
+original circuit's gates are untouched — the CED is non-intrusive —
+except when logic sharing (Sec 3.1) is explicitly requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network import NetworkError
+from repro.synth.mapping import Emitter
+from repro.synth.netlist import MappedNetlist
+
+from .checker import emit_approximate_checker, emit_trc_tree
+
+
+@dataclass
+class CedAssembly:
+    """A complete CED circuit plus the bookkeeping to evaluate it."""
+
+    netlist: MappedNetlist               # combined circuit
+    original: MappedNetlist              # the protected circuit alone
+    error_pair: tuple[str, str]          # consolidated two-rail pair
+    fault_sites: list[str]               # gate names of the original
+    directions: dict[str, int] = field(default_factory=dict)
+    checker_pairs: dict[str, tuple[str, str]] = field(default_factory=dict)
+    shared_gates: int = 0
+
+    @property
+    def overhead_gates(self) -> int:
+        """Gates added on top of the original circuit."""
+        return self.netlist.gate_count - len(self.fault_sites)
+
+
+def clone_netlist(netlist: MappedNetlist,
+                  name: str | None = None) -> MappedNetlist:
+    """A deep copy preserving gate names (identity fault sites)."""
+    clone = MappedNetlist(name or netlist.name, netlist.library)
+    for pi in netlist.inputs:
+        clone.add_input(pi)
+    for gate_name in netlist.topological_order():
+        gate = netlist.gates[gate_name]
+        clone.add_gate(gate_name, gate.cell.name, list(gate.fanins))
+    for po in netlist.outputs:
+        clone.set_output(po, netlist.po_signals[po])
+    return clone
+
+
+def build_ced(original: MappedNetlist, approx: MappedNetlist,
+              directions: dict[str, int],
+              share_logic: bool = False,
+              share_loss_budget: float = 0.10) -> CedAssembly:
+    """Assemble the full CED circuit of Fig. 2.
+
+    ``directions[po]`` is 0 for a 0-approximate check symbol (detects
+    0->1 errors) or 1 for a 1-approximate one.  ``share_logic`` merges
+    structurally equivalent approximate gates onto original gates
+    (Sec 3.1) — lower overhead, intrusive, slightly lower coverage; the
+    merges are restricted to non-critical gates whose combined error
+    contribution stays within ``share_loss_budget`` (a fraction of the
+    original circuit's total contribution).
+    """
+    if set(approx.outputs) - set(original.outputs):
+        raise NetworkError("approximate circuit has unknown outputs")
+    combined = clone_netlist(original, f"{original.name}_ced")
+    fault_sites = list(original.gates)
+
+    binding = {pi: pi for pi in approx.inputs}
+    for pi in approx.inputs:
+        if not combined.signal_exists(pi):
+            raise NetworkError(
+                f"approximate input {pi!r} is not an original input")
+    mapping = combined.merge_from(approx, "apx_", binding)
+
+    shared = 0
+    if share_logic:
+        from repro.reliability import error_contributions
+
+        from .sharing import merge_equivalent_gates
+        criticality = error_contributions(original, n_words=2)
+        budget = share_loss_budget * sum(criticality.values())
+        rename = merge_equivalent_gates(combined, prefix="apx_",
+                                        protect=set(fault_sites),
+                                        criticality=criticality,
+                                        budget=budget)
+        shared = len(rename)
+        mapping = {src: rename.get(dst, dst)
+                   for src, dst in mapping.items()}
+
+    emitter = Emitter(combined)
+    checker_pairs: dict[str, tuple[str, str]] = {}
+    for po in original.outputs:
+        if po not in directions:
+            raise NetworkError(f"no approximation direction for {po!r}")
+        y = combined.po_signals[po]
+        x = mapping[approx.po_signals[po]]
+        checker_pairs[po] = emit_approximate_checker(
+            emitter, x, y, directions[po], stem=f"chk_{po}")
+    error_pair = emit_trc_tree(emitter, list(checker_pairs.values()),
+                               "trc")
+    for i, signal in enumerate(error_pair):
+        combined.set_output(f"__error{i}", signal)
+
+    return CedAssembly(
+        netlist=combined,
+        original=original,
+        error_pair=error_pair,
+        fault_sites=fault_sites,
+        directions=dict(directions),
+        checker_pairs=checker_pairs,
+        shared_gates=shared)
+
+

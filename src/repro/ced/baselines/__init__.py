@@ -1,0 +1,11 @@
+"""Comparison baselines: partial duplication [10], parity prediction."""
+
+from .parity import build_parity_ced, build_parity_predictor
+from .partial_duplication import (DuplicationPlan,
+                                  build_partial_duplication,
+                                  plan_duplication)
+
+__all__ = [
+    "DuplicationPlan", "build_parity_ced", "build_parity_predictor",
+    "build_partial_duplication", "plan_duplication",
+]

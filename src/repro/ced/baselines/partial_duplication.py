@@ -1,0 +1,139 @@
+"""Baseline: partial duplication CED (Mohanram & Touba, ITC'03 [10]).
+
+Duplicate the logic cones of the most error-critical check points and
+compare the duplicate against the original with an equality checker.
+The paper frames partial duplication as the special case of approximate
+logic with 100% approximation percentage and shared non-critical nodes;
+its coverage is a lower bound for approximate logic with sharing.
+
+Selection is greedy by detected-error contribution per duplicated gate,
+under an area budget, which is the cost-effectiveness heuristic of [10].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reliability import error_contributions
+from repro.synth.mapping import Emitter
+from repro.synth.netlist import MappedNetlist
+
+from ..architecture import CedAssembly, clone_netlist
+from ..checker import emit_trc_tree
+
+
+@dataclass
+class DuplicationPlan:
+    """Chosen check points and their duplicated cone."""
+
+    check_points: list[str]
+    duplicated_gates: set[str]
+
+    @property
+    def cost(self) -> int:
+        return len(self.duplicated_gates)
+
+
+def plan_duplication(original: MappedNetlist, area_budget_pct: float,
+                     n_words: int = 8, seed: int = 2008,
+                     candidates: list[str] | None = None
+                     ) -> DuplicationPlan:
+    """Pick check points greedily under an area budget.
+
+    Candidates default to the primary-output driver gates, ranked by
+    their error contribution; each selection pays for the part of its
+    transitive fanin cone not yet duplicated.
+    """
+    budget = original.gate_count * area_budget_pct / 100.0
+    contributions = error_contributions(original, n_words=n_words,
+                                        seed=seed)
+    if candidates is None:
+        candidates = [original.po_signals[po] for po in original.outputs
+                      if original.po_signals[po] in original.gates]
+    cones = {c: _cone_gates(original, c) for c in candidates}
+    chosen: list[str] = []
+    duplicated: set[str] = set()
+    remaining = [c for c in dict.fromkeys(candidates)]
+    while remaining:
+        def gain(c):
+            extra = len(cones[c] - duplicated)
+            return contributions.get(c, 0.0) / max(extra, 1)
+        remaining.sort(key=gain, reverse=True)
+        best = remaining.pop(0)
+        extra = cones[best] - duplicated
+        if len(duplicated) + len(extra) > budget and chosen:
+            continue
+        if len(duplicated) + len(extra) > budget:
+            break
+        chosen.append(best)
+        duplicated |= extra
+    return DuplicationPlan(chosen, duplicated)
+
+
+def _cone_gates(netlist: MappedNetlist, signal: str) -> set[str]:
+    cone: set[str] = set()
+    stack = [signal]
+    while stack:
+        name = stack.pop()
+        if name in cone or name not in netlist.gates:
+            continue
+        cone.add(name)
+        stack.extend(netlist.gates[name].fanins)
+    return cone
+
+
+def build_partial_duplication(original: MappedNetlist,
+                              area_budget_pct: float,
+                              n_words: int = 8,
+                              seed: int = 2008,
+                              plan: DuplicationPlan | None = None
+                              ) -> CedAssembly:
+    """Assemble a partial-duplication CED circuit.
+
+    Every check point's cone is re-instantiated from the primary inputs;
+    check point vs. duplicate feed an equality comparator realized as a
+    two-rail pair ``(original, INV(duplicate))``, consolidated by the
+    standard TRC tree so the coverage harness is shared with the
+    proposed technique.
+    """
+    if plan is None:
+        plan = plan_duplication(original, area_budget_pct,
+                                n_words=n_words, seed=seed)
+    combined = clone_netlist(original, f"{original.name}_pdup")
+    fault_sites = list(original.gates)
+
+    # Duplicate the union cone once (shared among check points).
+    mapping: dict[str, str] = {pi: pi for pi in original.inputs}
+    for name in original.topological_order():
+        if name not in plan.duplicated_gates:
+            mapping[name] = name  # read the original signal (shared)
+            continue
+        gate = original.gates[name]
+        dup = combined.fresh_name("dup_" + name)
+        combined.add_gate(dup, gate.cell.name,
+                          [mapping[f] for f in gate.fanins])
+        mapping[name] = dup
+
+    emitter = Emitter(combined)
+    pairs = []
+    for i, point in enumerate(plan.check_points):
+        inv_dup = emitter.emit_inv(mapping[point], f"pd_inv{i}")
+        pairs.append((point, inv_dup))
+    if pairs:
+        error_pair = emit_trc_tree(emitter, pairs, "pd_trc")
+    else:
+        # Empty plan: emit a constant valid pair (detects nothing).
+        zero = emitter.emit_const(False, "pd_zero")
+        one = emitter.emit_const(True, "pd_one")
+        error_pair = (zero, one)
+    for i, signal in enumerate(error_pair):
+        combined.set_output(f"__error{i}", signal)
+
+    return CedAssembly(
+        netlist=combined,
+        original=original,
+        error_pair=error_pair,
+        fault_sites=fault_sites,
+        directions={},
+        checker_pairs={po: pair for po, pair in
+                       zip(plan.check_points, pairs)})

@@ -1,0 +1,97 @@
+"""Totally self-checking checkers (paper Sec 3.2, Fig. 3).
+
+For an output ``Y`` protected by an approximate signal ``X``:
+
+* **0-approximation** (``!X => !Y``): the codeword ``(X, Y) = (0, 1)``
+  cannot occur fault-free.  The checker emits the two-rail pair
+  ``(Y, NAND(X, Y))`` — complementary on every valid codeword, equal
+  (invalid) exactly on ``(0, 1)``.
+* **1-approximation** (``X => Y``): ``(1, 0)`` is the invalid codeword
+  and the checker is ``(Y, NOR(X, Y))``.
+
+Checker pairs are consolidated by a tree of totally self-checking
+two-rail code (TRC) checker cells: ``c0 = a0 b0 + a1 b1``,
+``c1 = a0 b1 + a1 b0`` — the classic TSC two-rail checker.
+"""
+
+from __future__ import annotations
+
+from repro.synth.mapping import Emitter
+
+
+# ----------------------------------------------------------------------
+# Reference semantics (used by tests and TSC-property verification)
+# ----------------------------------------------------------------------
+def checker_reference(x: bool, y: bool, direction: int) -> tuple[bool, bool]:
+    """Truth-table semantics of the 0/1-approximate checker."""
+    if direction == 0:
+        return y, not (x and y)      # (Y, NAND(X, Y))
+    return y, not (x or y)           # (Y, NOR(X, Y))
+
+
+def valid_codeword(x: bool, y: bool, direction: int) -> bool:
+    """Is (X, Y) a possible fault-free checker input?"""
+    if direction == 0:
+        return not (not x and y)     # (0,1) impossible for 0-approx
+    return not (x and not y)         # (1,0) impossible for 1-approx
+
+
+def is_two_rail(pair: tuple[bool, bool]) -> bool:
+    """Valid two-rail output: the pair is complementary."""
+    return pair[0] != pair[1]
+
+
+def two_rail_cell_reference(a: tuple[bool, bool],
+                            b: tuple[bool, bool]) -> tuple[bool, bool]:
+    """Truth-table semantics of the TSC two-rail checker cell."""
+    c0 = (a[0] and b[0]) or (a[1] and b[1])
+    c1 = (a[0] and b[1]) or (a[1] and b[0])
+    return c0, c1
+
+
+# ----------------------------------------------------------------------
+# Gate-level construction
+# ----------------------------------------------------------------------
+def emit_approximate_checker(emitter: Emitter, x_signal: str,
+                             y_signal: str, direction: int,
+                             stem: str) -> tuple[str, str]:
+    """Instantiate a 0/1-approximate checker; returns its two-rail pair."""
+    if direction == 0:
+        other = emitter.emit_nand([x_signal, y_signal], stem + "_c")
+    elif direction == 1:
+        other = emitter.emit_nor([x_signal, y_signal], stem + "_c")
+    else:
+        raise ValueError("direction must be 0 or 1")
+    return y_signal, other
+
+
+def emit_two_rail_cell(emitter: Emitter, a: tuple[str, str],
+                       b: tuple[str, str], stem: str) -> tuple[str, str]:
+    """Instantiate one TRC checker cell over two two-rail pairs."""
+    t00 = emitter.emit_and([a[0], b[0]], stem + "_p")
+    t11 = emitter.emit_and([a[1], b[1]], stem + "_q")
+    c0 = emitter.emit_or([t00, t11], stem + "_c0")
+    t01 = emitter.emit_and([a[0], b[1]], stem + "_r")
+    t10 = emitter.emit_and([a[1], b[0]], stem + "_s")
+    c1 = emitter.emit_or([t01, t10], stem + "_c1")
+    return c0, c1
+
+
+def emit_trc_tree(emitter: Emitter, pairs: list[tuple[str, str]],
+                  stem: str) -> tuple[str, str]:
+    """Consolidate checker pairs into one two-rail pair (balanced tree)."""
+    if not pairs:
+        raise ValueError("no checker pairs to consolidate")
+    level = 0
+    current = list(pairs)
+    while len(current) > 1:
+        merged = []
+        for i in range(0, len(current) - 1, 2):
+            merged.append(emit_two_rail_cell(
+                emitter, current[i], current[i + 1],
+                f"{stem}_l{level}_{i // 2}"))
+        if len(current) % 2 == 1:
+            merged.append(current[-1])
+        current = merged
+        level += 1
+    return current[0]

@@ -1,0 +1,90 @@
+"""Logic sharing between original and approximate circuits (Sec 3.1).
+
+Merges approximate-circuit gates that are structurally equivalent to
+original gates (same cell, same fanin signals) onto the original gate.
+This trades non-intrusiveness for overhead: a fault in a shared gate
+corrupts the check symbol and the function simultaneously and escapes
+detection.
+
+The paper shares *non-critical* nodes so coverage barely moves.  That
+is implemented here with a criticality budget: candidate merges are
+taken in ascending order of the original gate's error contribution, and
+merging stops once the accumulated contribution of shared gates exceeds
+the budget.
+"""
+
+from __future__ import annotations
+
+from repro.synth.netlist import MappedNetlist
+
+
+def merge_equivalent_gates(netlist: MappedNetlist, prefix: str,
+                           protect: set[str],
+                           criticality: dict[str, float] | None = None,
+                           budget: float = float("inf")
+                           ) -> dict[str, str]:
+    """Merge ``prefix``-named gates onto equivalent unprefixed gates.
+
+    ``criticality`` maps original gate names to their error
+    contribution; merges whose survivor's accumulated criticality would
+    exceed ``budget`` are skipped (the paper's non-critical-only
+    sharing).  Returns the rename map (removed gate -> surviving
+    signal).  Gates in ``protect`` are never removed.
+    """
+    rename: dict[str, str] = {}
+    spent = 0.0
+    shared_survivors: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        canonical: dict[tuple, str] = {}
+        for name in netlist.topological_order():
+            if name.startswith(prefix):
+                continue
+            gate = netlist.gates[name]
+            canonical.setdefault(
+                (gate.cell.name, tuple(gate.fanins)), name)
+        candidates = []
+        for name in list(netlist.gates):
+            if not name.startswith(prefix) or name in protect:
+                continue
+            gate = netlist.gates[name]
+            key = (gate.cell.name, tuple(gate.fanins))
+            survivor = canonical.get(key)
+            if survivor is None or survivor == name:
+                continue
+            candidates.append((name, survivor))
+        if criticality is not None:
+            candidates.sort(
+                key=lambda c: criticality.get(c[1], 0.0))
+        for name, survivor in candidates:
+            if name not in netlist.gates:
+                continue  # invalidated by an earlier merge this round
+            if criticality is not None and \
+                    survivor not in shared_survivors:
+                cost = criticality.get(survivor, 0.0)
+                if spent + cost > budget:
+                    continue
+                spent += cost
+                shared_survivors.add(survivor)
+            _rewire(netlist, name, survivor)
+            rename[name] = survivor
+            del netlist.gates[name]
+            netlist._topo_cache = None
+            changed = True
+    # Resolve chains (a merged gate whose survivor later merged too).
+    for source in list(rename):
+        target = rename[source]
+        while target in rename:
+            target = rename[target]
+        rename[source] = target
+    return rename
+
+
+def _rewire(netlist: MappedNetlist, old: str, new: str) -> None:
+    for gate in netlist.gates.values():
+        if old in gate.fanins:
+            gate.fanins = [new if f == old else f for f in gate.fanins]
+    for po, signal in netlist.po_signals.items():
+        if signal == old:
+            netlist.po_signals[po] = new

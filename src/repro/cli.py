@@ -1,0 +1,179 @@
+"""Command-line interface: the flow on BLIF files.
+
+Subcommands:
+
+* ``info``  — parse a BLIF file and print structure/statistics;
+* ``synth`` — synthesize an approximate logic circuit and write it as
+  BLIF (directions from reliability analysis or forced);
+* ``ced``   — run the full CED flow and print the evaluation report;
+* ``gen``   — export a suite benchmark (MCNC stand-in) as BLIF.
+
+Usage: ``python -m repro.cli <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.approx import (ApproxConfig, approximation_percentages,
+                          synthesize_approximation)
+from repro.bench import load_benchmark
+from repro.ced import run_ced_flow
+from repro.network import read_blif, write_blif
+from repro.reliability import analyze_reliability
+from repro.synth import quick_map
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cube-drop-threshold", type=float,
+                        default=ApproxConfig.cube_drop_threshold,
+                        help="stage-1 cube significance cutoff")
+    parser.add_argument("--dc-threshold", type=float,
+                        default=ApproxConfig.dc_threshold,
+                        help="relative observability below which a "
+                             "fanin is requested DC")
+    parser.add_argument("--check", choices=("auto", "bdd", "sat", "sim"),
+                        default="auto", help="correctness check backend")
+    parser.add_argument("--seed", type=int, default=2008)
+
+
+def _config_from(args: argparse.Namespace) -> ApproxConfig:
+    return ApproxConfig(cube_drop_threshold=args.cube_drop_threshold,
+                        dc_threshold=args.dc_threshold,
+                        check=args.check, seed=args.seed)
+
+
+def _directions_for(network, args) -> dict[str, int]:
+    if args.direction in ("0", "1"):
+        return {po: int(args.direction) for po in network.outputs}
+    report = analyze_reliability(quick_map(network), n_words=args.words,
+                                 seed=args.seed)
+    return report.approximations
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    network = read_blif(args.blif)
+    mapped = quick_map(network)
+    levels = network.depth()
+    print(f"model    : {network.name}")
+    print(f"inputs   : {len(network.inputs)}")
+    print(f"outputs  : {len(network.outputs)}")
+    print(f"nodes    : {network.num_nodes}")
+    print(f"literals : {network.total_literals()}")
+    print(f"depth    : {levels}")
+    print(f"mapped   : {mapped.gate_count} gates "
+          f"(lib {mapped.library.name}), delay {mapped.delay():.2f}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    network = read_blif(args.blif)
+    directions = _directions_for(network, args)
+    result = synthesize_approximation(network, directions,
+                                      _config_from(args))
+    pct = approximation_percentages(network, result.approx, directions)
+    write_blif(result.approx, args.out)
+    print(f"wrote {args.out}")
+    print(f"correct       : {result.all_correct} "
+          f"({result.check_method}-checked)")
+    print(f"nodes         : {network.num_nodes} -> "
+          f"{result.approx.num_nodes}")
+    for po in network.outputs:
+        direction = directions[po]
+        print(f"  {po}: {direction}-approximation, "
+              f"{pct[po]:.1f}% approximation percentage")
+    return 0 if result.all_correct else 1
+
+
+def cmd_ced(args: argparse.Namespace) -> int:
+    network = read_blif(args.blif)
+    directions = None
+    if args.direction in ("0", "1"):
+        directions = {po: int(args.direction)
+                      for po in network.outputs}
+    flow = run_ced_flow(network, config=_config_from(args),
+                        share_logic=args.share_logic,
+                        reliability_words=args.words,
+                        coverage_words=args.words,
+                        directions=directions, seed=args.seed)
+    summary = flow.summary()
+    print(f"circuit               : {network.name} "
+          f"({int(summary['gates'])} mapped gates)")
+    print(f"area overhead         : {summary['area_overhead_pct']:.1f}%")
+    print(f"power overhead        : "
+          f"{summary['power_overhead_pct']:.1f}%")
+    print(f"approximation         : "
+          f"{summary['approximation_pct']:.1f}%")
+    print(f"max CED coverage      : "
+          f"{summary['max_ced_coverage_pct']:.1f}%")
+    print(f"achieved CED coverage : "
+          f"{summary['ced_coverage_pct']:.1f}%")
+    print(f"approx delay change   : "
+          f"{summary['delay_change_pct']:+.1f}%")
+    if args.share_logic:
+        print(f"shared gates          : "
+              f"{int(summary['shared_gates'])}")
+    if args.out:
+        write_blif(flow.approx_result.approx, args.out)
+        print(f"check symbol generator written to {args.out}")
+    return 0
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    network = load_benchmark(args.name, table=args.table)
+    write_blif(network, args.out)
+    print(f"wrote {args.out}: {len(network.inputs)} inputs, "
+          f"{network.num_nodes} nodes, {len(network.outputs)} outputs")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Approximate logic circuits for low-overhead CED "
+                    "(DATE 2008 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a BLIF circuit")
+    p_info.add_argument("--blif", required=True)
+    p_info.set_defaults(func=cmd_info)
+
+    p_synth = sub.add_parser(
+        "synth", help="synthesize an approximate logic circuit")
+    p_synth.add_argument("--blif", required=True)
+    p_synth.add_argument("--out", required=True,
+                         help="output BLIF for the approximation")
+    p_synth.add_argument("--direction", choices=("auto", "0", "1"),
+                         default="auto")
+    p_synth.add_argument("--words", type=int, default=4,
+                         help="64-vector words for reliability analysis")
+    _add_config_flags(p_synth)
+    p_synth.set_defaults(func=cmd_synth)
+
+    p_ced = sub.add_parser("ced", help="run the full CED flow")
+    p_ced.add_argument("--blif", required=True)
+    p_ced.add_argument("--out", help="also write the approximation BLIF")
+    p_ced.add_argument("--direction", choices=("auto", "0", "1"),
+                       default="auto")
+    p_ced.add_argument("--share-logic", action="store_true")
+    p_ced.add_argument("--words", type=int, default=4)
+    _add_config_flags(p_ced)
+    p_ced.set_defaults(func=cmd_ced)
+
+    p_gen = sub.add_parser("gen", help="export a suite benchmark")
+    p_gen.add_argument("--name", required=True,
+                       help="benchmark name (cmb, cordic, term1, ...)")
+    p_gen.add_argument("--table", type=int, default=2, choices=(1, 2))
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=cmd_gen)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

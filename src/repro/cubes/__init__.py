@@ -1,0 +1,9 @@
+"""Two-level logic: cubes, SOP covers, and heuristic minimization."""
+
+from .cube import Cube
+from .cover import Cover
+from .minimize import expand, irredundant, minimize, reduce_cover
+from .primes import essential_primes, is_prime, prime_implicants
+
+__all__ = ["Cube", "Cover", "essential_primes", "expand", "irredundant",
+           "is_prime", "minimize", "prime_implicants", "reduce_cover"]

@@ -1,0 +1,113 @@
+"""Espresso-style heuristic two-level minimization.
+
+Implements the classic EXPAND / IRREDUNDANT / REDUCE loop on
+:class:`~repro.cubes.cover.Cover` objects, with an optional don't-care
+cover.  Node SOPs in the multi-level network are small (the support is the
+node's fanin list), so this straightforward formulation is fast enough and
+keeps the algorithms auditable.
+
+The minimizer is used when rebuilding node SOPs after cube selection and
+when synthesizing checker / baseline logic.
+"""
+
+from __future__ import annotations
+
+from .cover import Cover
+from .cube import Cube
+
+
+def expand(cover: Cover, dc: Cover | None = None) -> Cover:
+    """Grow each cube maximally while staying inside ``cover | dc``.
+
+    Expanding a cube (removing literals) can only add minterms, so the
+    containment check is against the original function plus don't cares.
+    Expanded cubes frequently swallow other cubes, which the final
+    single-cube-containment pass removes.
+    """
+    bound = cover if dc is None else cover.union(dc)
+    expanded: list[Cube] = []
+    # Expand large cubes first: they are the most likely to swallow others.
+    for cube in sorted(cover.cubes, key=lambda c: c.num_literals):
+        current = cube
+        for var in range(cover.n):
+            if not current.has_literal(var):
+                continue
+            candidate = current.without_literal(var)
+            if bound.covers_cube(candidate):
+                current = candidate
+        expanded.append(current)
+    return Cover(cover.n, expanded).sccc()
+
+
+def irredundant(cover: Cover, dc: Cover | None = None) -> Cover:
+    """Drop cubes covered by the union of the other cubes plus don't cares."""
+    cubes = list(cover.sccc().cubes)
+    # Try to drop the largest cubes last: small cubes are more likely
+    # redundant once large ones are present.
+    cubes.sort(key=lambda c: -c.num_literals)
+    changed = True
+    while changed:
+        changed = False
+        for i, cube in enumerate(cubes):
+            rest = Cover(cover.n, cubes[:i] + cubes[i + 1:])
+            if dc is not None:
+                rest = rest.union(dc)
+            if rest.covers_cube(cube):
+                del cubes[i]
+                changed = True
+                break
+    return Cover(cover.n, cubes)
+
+
+def reduce_cover(cover: Cover, dc: Cover | None = None) -> Cover:
+    """Shrink each cube to the supercube of its essential minterms.
+
+    The essential part of a cube is what the remaining cubes (plus don't
+    cares) fail to cover; reducing unlocks better expansions on the next
+    EXPAND pass.
+    """
+    current: list[Cube | None] = list(cover.cubes)
+    for i, cube in enumerate(current):
+        others = [c for j, c in enumerate(current) if j != i and c is not None]
+        rest = Cover(cover.n, others)
+        if dc is not None:
+            rest = rest.union(dc)
+        essential = Cover(cover.n, [cube]).sharp(rest)
+        if essential.is_zero():
+            current[i] = None  # fully covered elsewhere: drop
+            continue
+        shrunk = essential.cubes[0]
+        for extra in essential.cubes[1:]:
+            shrunk = shrunk.supercube(extra)
+        current[i] = shrunk
+    return Cover(cover.n, [c for c in current if c is not None])
+
+
+def minimize(cover: Cover, dc: Cover | None = None,
+             max_passes: int = 8) -> Cover:
+    """Heuristically minimize ``cover`` against optional don't cares.
+
+    Runs EXPAND / IRREDUNDANT / REDUCE until the literal count stops
+    improving (or ``max_passes`` is hit) and returns the best cover seen.
+    The result is functionally equal to ``cover`` modulo the don't-care
+    set.
+    """
+    if cover.is_zero():
+        return cover.copy()
+    best = irredundant(expand(cover, dc), dc)
+    best_cost = _cost(best)
+    current = best
+    for _ in range(max_passes):
+        current = reduce_cover(current, dc)
+        current = irredundant(expand(current, dc), dc)
+        cost = _cost(current)
+        if cost < best_cost:
+            best, best_cost = current, cost
+        else:
+            break
+    return best
+
+
+def _cost(cover: Cover) -> tuple[int, int]:
+    """Minimization objective: cube count first, then literal count."""
+    return (len(cover), cover.num_literals)

@@ -1,0 +1,73 @@
+"""Prime implicant generation by iterated consensus.
+
+Small-scale classical machinery: compute all prime implicants of a
+cover (complete sum).  Used by tests to validate the heuristic
+minimizer (every cube of a minimized cover without don't cares must be
+a prime implicant) and available for exact minimization experiments on
+node-sized functions.
+"""
+
+from __future__ import annotations
+
+from .cover import Cover
+from .cube import Cube
+
+
+def prime_implicants(cover: Cover, max_iterations: int = 10_000) -> Cover:
+    """All prime implicants of ``cover`` (the complete sum).
+
+    Iterated consensus: repeatedly add consensus cubes and drop
+    single-cube-contained ones until closure.  Exponential in the worst
+    case — intended for node-local functions (a handful of variables).
+    """
+    cubes: list[Cube] = list(cover.sccc().cubes)
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(cubes)):
+            for j in range(i + 1, len(cubes)):
+                iterations += 1
+                if iterations > max_iterations:
+                    raise RuntimeError(
+                        "prime implicant generation exceeded budget")
+                consensus = cubes[i].consensus(cubes[j])
+                if consensus is None:
+                    continue
+                if any(c.contains(consensus) for c in cubes):
+                    continue
+                cubes = [c for c in cubes if not consensus.contains(c)]
+                cubes.append(consensus)
+                changed = True
+                break
+            if changed:
+                break
+    return Cover(cover.n, cubes)
+
+
+def is_prime(cube: Cube, cover: Cover) -> bool:
+    """True iff ``cube`` is a prime implicant of ``cover``.
+
+    The cube must be an implicant (contained in the function) and no
+    single-literal expansion of it may remain one.
+    """
+    if not cover.covers_cube(cube):
+        return False
+    for var in range(cube.n):
+        if not cube.has_literal(var):
+            continue
+        if cover.covers_cube(cube.without_literal(var)):
+            return False
+    return True
+
+
+def essential_primes(cover: Cover) -> Cover:
+    """Prime implicants covering some minterm no other prime covers."""
+    primes = prime_implicants(cover)
+    essential = []
+    for i, prime in enumerate(primes.cubes):
+        others = Cover(cover.n, primes.cubes[:i] + primes.cubes[i + 1:])
+        # Essential iff some minterm of this prime escapes the others.
+        if not others.covers_cube(prime):
+            essential.append(prime)
+    return Cover(cover.n, essential)

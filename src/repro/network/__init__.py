@@ -1,0 +1,15 @@
+"""Multi-level Boolean networks: structure, BLIF I/O, transforms, BDDs."""
+
+from .node import Node
+from .network import Network, NetworkError, embed, iter_signals
+from .blif import BlifError, parse_blif, read_blif, write_blif
+from .transform import (cleanup, eliminate, propagate_constants, strash,
+                        sweep, trim_unread_fanins)
+from .globalbdd import GlobalBdds, dfs_input_order
+
+__all__ = [
+    "BlifError", "GlobalBdds", "dfs_input_order", "Network", "NetworkError", "Node",
+    "cleanup", "eliminate", "embed", "iter_signals", "parse_blif",
+    "propagate_constants", "read_blif", "strash", "sweep",
+    "trim_unread_fanins", "write_blif",
+]

@@ -1,0 +1,141 @@
+"""BLIF reading and writing for combinational networks.
+
+Supports the subset of BLIF that covers technology-independent logic:
+``.model``, ``.inputs``, ``.outputs``, ``.names`` (with on-set or off-set
+SOP rows) and constant nodes.  Latches and subcircuits are out of scope —
+the paper's flow is purely combinational.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.cubes import Cover, Cube
+
+from .network import Network
+
+
+class BlifError(ValueError):
+    """Malformed BLIF input."""
+
+
+def parse_blif(text: str) -> Network:
+    """Parse BLIF text into a :class:`Network`."""
+    lines = _logical_lines(text)
+    network = Network()
+    declared_outputs: list[str] = []
+    pending: list[tuple[str, list[str], list[tuple[str, str]]]] = []
+    current: tuple[str, list[str], list[tuple[str, str]]] | None = None
+
+    for line in lines:
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".model":
+            network.name = tokens[1] if len(tokens) > 1 else "top"
+        elif keyword == ".inputs":
+            for name in tokens[1:]:
+                network.add_input(name)
+        elif keyword == ".outputs":
+            declared_outputs.extend(tokens[1:])
+        elif keyword == ".names":
+            if len(tokens) < 2:
+                raise BlifError(".names needs at least an output signal")
+            output = tokens[-1]
+            fanins = tokens[1:-1]
+            current = (output, fanins, [])
+            pending.append(current)
+        elif keyword == ".end":
+            break
+        elif keyword.startswith("."):
+            raise BlifError(f"unsupported BLIF construct {keyword!r}")
+        else:
+            if current is None:
+                raise BlifError(f"SOP row outside .names block: {line!r}")
+            output_name, fanins, rows = current
+            if fanins:
+                if len(tokens) != 2:
+                    raise BlifError(f"malformed SOP row: {line!r}")
+                pattern, value = tokens
+                if len(pattern) != len(fanins):
+                    raise BlifError(
+                        f"row width {len(pattern)} != fanin count "
+                        f"{len(fanins)} for node {output_name!r}")
+            else:
+                if len(tokens) != 1:
+                    raise BlifError(f"malformed constant row: {line!r}")
+                pattern, value = "", tokens[0]
+            if value not in ("0", "1"):
+                raise BlifError(f"SOP row value must be 0 or 1: {line!r}")
+            rows.append((pattern, value))
+
+    for output_name, fanins, rows in pending:
+        cover = _rows_to_cover(output_name, len(fanins), rows)
+        network.add_node(output_name, fanins, cover)
+    for name in declared_outputs:
+        if not network.signal_exists(name):
+            raise BlifError(f"declared output {name!r} never defined")
+        network.add_output(name)
+    return network
+
+
+def _rows_to_cover(name: str, n: int, rows: list[tuple[str, str]]) -> Cover:
+    if not rows:
+        return Cover.zero(n)  # .names with no rows is constant 0
+    values = {value for _, value in rows}
+    if len(values) != 1:
+        raise BlifError(f"node {name!r} mixes on-set and off-set rows")
+    cover = Cover(n, [Cube.from_string(p) for p, _ in rows if p != ""])
+    if rows[0][0] == "":  # constant node
+        return Cover.one(n) if values == {"1"} else Cover.zero(n)
+    if values == {"1"}:
+        return cover
+    return cover.complement()  # off-set rows define the complement
+
+
+def _logical_lines(text: str):
+    """Strip comments, join continuation lines, drop blanks."""
+    joined: list[str] = []
+    carry = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not carry:
+            continue
+        if line.endswith("\\"):
+            carry += line[:-1] + " "
+            continue
+        full = (carry + line).strip()
+        carry = ""
+        if full:
+            joined.append(full)
+    if carry.strip():
+        joined.append(carry.strip())
+    return joined
+
+
+def read_blif(path: str | Path) -> Network:
+    return parse_blif(Path(path).read_text())
+
+
+def write_blif(network: Network, path: str | Path | None = None) -> str:
+    """Serialize to BLIF text; also writes ``path`` when given."""
+    out = io.StringIO()
+    out.write(f".model {network.name}\n")
+    out.write(".inputs " + " ".join(network.inputs) + "\n")
+    out.write(".outputs " + " ".join(network.outputs) + "\n")
+    for name in network.topological_order():
+        node = network.nodes[name]
+        out.write(".names " + " ".join(node.fanins + [name]) + "\n")
+        constant = node.constant_value()
+        if not node.fanins:
+            if constant:
+                out.write("1\n")
+            # constant 0 is an empty .names block
+        else:
+            for cube in node.cover.cubes:
+                out.write(cube.to_string() + " 1\n")
+    out.write(".end\n")
+    text = out.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

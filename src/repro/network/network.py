@@ -1,0 +1,281 @@
+"""The technology-independent multi-level Boolean network.
+
+This is the data structure every stage of the paper operates on: a DAG of
+named signals where primary inputs are sources, internal nodes carry local
+SOP covers over their fanins, and primary outputs name driver signals.
+It fills the role of ABC's network object in the original work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.cubes import Cover
+
+from .node import Node
+
+
+class NetworkError(ValueError):
+    """Structural problem in a network (cycles, missing signals, ...)."""
+
+
+class Network:
+    """A combinational Boolean network.
+
+    Signals are identified by name.  A name is either a primary input or
+    an internal node; primary outputs reference signals by name.  The
+    graph must be acyclic; topological orderings are recomputed on demand
+    and cached until the network is mutated.
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.nodes: dict[str, Node] = {}
+        self._topo_cache: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        if name in self.nodes or name in self.inputs:
+            raise NetworkError(f"signal {name!r} already defined")
+        self.inputs.append(name)
+        self._topo_cache = None
+        return name
+
+    def add_node(self, name: str, fanins: list[str], cover: Cover) -> str:
+        if name in self.nodes or name in self.inputs:
+            raise NetworkError(f"signal {name!r} already defined")
+        for fanin in fanins:
+            if fanin not in self.nodes and fanin not in self.inputs:
+                raise NetworkError(
+                    f"node {name!r}: fanin {fanin!r} not defined yet "
+                    "(add nodes in topological order)")
+        self.nodes[name] = Node(name, fanins, cover)
+        self._topo_cache = None
+        return name
+
+    def add_const(self, name: str, value: bool) -> str:
+        cover = Cover.one(0) if value else Cover.zero(0)
+        return self.add_node(name, [], cover)
+
+    def add_output(self, name: str) -> None:
+        if name not in self.nodes and name not in self.inputs:
+            raise NetworkError(f"output references unknown signal {name!r}")
+        self.outputs.append(name)
+
+    def replace_cover(self, name: str, cover: Cover) -> None:
+        """Replace a node's local function, keeping its fanin list."""
+        node = self.nodes[name]
+        if cover.n != len(node.fanins):
+            raise NetworkError(
+                f"replacement cover for {name!r} has wrong variable count")
+        node.cover = cover
+
+    def replace_node(self, name: str, fanins: list[str],
+                     cover: Cover) -> None:
+        """Replace a node's fanins and cover (must stay acyclic)."""
+        if name not in self.nodes:
+            raise NetworkError(f"no node named {name!r}")
+        for fanin in fanins:
+            if fanin not in self.nodes and fanin not in self.inputs:
+                raise NetworkError(f"fanin {fanin!r} not defined")
+        old = self.nodes[name]
+        self.nodes[name] = Node(name, fanins, cover)
+        self._topo_cache = None
+        try:
+            self.topological_order()
+        except NetworkError:
+            self.nodes[name] = old
+            self._topo_cache = None
+            raise
+
+    def remove_node(self, name: str) -> None:
+        if name in self.outputs:
+            raise NetworkError(f"cannot remove output driver {name!r}")
+        for other in self.nodes.values():
+            if other.name != name and name in other.fanins:
+                raise NetworkError(f"node {name!r} still has fanouts")
+        del self.nodes[name]
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_input(self, name: str) -> bool:
+        return name in self._input_set()
+
+    def _input_set(self) -> set[str]:
+        return set(self.inputs)
+
+    def signal_exists(self, name: str) -> bool:
+        return name in self.nodes or name in self.inputs
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def fanouts(self) -> dict[str, list[str]]:
+        """Map from each signal to the node names that read it."""
+        result: dict[str, list[str]] = {s: [] for s in self.inputs}
+        result.update({s: result.get(s, []) for s in self.nodes})
+        for node in self.nodes.values():
+            for fanin in node.fanins:
+                result[fanin].append(node.name)
+        return result
+
+    def topological_order(self) -> list[str]:
+        """Internal node names, every node after all its fanins."""
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        inputs = self._input_set()
+        pending: dict[str, int] = {}
+        fanout: dict[str, list[str]] = {}
+        ready: list[str] = []
+        for name, node in self.nodes.items():
+            internal_fanins = [f for f in node.fanins if f not in inputs]
+            pending[name] = len(internal_fanins)
+            for fanin in internal_fanins:
+                fanout.setdefault(fanin, []).append(name)
+            if not internal_fanins:
+                ready.append(name)
+        order: list[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for reader in fanout.get(name, ()):
+                pending[reader] -= 1
+                if pending[reader] == 0:
+                    ready.append(reader)
+        if len(order) != len(self.nodes):
+            stuck = sorted(n for n, count in pending.items() if count > 0)
+            raise NetworkError(
+                f"combinational cycle through {stuck[:5]}")
+        self._topo_cache = order
+        return list(order)
+
+    def reverse_topological_order(self) -> list[str]:
+        return list(reversed(self.topological_order()))
+
+    def transitive_fanin(self, roots: Iterable[str]) -> set[str]:
+        """All signals (nodes and PIs) feeding the given roots, inclusive."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in self.nodes:
+                stack.extend(self.nodes[name].fanins)
+        return seen
+
+    def level_map(self) -> dict[str, int]:
+        """Logic depth of each signal (PIs at level 0)."""
+        levels = {pi: 0 for pi in self.inputs}
+        for name in self.topological_order():
+            node = self.nodes[name]
+            levels[name] = 1 + max((levels[f] for f in node.fanins),
+                                   default=0)
+        return levels
+
+    def depth(self) -> int:
+        levels = self.level_map()
+        return max((levels[o] for o in self.outputs), default=0)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def total_literals(self) -> int:
+        return sum(node.cover.num_literals for node in self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # Evaluation (reference semantics; the fast path is repro.sim)
+    # ------------------------------------------------------------------
+    def evaluate(self, pi_values: dict[str, bool]) -> dict[str, bool]:
+        """Evaluate every signal for one input assignment."""
+        values: dict[str, bool] = {}
+        for pi in self.inputs:
+            values[pi] = bool(pi_values[pi])
+        for name in self.topological_order():
+            node = self.nodes[name]
+            assignment = 0
+            for i, fanin in enumerate(node.fanins):
+                if values[fanin]:
+                    assignment |= 1 << i
+            values[name] = node.cover.evaluate(assignment)
+        return values
+
+    def evaluate_outputs(self, pi_values: dict[str, bool]) -> dict[str, bool]:
+        values = self.evaluate(pi_values)
+        return {o: values[o] for o in self.outputs}
+
+    # ------------------------------------------------------------------
+    # Copies and renaming
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Network":
+        dup = Network(name or self.name)
+        dup.inputs = list(self.inputs)
+        dup.outputs = list(self.outputs)
+        dup.nodes = {n: node.copy() for n, node in self.nodes.items()}
+        return dup
+
+    def renamed(self, rename: Callable[[str], str],
+                rename_inputs: bool = True) -> "Network":
+        """A copy with every signal name passed through ``rename``."""
+        mapping = {}
+        for pi in self.inputs:
+            mapping[pi] = rename(pi) if rename_inputs else pi
+        for node_name in self.nodes:
+            mapping[node_name] = rename(node_name)
+        dup = Network(self.name)
+        dup.inputs = [mapping[pi] for pi in self.inputs]
+        dup.outputs = [mapping[o] for o in self.outputs]
+        for name in self.topological_order():
+            node = self.nodes[name]
+            dup.nodes[mapping[name]] = Node(
+                mapping[name], [mapping[f] for f in node.fanins],
+                node.cover.copy())
+        return dup
+
+    def __repr__(self) -> str:
+        return (f"Network({self.name!r}, {len(self.inputs)} PIs, "
+                f"{len(self.nodes)} nodes, {len(self.outputs)} POs)")
+
+
+def embed(dst: Network, src: Network, binding: dict[str, str],
+          prefix: str) -> dict[str, str]:
+    """Instantiate ``src`` inside ``dst``.
+
+    ``binding`` maps each primary input of ``src`` to an existing signal
+    of ``dst``.  Internal nodes are copied under ``prefix``.  Returns the
+    mapping from every ``src`` signal name to its ``dst`` name, so the
+    caller can wire up ``src``'s outputs.
+    """
+    mapping: dict[str, str] = {}
+    for pi in src.inputs:
+        if pi not in binding:
+            raise NetworkError(f"embed: unbound input {pi!r}")
+        if not dst.signal_exists(binding[pi]):
+            raise NetworkError(
+                f"embed: binding target {binding[pi]!r} missing in dst")
+        mapping[pi] = binding[pi]
+    for name in src.topological_order():
+        node = src.nodes[name]
+        new_name = prefix + name
+        counter = 0
+        while dst.signal_exists(new_name):
+            new_name = f"{prefix}{name}_{counter}"
+            counter += 1
+        dst.add_node(new_name, [mapping[f] for f in node.fanins],
+                     node.cover.copy())
+        mapping[name] = new_name
+    return mapping
+
+
+def iter_signals(network: Network) -> Iterator[str]:
+    """All signal names: PIs first, then nodes in topological order."""
+    yield from network.inputs
+    yield from network.topological_order()

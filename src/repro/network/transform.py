@@ -1,0 +1,296 @@
+"""Network transformations: cleanup, elimination, strashing, decomposition.
+
+These provide the technology-independent restructuring the paper gets
+from ABC: dead-logic sweeping, constant propagation, node elimination
+(collapse into fanouts), structural hashing, and decomposition into
+bounded-fanin nodes that technology mapping consumes.
+"""
+
+from __future__ import annotations
+
+from repro.bdd import BddManager, cover_from_bdd
+from repro.cubes import Cover, Cube
+
+from .network import Network
+
+
+def sweep(network: Network) -> int:
+    """Remove nodes that do not reach any primary output.
+
+    Returns the number of removed nodes.
+    """
+    live = network.transitive_fanin(network.outputs)
+    dead = [name for name in network.nodes if name not in live]
+    for name in dead:
+        del network.nodes[name]
+    if dead:
+        network._topo_cache = None
+    return len(dead)
+
+
+def propagate_constants(network: Network) -> int:
+    """Fold constant nodes into their fanouts.  Returns nodes folded."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for name in network.topological_order():
+            node = network.nodes[name]
+            value = node.constant_value()
+            if value is None or not node.fanins:
+                continue
+            # Rebuild as a fanin-free constant so fanouts can fold it.
+            network.nodes[name] = type(node)(
+                name, [], Cover.one(0) if value else Cover.zero(0))
+            network._topo_cache = None
+            changed = True
+        for name in list(network.topological_order()):
+            node = network.nodes[name]
+            const_fanins = [
+                f for f in node.fanins
+                if f in network.nodes and network.nodes[f].is_constant]
+            if not const_fanins:
+                continue
+            cover = node.cover
+            fanins = list(node.fanins)
+            for fanin in const_fanins:
+                value = network.nodes[fanin].constant_value()
+                index = fanins.index(fanin)
+                cover = _restrict_cover(cover, index, bool(value))
+                fanins.pop(index)
+            network.nodes[name] = type(node)(name, fanins, cover)
+            network._topo_cache = None
+            folded += 1
+            changed = True
+    return folded
+
+
+def _restrict_cover(cover: Cover, index: int, value: bool) -> Cover:
+    """Cofactor ``cover`` on variable ``index`` and drop the variable."""
+    restricted = cover.cofactor(index, 1 if value else 0)
+    cubes = []
+    for cube in restricted.cubes:
+        ones = _drop_bit(cube.ones, index)
+        zeros = _drop_bit(cube.zeros, index)
+        cubes.append(Cube(cover.n - 1, ones, zeros))
+    return Cover(cover.n - 1, cubes).sccc()
+
+
+def _drop_bit(mask: int, index: int) -> int:
+    low = mask & ((1 << index) - 1)
+    high = mask >> (index + 1)
+    return low | (high << index)
+
+
+def eliminate(network: Network, max_support: int = 10,
+              max_cubes: int = 32) -> int:
+    """Collapse single-fanout nodes into their readers.
+
+    A node is eliminated when it has exactly one fanout, is not a primary
+    output, and the merged cover stays within the given support / cube
+    budgets.  Returns the number of eliminated nodes.
+    """
+    eliminated = 0
+    changed = True
+    while changed:
+        changed = False
+        fanouts = network.fanouts()
+        outputs = set(network.outputs)
+        # One full pass per iteration; nodes whose neighbourhood was
+        # already rewritten this pass are deferred to the next pass so
+        # the cached fanout map stays valid.
+        dirty: set[str] = set()
+        for name in network.topological_order():
+            if name in outputs or name not in network.nodes \
+                    or name in dirty:
+                continue
+            readers = fanouts.get(name, [])
+            if len(readers) != 1 or readers[0] not in network.nodes \
+                    or readers[0] in dirty:
+                continue
+            reader = network.nodes[readers[0]]
+            merged = _merge_support(reader.fanins, name,
+                                    network.nodes[name].fanins)
+            if len(merged) > max_support:
+                continue
+            fanins, cover = _compose_cover(network, reader, name, merged)
+            if len(cover) > max_cubes:
+                continue
+            # Collapsing a fanin cannot create a cycle (all new edges
+            # run from strictly earlier signals), so the full
+            # replace_node acyclicity re-check is skipped.
+            network.nodes[reader.name] = type(reader)(
+                reader.name, fanins, cover)
+            del network.nodes[name]
+            network._topo_cache = None
+            dirty.add(reader.name)
+            dirty.update(fanins)
+            eliminated += 1
+            changed = True
+    return eliminated
+
+
+def _merge_support(reader_fanins: list[str], victim: str,
+                   victim_fanins: list[str]) -> list[str]:
+    merged = [f for f in reader_fanins if f != victim]
+    for fanin in victim_fanins:
+        if fanin not in merged:
+            merged.append(fanin)
+    return merged
+
+
+def _compose_cover(network: Network, reader, victim: str,
+                   merged: list[str]) -> tuple[list[str], Cover]:
+    """Reader's cover with ``victim`` replaced by its own function.
+
+    Returns the (possibly reduced) fanin list and the matching cover.
+    """
+    mgr = BddManager(len(merged))
+    position = {name: i for i, name in enumerate(merged)}
+    victim_node = network.nodes[victim]
+    victim_bdd = mgr.from_cover(
+        victim_node.cover, [position[f] for f in victim_node.fanins])
+    fanin_bdds = []
+    for fanin in reader.fanins:
+        if fanin == victim:
+            fanin_bdds.append(victim_bdd)
+        else:
+            fanin_bdds.append(mgr.var(position[fanin]))
+    # Evaluate the reader's cover over the fanin functions.
+    result = mgr.zero
+    for cube in reader.cover.cubes:
+        term = mgr.one
+        for i in range(cube.n):
+            lit = cube.literal(i)
+            if lit == "1":
+                term = mgr.and_(term, fanin_bdds[i])
+            elif lit == "0":
+                term = mgr.and_(term, mgr.not_(fanin_bdds[i]))
+        result = mgr.or_(result, term)
+    cover = cover_from_bdd(mgr, result)
+    support = cover.support
+    if support == (1 << len(merged)) - 1:
+        return list(merged), cover
+    # Re-extract over the reduced support for a tight fanin list.
+    keep = [i for i in range(len(merged)) if support >> i & 1]
+    squeezed = []
+    for cube in cover.cubes:
+        ones = zeros = 0
+        for j, i in enumerate(keep):
+            if cube.ones >> i & 1:
+                ones |= 1 << j
+            if cube.zeros >> i & 1:
+                zeros |= 1 << j
+        squeezed.append(Cube(len(keep), ones, zeros))
+    return [merged[i] for i in keep], Cover(len(keep), squeezed)
+
+
+def trim_unread_fanins(network: Network) -> int:
+    """Drop fanins that no longer appear in a node's cover.
+
+    Cube selection can remove every literal on a fanin; trimming the
+    fanin list afterwards lets ``sweep`` reclaim the now-dangling cone.
+    Returns the number of trimmed fanin references.
+    """
+    trimmed = 0
+    for name in list(network.topological_order()):
+        node = network.nodes[name]
+        support = node.cover.support
+        full = (1 << len(node.fanins)) - 1
+        if support == full:
+            continue
+        keep = [i for i in range(len(node.fanins)) if support >> i & 1]
+        cubes = []
+        for cube in node.cover.cubes:
+            ones = zeros = 0
+            for j, i in enumerate(keep):
+                if cube.ones >> i & 1:
+                    ones |= 1 << j
+                if cube.zeros >> i & 1:
+                    zeros |= 1 << j
+            cubes.append(Cube(len(keep), ones, zeros))
+        trimmed += len(node.fanins) - len(keep)
+        fanins = [node.fanins[i] for i in keep]
+        network.nodes[name] = type(node)(name, fanins,
+                                         Cover(len(keep), cubes))
+        network._topo_cache = None
+    return trimmed
+
+
+def strash(network: Network) -> int:
+    """Structural hashing: merge nodes with identical fanins and cover.
+
+    Returns the number of merged (removed) nodes.
+    """
+    merged = 0
+    outputs = set(network.outputs)
+    changed = True
+    while changed:
+        changed = False
+        seen: dict[tuple, str] = {}
+        replace: dict[str, str] = {}
+        for name in network.topological_order():
+            node = network.nodes[name]
+            key = (tuple(node.fanins),
+                   tuple(sorted((c.ones, c.zeros) for c in node.cover.cubes)))
+            if key in seen and name not in outputs:
+                # Output drivers keep their identity: primary-output
+                # names must survive optimization so circuits stay
+                # name-aligned for CED assembly.
+                replace[name] = seen[key]
+            elif key not in seen:
+                seen[key] = name
+        if replace:
+            changed = True
+            merged += len(replace)
+            for node in network.nodes.values():
+                node.fanins = [replace.get(f, f) for f in node.fanins]
+                _dedup_fanins(node)
+            network.outputs = [replace.get(o, o) for o in network.outputs]
+            for name in replace:
+                del network.nodes[name]
+            network._topo_cache = None
+    return merged
+
+
+def _dedup_fanins(node) -> None:
+    """Repair a node whose fanin list gained duplicates after merging.
+
+    Duplicate fanins are collapsed onto one variable: cubes whose literals
+    disagree on the duplicated signal vanish; agreeing literals merge.
+    """
+    if len(set(node.fanins)) == len(node.fanins):
+        return
+    unique: list[str] = []
+    slot: list[int] = []
+    for fanin in node.fanins:
+        if fanin not in unique:
+            unique.append(fanin)
+        slot.append(unique.index(fanin))
+    cubes = []
+    for cube in node.cover.cubes:
+        ones = zeros = 0
+        dead = False
+        for i in range(cube.n):
+            j = slot[i]
+            if cube.ones >> i & 1:
+                if zeros >> j & 1:
+                    dead = True
+                    break
+                ones |= 1 << j
+            elif cube.zeros >> i & 1:
+                if ones >> j & 1:
+                    dead = True
+                    break
+                zeros |= 1 << j
+        if not dead:
+            cubes.append(Cube(len(unique), ones, zeros))
+    node.fanins = unique
+    node.cover = Cover(len(unique), cubes).sccc()
+
+
+def cleanup(network: Network) -> None:
+    """Standard cleanup pipeline: constants, strash, sweep."""
+    propagate_constants(network)
+    strash(network)
+    sweep(network)

@@ -1,0 +1,10 @@
+"""Reliability analysis: error directions, observabilities (ref [14])."""
+
+from .analysis import (ReliabilityReport, analytic_directions,
+                       analyze_reliability, max_ced_coverage)
+from .observability import error_contributions, global_observabilities
+
+__all__ = [
+    "ReliabilityReport", "analytic_directions", "analyze_reliability",
+    "error_contributions", "global_observabilities", "max_ced_coverage",
+]

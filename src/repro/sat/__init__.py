@@ -1,0 +1,6 @@
+"""A CDCL SAT solver and network CNF encoding (the paper's SAT check)."""
+
+from .solver import SatSolver
+from .encode import NetworkEncoder
+
+__all__ = ["NetworkEncoder", "SatSolver"]

@@ -1,0 +1,117 @@
+"""Tseitin encoding of networks into CNF.
+
+Every signal becomes one SAT variable; a node's SOP becomes the
+standard cube/disjunction encoding (one auxiliary variable per
+multi-literal cube).  Two networks encoded into the same
+:class:`NetworkEncoder` share their primary-input variables, which is
+exactly the miter construction the implication check needs:
+
+    1-approximation (G => F) holds  iff  SAT(G & !F) is UNSAT.
+"""
+
+from __future__ import annotations
+
+from repro.network import Network
+
+from .solver import SatSolver
+
+
+class NetworkEncoder:
+    """Encodes one or more networks over shared PIs into one solver."""
+
+    def __init__(self, inputs: list[str]):
+        self.solver = SatSolver()
+        self.variables: dict[str, int] = {}
+        for pi in inputs:
+            self.variables[pi] = self.solver.new_var()
+        self._inputs = list(inputs)
+
+    def add_network(self, network: Network, prefix: str = "") -> None:
+        """Encode every node of ``network`` (signals ``prefix+name``)."""
+        for pi in network.inputs:
+            if pi not in self.variables:
+                raise ValueError(f"input {pi!r} not in shared PI space")
+        solver = self.solver
+        input_set = self._input_set()
+        for name in network.topological_order():
+            node = network.nodes[name]
+            out = solver.new_var()
+            self.variables[prefix + name] = out
+            fanin_vars = [self.variables[f] if f in input_set
+                          else self.variables[prefix + f]
+                          for f in node.fanins]
+            constant = node.constant_value()
+            if constant is not None and not node.fanins:
+                solver.add_clause([out] if constant else [-out])
+                continue
+            cube_vars: list[int] = []
+            for cube in node.cover.cubes:
+                lits = []
+                for i in range(cube.n):
+                    literal = cube.literal(i)
+                    if literal == "1":
+                        lits.append(fanin_vars[i])
+                    elif literal == "0":
+                        lits.append(-fanin_vars[i])
+                if not lits:
+                    # Tautological cube: the node is constant 1.
+                    solver.add_clause([out])
+                    cube_vars = []
+                    break
+                if len(lits) == 1:
+                    cube_vars.append(lits[0])
+                    continue
+                aux = solver.new_var()
+                # aux <-> AND(lits)
+                for lit in lits:
+                    solver.add_clause([-aux, lit])
+                solver.add_clause([aux] + [-lit for lit in lits])
+                cube_vars.append(aux)
+            else:
+                # out <-> OR(cube_vars)
+                if not cube_vars:
+                    solver.add_clause([-out])  # empty SOP: constant 0
+                    continue
+                for cv in cube_vars:
+                    solver.add_clause([out, -cv])
+                solver.add_clause([-out] + cube_vars)
+
+    def _input_set(self) -> set[str]:
+        return set(self._inputs)
+
+    def var(self, signal: str) -> int:
+        return self.variables[signal]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def implication_holds(self, antecedent: str, consequent: str,
+                          max_conflicts: int | None = None
+                          ) -> bool | None:
+        """antecedent => consequent, checked by SAT.
+
+        Returns True/False, or None when the conflict budget runs out.
+        """
+        result = self.solver.solve(
+            assumptions=[self.var(antecedent), -self.var(consequent)],
+            max_conflicts=max_conflicts)
+        if result is None:
+            return None
+        return not result
+
+    def equivalent(self, a: str, b: str,
+                   max_conflicts: int | None = None) -> bool | None:
+        forward = self.implication_holds(a, b, max_conflicts)
+        if forward is None or forward is False:
+            return forward
+        return self.implication_holds(b, a, max_conflicts)
+
+    def counterexample(self, antecedent: str,
+                       consequent: str) -> dict[str, bool] | None:
+        """An input assignment violating the implication, or None."""
+        result = self.solver.solve(
+            assumptions=[self.var(antecedent), -self.var(consequent)])
+        if not result:
+            return None
+        return {pi: bool(self.solver.value(self.variables[pi]))
+                for pi in self._inputs}

@@ -1,0 +1,312 @@
+"""A CDCL SAT solver.
+
+The paper notes the output-correctness check of the iterative algorithm
+"can be done very efficiently using SAT algorithms"; this module is
+that backend.  It is a compact conflict-driven clause-learning solver:
+
+* two-watched-literal propagation;
+* first-UIP conflict analysis with clause learning;
+* VSIDS-style activity decay and phase saving;
+* geometric restarts;
+* incremental solving under assumptions (no clause copying between
+  queries).
+
+Variables are positive integers ``1..n``; literals are signed ints
+(``-v`` is the negation of ``v``), CNF is a list of literal lists.
+"""
+
+from __future__ import annotations
+
+
+class SatSolver:
+    """Conflict-driven SAT solver over integer literals."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._assign: list[int] = [0]          # var -> -1/0/+1 (0 unset)
+        self._level: list[int] = [0]
+        self._reason: list[int | None] = [None]  # clause index
+        self._phase: list[int] = [0]           # saved phase per var
+        self._activity: list[float] = [0.0]
+        self._var_inc = 1.0
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._queue_head = 0
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._unsat = False
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(-1)
+        self._activity.append(0.0)
+        return self.num_vars
+
+    def add_clause(self, literals: list[int]) -> bool:
+        """Add a clause; returns False if it makes the formula UNSAT.
+
+        Must be called before solving or between solve calls at
+        decision level 0.
+        """
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in literals:
+            var = abs(lit)
+            if var == 0 or var > self.num_vars:
+                raise ValueError(f"unknown variable in literal {lit}")
+            if -lit in seen:
+                return True  # tautological clause: ignore
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == 1 and self._level[var] == 0:
+                return True  # already satisfied at top level
+            if value == -1 and self._level[var] == 0:
+                continue     # falsified at top level: drop literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return False
+        if len(clause) == 1:
+            if self._enqueue(clause[0], None) and \
+                    self._propagate() is None:
+                return True
+            self._unsat = True
+            return False
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+        return True
+
+    def _watch(self, lit: int, index: int) -> None:
+        self._watches.setdefault(-lit, []).append(index)
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: int | None) -> bool:
+        if self._value(lit) == -1:
+            return False
+        if self._value(lit) == 1:
+            return True
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.propagations += 1
+            watch_list = self._watches.get(lit, [])
+            kept: list[int] = []
+            i = 0
+            while i < len(watch_list):
+                index = watch_list[i]
+                i += 1
+                clause = self._clauses[index]
+                # Normalize: watched literals are clause[0], clause[1].
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    kept.append(index)
+                    continue
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != -1:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watch(clause[1], index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(index)
+                if not self._enqueue(clause[0], index):
+                    kept.extend(watch_list[i:])
+                    self._watches[lit] = kept
+                    return clause
+            self._watches[lit] = kept
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        learnt: list[int] = [0]  # slot 0 for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        reason_clause = conflict
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        while True:
+            for q in reason_clause:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            reason_index = self._reason[var]
+            reason_clause = self._clauses[reason_index]
+        back_level = 0
+        if len(learnt) > 1:
+            back_level = max(self._level[abs(q)] for q in learnt[1:])
+        return learnt, back_level
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _backtrack(self, level: int) -> None:
+        while len(self._trail_lim) > level:
+            mark = self._trail_lim.pop()
+            while len(self._trail) > mark:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._phase[var] = self._assign[var]
+                self._assign[var] = 0
+                self._reason[var] = None
+        self._queue_head = min(self._queue_head, len(self._trail))
+
+    def _decide(self) -> int | None:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == 0 and \
+                    self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        if best_var is None:
+            return None
+        return best_var if self._phase[best_var] >= 0 else -best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: list[int] = (),
+              max_conflicts: int | None = None) -> bool | None:
+        """Solve under assumptions.
+
+        Returns True (SAT), False (UNSAT under these assumptions), or
+        None when ``max_conflicts`` is exhausted (budget timeout).
+        """
+        if self._unsat:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        restart_limit = 128
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if max_conflicts is not None and \
+                        conflicts_here > max_conflicts:
+                    self._backtrack(0)
+                    return None
+                if len(self._trail_lim) <= len(assumptions):
+                    # Conflict within the assumption prefix: UNSAT.
+                    self._backtrack(0)
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                back_level = max(back_level, len(assumptions))
+                self._backtrack(back_level)
+                self._var_inc *= 1.05
+                if len(learnt) == 1:
+                    self._backtrack(0)
+                    if not self._enqueue(learnt[0], None) or \
+                            self._propagate() is not None:
+                        return False
+                    if not self._replay_assumptions(assumptions):
+                        return False
+                else:
+                    index = len(self._clauses)
+                    self._clauses.append(learnt)
+                    self._watch(learnt[0], index)
+                    self._watch(learnt[1], index)
+                    self._enqueue(learnt[0], index)
+                if conflicts_here % restart_limit == 0:
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+                    if not self._replay_assumptions(assumptions):
+                        return False
+                continue
+            if len(self._trail_lim) < len(assumptions):
+                lit = assumptions[len(self._trail_lim)]
+                if self._value(lit) == -1:
+                    self._backtrack(0)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                if not self._enqueue(lit, None):
+                    self._backtrack(0)
+                    return False
+                continue
+            decision = self._decide()
+            if decision is None:
+                return True  # complete assignment
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    def _replay_assumptions(self, assumptions: list[int]) -> bool:
+        for lit in assumptions:
+            if self._value(lit) == -1:
+                return False
+            if self._value(lit) == 0:
+                self._trail_lim.append(len(self._trail))
+                if not self._enqueue(lit, None):
+                    return False
+                if self._propagate() is not None:
+                    # Let the main loop analyze it.
+                    return True
+        return True
+
+    def model(self) -> dict[int, bool]:
+        """Satisfying assignment after a True result."""
+        return {var: self._assign[var] > 0
+                for var in range(1, self.num_vars + 1)
+                if self._assign[var] != 0}
+
+    def value(self, var: int) -> bool | None:
+        value = self._assign[var]
+        return None if value == 0 else value > 0

@@ -1,0 +1,18 @@
+"""Bit-parallel simulation, stuck-at faults, campaigns, and power."""
+
+from .simulator import (WORD_BITS, BitSimulator, exhaustive_inputs,
+                        popcount, signal_probabilities)
+from .faults import Fault, fault_list
+from .faultsim import FaultSimReport, OutputErrorStats, run_campaign
+from .power import power_overhead, switching_activity
+from .delayfaults import (TransitionFault, late_value,
+                          run_transition_fault, transition_fault_list)
+
+__all__ = [
+    "BitSimulator", "Fault", "FaultSimReport", "OutputErrorStats",
+    "WORD_BITS", "exhaustive_inputs", "fault_list", "popcount",
+    "power_overhead",
+    "run_campaign", "run_transition_fault", "signal_probabilities",
+    "switching_activity", "TransitionFault", "transition_fault_list",
+    "late_value",
+]

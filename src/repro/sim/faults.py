@@ -1,0 +1,52 @@
+"""Single stuck-at fault model.
+
+The paper's campaigns use "the single stuck-at fault model with all the
+gates in the circuit having the same probability of failure": a fault
+site is a gate output, stuck at 0 or 1, every site equally likely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network import Network
+from repro.synth.netlist import MappedNetlist
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault on a named signal."""
+
+    signal: str
+    stuck: int  # 0 or 1
+
+    def __post_init__(self):
+        if self.stuck not in (0, 1):
+            raise ValueError("stuck value must be 0 or 1")
+
+    def __str__(self) -> str:
+        return f"{self.signal}/sa{self.stuck}"
+
+
+def fault_list(circuit: Network | MappedNetlist,
+               include_inputs: bool = False,
+               signals: list[str] | None = None) -> list[Fault]:
+    """All single stuck-at faults at gate outputs (optionally also PIs).
+
+    ``signals`` restricts sites to a subset — used to confine injection
+    to the original circuit inside a combined CED netlist.
+    """
+    if signals is None:
+        if isinstance(circuit, MappedNetlist):
+            sites = list(circuit.gates)
+        else:
+            sites = list(circuit.topological_order())
+        if include_inputs:
+            sites = list(circuit.inputs) + sites
+    else:
+        sites = list(signals)
+    faults = []
+    for site in sites:
+        faults.append(Fault(site, 0))
+        faults.append(Fault(site, 1))
+    return faults

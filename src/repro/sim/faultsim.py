@@ -1,0 +1,99 @@
+"""Fault-simulation campaigns.
+
+Implements the paper's evaluation loop: simulate random input vectors
+against every single stuck-at fault and classify the resulting primary
+output errors by direction (0->1 vs 1->0).  Bit-parallel words make each
+(fault, word) simulation cover 64 runs of the paper's campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .faults import Fault, fault_list
+from .simulator import WORD_BITS, BitSimulator, popcount
+
+
+@dataclass
+class OutputErrorStats:
+    """Per-output error-direction counts across a campaign."""
+
+    zero_to_one: int = 0
+    one_to_zero: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.zero_to_one + self.one_to_zero
+
+    @property
+    def dominant_direction(self) -> str:
+        """'0->1' or '1->0', whichever occurred more often."""
+        return "0->1" if self.zero_to_one >= self.one_to_zero else "1->0"
+
+    @property
+    def skew(self) -> float:
+        """Fraction of errors in the dominant direction (0.5 .. 1.0)."""
+        if self.total == 0:
+            return 1.0
+        return max(self.zero_to_one, self.one_to_zero) / self.total
+
+
+@dataclass
+class FaultSimReport:
+    """Aggregate result of a fault-injection campaign."""
+
+    runs: int
+    error_runs: int
+    per_output: dict[str, OutputErrorStats] = field(default_factory=dict)
+    per_fault_errors: dict[Fault, int] = field(default_factory=dict)
+
+    @property
+    def error_rate(self) -> float:
+        return self.error_runs / self.runs if self.runs else 0.0
+
+
+def run_campaign(circuit, n_words: int = 8, seed: int = 2008,
+                 faults: list[Fault] | None = None,
+                 track_per_fault: bool = False) -> FaultSimReport:
+    """Fault-simulate ``circuit`` and tally output error directions.
+
+    Every fault is simulated against ``n_words * 64`` random vectors
+    (fresh vectors per fault, as in a random (vector, fault) campaign).
+    An *error run* is a (vector, fault) pair for which at least one
+    primary output differs from the golden value.
+    """
+    sim = BitSimulator(circuit)
+    if faults is None:
+        faults = fault_list(circuit)
+    rng = np.random.default_rng(seed)
+    report = FaultSimReport(runs=0, error_runs=0)
+    for po in sim.output_names:
+        report.per_output[po] = OutputErrorStats()
+
+    for fault in faults:
+        pi_words = sim.random_inputs(rng, n_words)
+        golden = sim.run(pi_words)
+        overlay = sim.run_fault(golden, fault.signal, fault.stuck)
+        golden_out = sim.outputs_of(golden)
+        faulty_out = sim.faulty_outputs(golden, overlay)
+        diff = golden_out ^ faulty_out
+        report.runs += n_words * WORD_BITS
+        if diff.any():
+            any_error = np.zeros(n_words, dtype=np.uint64)
+            for row in diff:
+                any_error |= row
+            n_errors = popcount(any_error)
+            report.error_runs += n_errors
+            if track_per_fault:
+                report.per_fault_errors[fault] = n_errors
+            for po, g_row, d_row in zip(sim.output_names, golden_out,
+                                        diff):
+                stats = report.per_output[po]
+                # golden 0, faulty 1 where diff & ~golden.
+                stats.zero_to_one += popcount(d_row & ~g_row)
+                stats.one_to_zero += popcount(d_row & g_row)
+        elif track_per_fault:
+            report.per_fault_errors[fault] = 0
+    return report

@@ -1,0 +1,300 @@
+"""Bit-parallel logic simulation.
+
+Simulates :class:`~repro.network.Network` or
+:class:`~repro.synth.netlist.MappedNetlist` circuits 64 input vectors at
+a time using numpy uint64 words.  This is the engine behind reliability
+analysis, CED-coverage campaigns, and switching-activity power
+estimation — the roles the authors' fault-injection framework played.
+
+Fault injection uses transitive-fanout overlays: a stuck-at value is
+forced on one signal and only its fanout cone is re-evaluated, the rest
+of the circuit aliasing the golden values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network import Network
+from repro.synth.netlist import MappedNetlist
+
+WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class BitSimulator:
+    """A compiled, index-based simulator for one circuit."""
+
+    def __init__(self, circuit: Network | MappedNetlist):
+        self.circuit = circuit
+        if isinstance(circuit, MappedNetlist):
+            inputs = circuit.inputs
+            order = circuit.topological_order()
+            local = {name: (circuit.gates[name].fanins,
+                            circuit.gates[name].cell.cover)
+                     for name in order}
+            self.output_names = list(circuit.outputs)
+            output_signals = [circuit.po_signals[po]
+                              for po in circuit.outputs]
+        elif isinstance(circuit, Network):
+            inputs = circuit.inputs
+            order = circuit.topological_order()
+            local = {name: (circuit.nodes[name].fanins,
+                            circuit.nodes[name].cover)
+                     for name in order}
+            self.output_names = list(circuit.outputs)
+            output_signals = list(circuit.outputs)
+        else:
+            raise TypeError(f"cannot simulate {type(circuit).__name__}")
+
+        self.signals: list[str] = list(inputs) + list(order)
+        self.index: dict[str, int] = {s: i for i, s in
+                                      enumerate(self.signals)}
+        self.num_inputs = len(inputs)
+        self.input_names = list(inputs)
+        self.output_indices = [self.index[s] for s in output_signals]
+
+        # Compile each step to (out_idx, [(pos_idx_tuple, neg_idx_tuple)]).
+        self.steps: list[tuple[int, list[tuple[tuple[int, ...],
+                                               tuple[int, ...]]]]] = []
+        for name in order:
+            fanins, cover = local[name]
+            fanin_idx = [self.index[f] for f in fanins]
+            cubes = []
+            for cube in cover.cubes:
+                pos = tuple(fanin_idx[i] for i in range(cube.n)
+                            if cube.ones >> i & 1)
+                neg = tuple(fanin_idx[i] for i in range(cube.n)
+                            if cube.zeros >> i & 1)
+                cubes.append((pos, neg))
+            self.steps.append((self.index[name], cubes))
+        self._step_of: dict[int, int] = {
+            out: i for i, (out, _) in enumerate(self.steps)}
+
+        # Fanout adjacency on indices, for fault cones.
+        self._readers: list[list[int]] = [[] for _ in self.signals]
+        self._step_fanins: list[tuple[int, ...]] = []
+        for out, cubes in self.steps:
+            seen: set[int] = set()
+            ordered: list[int] = []
+            for pos, neg in cubes:
+                for idx in pos + neg:
+                    if idx not in seen:
+                        seen.add(idx)
+                        ordered.append(idx)
+                        self._readers[idx].append(out)
+            self._step_fanins.append(tuple(ordered))
+        self._tfo_cache: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Input generation
+    # ------------------------------------------------------------------
+    def random_inputs(self, rng: np.random.Generator,
+                      n_words: int) -> np.ndarray:
+        """Uniform random input words, shape (num_inputs, n_words)."""
+        return rng.integers(0, 1 << 64, size=(self.num_inputs, n_words),
+                            dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Golden simulation
+    # ------------------------------------------------------------------
+    def run(self, pi_words: np.ndarray) -> np.ndarray:
+        """Simulate; returns values for all signals, shape (S, n_words)."""
+        if pi_words.shape[0] != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} input rows, "
+                f"got {pi_words.shape[0]}")
+        n_words = pi_words.shape[1]
+        values = np.zeros((len(self.signals), n_words), dtype=np.uint64)
+        values[:self.num_inputs] = pi_words
+        for out, cubes in self.steps:
+            values[out] = _eval_cubes(cubes, values, n_words)
+        return values
+
+    def outputs_of(self, values: np.ndarray) -> np.ndarray:
+        return values[self.output_indices]
+
+    # ------------------------------------------------------------------
+    # Faulty simulation
+    # ------------------------------------------------------------------
+    def fanout_cone(self, signal: str) -> list[int]:
+        """Topologically sorted step-output indices affected by a fault."""
+        site = self.index[signal]
+        cached = self._tfo_cache.get(site)
+        if cached is not None:
+            return cached
+        affected: set[int] = set()
+        stack = list(self._readers[site])
+        while stack:
+            idx = stack.pop()
+            if idx in affected:
+                continue
+            affected.add(idx)
+            stack.extend(self._readers[idx])
+        cone = sorted(affected, key=lambda idx: self._step_of[idx])
+        self._tfo_cache[site] = cone
+        return cone
+
+    def run_fault(self, golden: np.ndarray, signal: str,
+                  stuck: int) -> dict[int, np.ndarray]:
+        """Re-simulate with ``signal`` stuck at 0/1.
+
+        Returns an overlay mapping signal index to its faulty word array;
+        signals outside the fault cone keep their golden values.
+        """
+        n_words = golden.shape[1]
+        forced = np.full(n_words, _ALL_ONES if stuck else 0,
+                         dtype=np.uint64)
+        return self.run_forced(golden, signal, forced)
+
+    def run_forced(self, golden: np.ndarray, signal: str,
+                   forced: np.ndarray) -> dict[int, np.ndarray]:
+        """Re-simulate with ``signal`` forced to an arbitrary word value.
+
+        Generalizes stuck-at injection; used for toggle faults and for
+        transition (delay) faults where the forced value depends on the
+        previous vector.
+        """
+        site = self.index[signal]
+        n_words = golden.shape[1]
+        overlay: dict[int, np.ndarray] = {site: forced}
+        if np.array_equal(forced, golden[site]):
+            return overlay  # fault never excites: cone is unchanged
+        for idx in self.fanout_cone(signal):
+            step = self._step_of[idx]
+            if not any(f in overlay for f in self._step_fanins[step]):
+                continue  # no changed fanin: gate keeps its golden value
+            _, cubes = self.steps[step]
+            faulty = _eval_cubes_overlay(cubes, golden, overlay, n_words)
+            if not np.array_equal(faulty, golden[idx]):
+                overlay[idx] = faulty
+        return overlay
+
+    def run_toggle(self, golden: np.ndarray,
+                   signal: str) -> dict[int, np.ndarray]:
+        """Re-simulate with ``signal`` inverted on every vector.
+
+        Used for observability estimation: the fraction of vectors on
+        which some output changes is exactly the signal's global
+        observability.
+        """
+        site = self.index[signal]
+        overlay: dict[int, np.ndarray] = {site: ~golden[site]}
+        n_words = golden.shape[1]
+        for idx in self.fanout_cone(signal):
+            step = self._step_of[idx]
+            if not any(f in overlay for f in self._step_fanins[step]):
+                continue
+            _, cubes = self.steps[step]
+            flipped = _eval_cubes_overlay(cubes, golden, overlay, n_words)
+            if not np.array_equal(flipped, golden[idx]):
+                overlay[idx] = flipped
+        return overlay
+
+    def faulty_outputs(self, golden: np.ndarray,
+                       overlay: dict[int, np.ndarray]) -> np.ndarray:
+        rows = [overlay.get(idx, golden[idx])
+                for idx in self.output_indices]
+        return np.stack(rows) if rows else np.zeros((0, golden.shape[1]),
+                                                    dtype=np.uint64)
+
+    def value_of(self, golden: np.ndarray,
+                 overlay: dict[int, np.ndarray] | None,
+                 signal: str) -> np.ndarray:
+        idx = self.index[signal]
+        if overlay is not None and idx in overlay:
+            return overlay[idx]
+        return golden[idx]
+
+
+def _eval_cubes(cubes, values, n_words) -> np.ndarray:
+    acc = None
+    for pos, neg in cubes:
+        if pos:
+            term = values[pos[0]].copy()
+            for idx in pos[1:]:
+                term &= values[idx]
+        elif neg:
+            term = ~values[neg[0]]
+            neg = neg[1:]
+        else:
+            return np.full(n_words, _ALL_ONES, dtype=np.uint64)
+        for idx in neg:
+            term &= ~values[idx]
+        if acc is None:
+            acc = term
+        else:
+            acc |= term
+    if acc is None:
+        return np.zeros(n_words, dtype=np.uint64)
+    return acc
+
+
+def _eval_cubes_overlay(cubes, golden, overlay, n_words) -> np.ndarray:
+    acc = None
+    for pos, neg in cubes:
+        if pos:
+            first = overlay[pos[0]] if pos[0] in overlay \
+                else golden[pos[0]]
+            term = first.copy()
+            for idx in pos[1:]:
+                term &= overlay[idx] if idx in overlay else golden[idx]
+        elif neg:
+            first = overlay.get(neg[0], None)
+            term = ~(golden[neg[0]] if first is None else first)
+            neg = neg[1:]
+        else:
+            return np.full(n_words, _ALL_ONES, dtype=np.uint64)
+        for idx in neg:
+            term &= ~(overlay[idx] if idx in overlay else golden[idx])
+        if acc is None:
+            acc = term
+        else:
+            acc |= term
+    if acc is None:
+        return np.zeros(n_words, dtype=np.uint64)
+    return acc
+
+
+def exhaustive_inputs(num_inputs: int) -> np.ndarray:
+    """All 2^n input patterns as packed words, shape (n, ceil(2^n/64)).
+
+    Bit ``j`` of word ``w`` in row ``i`` carries input ``i`` of pattern
+    ``64*w + j``, so one :meth:`BitSimulator.run` call simulates the
+    whole truth table.  Practical up to ~20 inputs.
+    """
+    if num_inputs < 0 or num_inputs > 24:
+        raise ValueError("exhaustive simulation supports 0..24 inputs")
+    n_patterns = 1 << num_inputs
+    n_words = max(1, (n_patterns + WORD_BITS - 1) // WORD_BITS)
+    rows = np.zeros((num_inputs, n_words), dtype=np.uint64)
+    # Inside a word, input i < 6 alternates in blocks of 2^i bits —
+    # a constant mask; inputs i >= 6 are constant per word, following
+    # bit (i - 6) of the word index.
+    intra_masks = [0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC,
+                   0xF0F0F0F0F0F0F0F0, 0xFF00FF00FF00FF00,
+                   0xFFFF0000FFFF0000, 0xFFFFFFFF00000000]
+    word_index = np.arange(n_words, dtype=np.uint64)
+    for i in range(num_inputs):
+        if i < 6:
+            rows[i, :] = np.uint64(intra_masks[i])
+        else:
+            on = (word_index >> np.uint64(i - 6)) & np.uint64(1)
+            rows[i] = np.where(on.astype(bool), _ALL_ONES, np.uint64(0))
+    return rows
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits in a uint64 array."""
+    return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+def signal_probabilities(circuit, n_words: int = 32,
+                         seed: int = 2008) -> dict[str, float]:
+    """Monte-Carlo estimate of P(signal = 1) for every signal."""
+    sim = BitSimulator(circuit)
+    rng = np.random.default_rng(seed)
+    values = sim.run(sim.random_inputs(rng, n_words))
+    total = n_words * WORD_BITS
+    return {name: popcount(values[sim.index[name]]) / total
+            for name in sim.signals}

@@ -1,0 +1,22 @@
+"""Technology-independent synthesis and technology mapping."""
+
+from .library import (Gate, GateLibrary, LIBRARIES, LIB_GENERIC,
+                      LIB_LOWPOWER, LIB_NAND_NOR)
+from .netlist import MappedGate, MappedNetlist
+from .factor import (AndExpr, ConstExpr, Expr, Lit, OrExpr, evaluate_expr,
+                     factor, literal_count)
+from .mapping import (Emitter, MappingOptions, peephole_optimize,
+                      technology_map)
+from .scripts import (QUICK_SCRIPT, SCRIPT_BALANCED, SCRIPT_CHAIN,
+                      SCRIPT_ELIMINATE, SCRIPT_LOWPOWER, SCRIPT_NAND,
+                      SynthesisScript, TABLE3_SCRIPTS, quick_map)
+
+__all__ = [
+    "AndExpr", "ConstExpr", "Emitter", "Expr", "Gate", "GateLibrary",
+    "LIBRARIES", "LIB_GENERIC", "LIB_LOWPOWER", "LIB_NAND_NOR", "Lit",
+    "MappedGate", "MappedNetlist", "MappingOptions", "OrExpr",
+    "QUICK_SCRIPT", "SCRIPT_BALANCED", "SCRIPT_CHAIN", "SCRIPT_ELIMINATE",
+    "SCRIPT_LOWPOWER", "SCRIPT_NAND", "SynthesisScript", "TABLE3_SCRIPTS",
+    "evaluate_expr", "factor", "literal_count", "peephole_optimize",
+    "quick_map", "technology_map",
+]

@@ -1,0 +1,172 @@
+"""Algebraic factoring of SOP covers into expression trees.
+
+Technology mapping decomposes each network node into primitive gates; to
+get competitive gate counts the node SOP is first *factored* — rewritten
+as a nested and/or expression with shared literals — using the classic
+quick-factor recursion (divide by the most frequent literal).
+
+Expression trees are tiny immutable structures: ``Lit`` leaves reference
+the node's fanin index and phase; ``AndExpr`` / ``OrExpr`` are n-ary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cubes import Cover, Cube
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A literal on fanin ``index``; ``positive`` selects the phase."""
+    index: int
+    positive: bool
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    terms: tuple
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    terms: tuple
+
+
+@dataclass(frozen=True)
+class ConstExpr:
+    value: bool
+
+
+Expr = Lit | AndExpr | OrExpr | ConstExpr
+
+
+def factor(cover: Cover) -> Expr:
+    """Factor an SOP cover into an expression tree.
+
+    The recursion picks the literal occurring in the most cubes, divides
+    the cover into quotient and remainder, and factors both:
+    ``F = lit * factor(Q) + factor(R)``.
+    """
+    if cover.is_zero():
+        return ConstExpr(False)
+    if any(c.num_literals == 0 for c in cover.cubes):
+        return ConstExpr(True)
+    return _factor(cover.cubes, cover.n)
+
+
+def _factor(cubes: list[Cube], n: int) -> Expr:
+    if len(cubes) == 1:
+        return _cube_expr(cubes[0])
+    best = _most_frequent_literal(cubes)
+    if best is None:
+        # Every literal occurs once: plain OR of cube ANDs.
+        return _or(tuple(_cube_expr(c) for c in cubes))
+    var, positive = best
+    bit = 1 << var
+    quotient: list[Cube] = []
+    remainder: list[Cube] = []
+    for cube in cubes:
+        mask = cube.ones if positive else cube.zeros
+        if mask & bit:
+            quotient.append(cube.without_literal(var))
+        else:
+            remainder.append(cube)
+    lit = Lit(var, positive)
+    q_expr = _factor(quotient, n) if quotient else ConstExpr(False)
+    factored = _and((lit, q_expr))
+    if not remainder:
+        return factored
+    return _or((factored, _factor(remainder, n)))
+
+
+def _cube_expr(cube: Cube) -> Expr:
+    lits = []
+    for var in range(cube.n):
+        value = cube.literal(var)
+        if value == "1":
+            lits.append(Lit(var, True))
+        elif value == "0":
+            lits.append(Lit(var, False))
+    if not lits:
+        return ConstExpr(True)
+    if len(lits) == 1:
+        return lits[0]
+    return AndExpr(tuple(lits))
+
+
+def _most_frequent_literal(cubes: list[Cube]) -> tuple[int, bool] | None:
+    counts: dict[tuple[int, bool], int] = {}
+    for cube in cubes:
+        for var in range(cube.n):
+            value = cube.literal(var)
+            if value == "1":
+                key = (var, True)
+            elif value == "0":
+                key = (var, False)
+            else:
+                continue
+            counts[key] = counts.get(key, 0) + 1
+    if not counts:
+        return None
+    key, count = max(counts.items(), key=lambda item: item[1])
+    if count < 2:
+        return None
+    return key
+
+
+def _and(terms: tuple) -> Expr:
+    flat: list[Expr] = []
+    for term in terms:
+        if isinstance(term, ConstExpr):
+            if not term.value:
+                return ConstExpr(False)
+            continue
+        if isinstance(term, AndExpr):
+            flat.extend(term.terms)
+        else:
+            flat.append(term)
+    if not flat:
+        return ConstExpr(True)
+    if len(flat) == 1:
+        return flat[0]
+    return AndExpr(tuple(flat))
+
+
+def _or(terms: tuple) -> Expr:
+    flat: list[Expr] = []
+    for term in terms:
+        if isinstance(term, ConstExpr):
+            if term.value:
+                return ConstExpr(True)
+            continue
+        if isinstance(term, OrExpr):
+            flat.extend(term.terms)
+        else:
+            flat.append(term)
+    if not flat:
+        return ConstExpr(False)
+    if len(flat) == 1:
+        return flat[0]
+    return OrExpr(tuple(flat))
+
+
+def evaluate_expr(expr: Expr, assignment: int) -> bool:
+    """Reference evaluation of an expression tree (tests, checks)."""
+    if isinstance(expr, ConstExpr):
+        return expr.value
+    if isinstance(expr, Lit):
+        bit = bool(assignment >> expr.index & 1)
+        return bit if expr.positive else not bit
+    if isinstance(expr, AndExpr):
+        return all(evaluate_expr(t, assignment) for t in expr.terms)
+    return any(evaluate_expr(t, assignment) for t in expr.terms)
+
+
+def literal_count(expr: Expr) -> int:
+    """Number of literal leaves — the classic factored-form cost."""
+    if isinstance(expr, Lit):
+        return 1
+    if isinstance(expr, ConstExpr):
+        return 0
+    return sum(literal_count(t) for t in expr.terms)

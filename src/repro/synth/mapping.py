@@ -1,0 +1,327 @@
+"""Technology mapping: networks to gate-level netlists.
+
+The mapper factors each node's SOP (:mod:`repro.synth.factor`), then
+emits library cells for the factored tree.  Emission is library-aware:
+AND/OR trees use the widest available cells (optionally), fall back to
+NAND/NOR plus inverters in inverting-only libraries, share inverters per
+signal, and cancel double inversions at creation time.  A small peephole
+pass then merges gate+INV pairs into inverting cells.
+
+The :class:`Emitter` is reused by the CED assembly code to build
+checkers and baseline circuits directly at gate level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cubes import Cover
+from repro.network import Network
+
+from .factor import AndExpr, ConstExpr, Expr, Lit, factor
+from .library import GateLibrary
+from .netlist import MappedNetlist
+
+
+@dataclass
+class MappingOptions:
+    """Knobs that differentiate the Table 3 synthesis scripts."""
+
+    balanced: bool = True      # balanced trees vs. chains
+    prefer_wide: bool = False  # use 3/4-input cells when available
+    use_xor: bool = True       # map 2-input XOR/XNOR nodes to XOR cells
+    peephole: bool = True      # merge gate+INV pairs after emission
+
+
+class Emitter:
+    """Library-aware emission of AND/OR/INV/XOR logic into a netlist."""
+
+    def __init__(self, netlist: MappedNetlist,
+                 options: MappingOptions | None = None):
+        self.netlist = netlist
+        self.options = options or MappingOptions()
+        self._inv_cache: dict[str, str] = {}
+
+    # -- leaf emission --------------------------------------------------
+    def emit_inv(self, signal: str, stem: str = "inv") -> str:
+        cached = self._inv_cache.get(signal)
+        if cached is not None:
+            return cached
+        gate = self.netlist.gates.get(signal)
+        if gate is not None and gate.cell.name == "INV":
+            # Double inversion cancels at creation time.
+            result = gate.fanins[0]
+        else:
+            name = self.netlist.fresh_name(f"{stem}_{signal}")
+            self.netlist.add_gate(name, "INV", [signal])
+            result = name
+        self._inv_cache[signal] = result
+        return result
+
+    def emit_const(self, value: bool, stem: str = "tie") -> str:
+        cell = "TIE1" if value else "TIE0"
+        name = self.netlist.fresh_name(f"{stem}{int(value)}")
+        self.netlist.add_gate(name, cell, [])
+        return name
+
+    def emit_buf(self, signal: str, name: str) -> str:
+        if "BUF" in self.netlist.library:
+            self.netlist.add_gate(name, "BUF", [signal])
+        else:
+            # No buffer cell: two inverters, output on the named signal.
+            inner = self.netlist.fresh_name(name + "_b")
+            self.netlist.add_gate(inner, "INV", [signal])
+            self.netlist.add_gate(name, "INV", [inner])
+        return name
+
+    # -- tree emission ---------------------------------------------------
+    def _chunk_width(self, op: str) -> int:
+        lib = self.netlist.library
+        widths = [2]
+        limit = 4 if self.options.prefer_wide else 2
+        for n in (3, 4):
+            if n <= limit and (f"{op}{n}" in lib
+                               or f"{_inverted(op)}{n}" in lib):
+                widths.append(n)
+        return max(widths)
+
+    def _emit_op(self, op: str, fanins: list[str], stem: str,
+                 out_name: str | None = None) -> str:
+        """Emit one n-ary gate, using the inverting form if necessary."""
+        lib = self.netlist.library
+        n = len(fanins)
+        cell = f"{op}{n}"
+        if cell in lib:
+            name = out_name or self.netlist.fresh_name(stem)
+            self.netlist.add_gate(name, cell, fanins)
+            return name
+        inverted = f"{_inverted(op)}{n}"
+        if inverted in lib:
+            inner = self.netlist.fresh_name(stem + "_n")
+            self.netlist.add_gate(inner, inverted, fanins)
+            if out_name is not None:
+                self.netlist.add_gate(out_name, "INV", [inner])
+                return out_name
+            return self.emit_inv(inner, stem)
+        raise KeyError(f"library {lib.name!r} offers neither {cell} "
+                       f"nor {inverted}")
+
+    def emit_tree(self, op: str, fanins: list[str], stem: str,
+                  out_name: str | None = None) -> str:
+        """Reduce ``fanins`` with ``op`` ('AND' or 'OR') gates."""
+        if not fanins:
+            raise ValueError("cannot emit an empty tree")
+        if len(fanins) == 1:
+            if out_name is not None:
+                return self.emit_buf(fanins[0], out_name)
+            return fanins[0]
+        width = self._chunk_width(op)
+        signals = list(fanins)
+        while len(signals) > width:
+            if self.options.balanced:
+                packed = []
+                for i in range(0, len(signals), width):
+                    chunk = signals[i:i + width]
+                    if len(chunk) == 1:
+                        packed.append(chunk[0])
+                    else:
+                        packed.append(self._emit_op(op, chunk, stem))
+                signals = packed
+            else:
+                first = signals[:width]
+                rest = signals[width:]
+                signals = [self._emit_op(op, first, stem)] + rest
+        return self._emit_op(op, signals, stem, out_name)
+
+    def emit_and(self, fanins: list[str], stem: str = "and",
+                 out_name: str | None = None) -> str:
+        return self.emit_tree("AND", fanins, stem, out_name)
+
+    def emit_or(self, fanins: list[str], stem: str = "or",
+                out_name: str | None = None) -> str:
+        return self.emit_tree("OR", fanins, stem, out_name)
+
+    def emit_xor(self, a: str, b: str, stem: str = "xor",
+                 out_name: str | None = None) -> str:
+        if "XOR2" in self.netlist.library:
+            name = out_name or self.netlist.fresh_name(stem)
+            self.netlist.add_gate(name, "XOR2", [a, b])
+            return name
+        na, nb = self.emit_inv(a, stem), self.emit_inv(b, stem)
+        t1 = self.emit_and([a, nb], stem + "_p")
+        t2 = self.emit_and([na, b], stem + "_q")
+        return self.emit_or([t1, t2], stem, out_name)
+
+    def emit_xnor(self, a: str, b: str, stem: str = "xnor",
+                  out_name: str | None = None) -> str:
+        if "XNOR2" in self.netlist.library:
+            name = out_name or self.netlist.fresh_name(stem)
+            self.netlist.add_gate(name, "XNOR2", [a, b])
+            return name
+        inner = self.emit_xor(a, b, stem + "_x")
+        if out_name is not None:
+            self.netlist.add_gate(out_name, "INV", [inner])
+            return out_name
+        return self.emit_inv(inner, stem)
+
+    def emit_nand(self, fanins: list[str], stem: str = "nand",
+                  out_name: str | None = None) -> str:
+        lib = self.netlist.library
+        cell = f"NAND{len(fanins)}"
+        if cell in lib:
+            name = out_name or self.netlist.fresh_name(stem)
+            self.netlist.add_gate(name, cell, fanins)
+            return name
+        inner = self.emit_and(fanins, stem + "_a")
+        if out_name is not None:
+            self.netlist.add_gate(out_name, "INV", [inner])
+            return out_name
+        return self.emit_inv(inner, stem)
+
+    def emit_nor(self, fanins: list[str], stem: str = "nor",
+                 out_name: str | None = None) -> str:
+        lib = self.netlist.library
+        cell = f"NOR{len(fanins)}"
+        if cell in lib:
+            name = out_name or self.netlist.fresh_name(stem)
+            self.netlist.add_gate(name, cell, fanins)
+            return name
+        inner = self.emit_or(fanins, stem + "_o")
+        if out_name is not None:
+            self.netlist.add_gate(out_name, "INV", [inner])
+            return out_name
+        return self.emit_inv(inner, stem)
+
+    # -- expression emission ----------------------------------------------
+    def emit_expr(self, expr: Expr, fanin_signals: list[str],
+                  stem: str, out_name: str | None = None) -> str:
+        if isinstance(expr, ConstExpr):
+            signal = self.emit_const(expr.value, stem)
+            if out_name is not None:
+                return self.emit_buf(signal, out_name)
+            return signal
+        if isinstance(expr, Lit):
+            signal = fanin_signals[expr.index]
+            if not expr.positive:
+                signal = self.emit_inv(signal, stem)
+            if out_name is not None:
+                return self.emit_buf(signal, out_name)
+            return signal
+        terms = [self._emit_term(t, fanin_signals, stem) for t in expr.terms]
+        op = "AND" if isinstance(expr, AndExpr) else "OR"
+        return self.emit_tree(op, terms, stem, out_name)
+
+    def _emit_term(self, expr: Expr, fanin_signals: list[str],
+                   stem: str) -> str:
+        if isinstance(expr, Lit):
+            signal = fanin_signals[expr.index]
+            return self.emit_inv(signal, stem) if not expr.positive \
+                else signal
+        if isinstance(expr, ConstExpr):
+            return self.emit_const(expr.value, stem)
+        terms = [self._emit_term(t, fanin_signals, stem) for t in expr.terms]
+        op = "AND" if isinstance(expr, AndExpr) else "OR"
+        return self.emit_tree(op, terms, stem)
+
+
+def _inverted(op: str) -> str:
+    return {"AND": "NAND", "OR": "NOR"}[op]
+
+
+def _as_xor(cover: Cover) -> str | None:
+    """Classify a 2-input cover as 'xor' / 'xnor', else None."""
+    if cover.n != 2:
+        return None
+    table = tuple(cover.evaluate(m) for m in range(4))
+    if table == (False, True, True, False):
+        return "xor"
+    if table == (True, False, False, True):
+        return "xnor"
+    return None
+
+
+def technology_map(network: Network, library: GateLibrary,
+                   options: MappingOptions | None = None) -> MappedNetlist:
+    """Map a technology-independent network onto a gate library.
+
+    Node output signals keep their network names; intermediate gates get
+    derived names.  Primary outputs are registered under their logical
+    names.
+    """
+    options = options or MappingOptions()
+    netlist = MappedNetlist(network.name, library)
+    for pi in network.inputs:
+        netlist.add_input(pi)
+    emitter = Emitter(netlist, options)
+    signal_of: dict[str, str] = {pi: pi for pi in network.inputs}
+
+    for name in network.topological_order():
+        node = network.nodes[name]
+        fanin_signals = [signal_of[f] for f in node.fanins]
+        out_name = netlist.fresh_name(name)
+        constant = node.constant_value()
+        if constant is not None:
+            signal_of[name] = emitter.emit_const(constant, out_name)
+            continue
+        if options.use_xor:
+            kind = _as_xor(node.cover)
+            if kind == "xor":
+                signal_of[name] = emitter.emit_xor(
+                    fanin_signals[0], fanin_signals[1],
+                    stem=out_name + "_t", out_name=out_name)
+                continue
+            if kind == "xnor":
+                signal_of[name] = emitter.emit_xnor(
+                    fanin_signals[0], fanin_signals[1],
+                    stem=out_name + "_t", out_name=out_name)
+                continue
+        expr = factor(node.cover)
+        signal_of[name] = emitter.emit_expr(
+            expr, fanin_signals, stem=out_name + "_t", out_name=out_name)
+
+    for po in network.outputs:
+        netlist.set_output(po, signal_of[po])
+    if options.peephole:
+        peephole_optimize(netlist)
+    netlist.sweep()
+    return netlist
+
+
+def peephole_optimize(netlist: MappedNetlist) -> int:
+    """Merge gate+INV pairs into inverting cells; drop dead gates.
+
+    Returns the number of rewrites performed.
+    """
+    rewrites = 0
+    merge_map = {"AND": "NAND", "OR": "NOR", "NAND": "AND", "NOR": "OR"}
+    changed = True
+    while changed:
+        changed = False
+        fanouts = netlist.fanouts()
+        protected = set(netlist.output_signals())
+        for name in list(netlist.gates):
+            gate = netlist.gates.get(name)
+            if gate is None or gate.cell.name != "INV":
+                continue
+            source = gate.fanins[0]
+            src_gate = netlist.gates.get(source)
+            if src_gate is None:
+                continue
+            base = src_gate.cell.name.rstrip("0123456789")
+            width = src_gate.cell.name[len(base):]
+            target = merge_map.get(base)
+            if target is None or f"{target}{width}" not in netlist.library:
+                continue
+            if len(fanouts.get(source, ())) != 1 or source in protected:
+                continue
+            # Replace INV(g(x)) by the inverting/non-inverting dual.
+            netlist.gates[name] = type(gate)(
+                name, netlist.library.get(f"{target}{width}"),
+                list(src_gate.fanins))
+            del netlist.gates[source]
+            netlist._topo_cache = None
+            rewrites += 1
+            changed = True
+            break
+    netlist.sweep()
+    return rewrites

@@ -1,0 +1,77 @@
+"""Named synthesis scripts — distinct optimize-and-map flows.
+
+Table 3 of the paper shows CED coverage across five different
+technology-mapped implementations of each circuit, produced with
+different ABC optimization scripts and libraries.  These five flows play
+that role here: each combines a network-level optimization recipe, a
+mapping style, and a gate library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.network import Network, cleanup, eliminate
+
+from .library import (GateLibrary, LIB_GENERIC, LIB_LOWPOWER,
+                      LIB_NAND_NOR)
+from .mapping import MappingOptions, technology_map
+from .netlist import MappedNetlist
+
+
+@dataclass(frozen=True)
+class SynthesisScript:
+    """A named synthesis recipe: network transforms + mapping style."""
+
+    name: str
+    library: GateLibrary
+    options: MappingOptions
+    pre_transform: Callable[[Network], None] | None = None
+
+    def run(self, network: Network) -> MappedNetlist:
+        """Apply the script to a copy of ``network`` and map it."""
+        work = network.copy()
+        cleanup(work)
+        if self.pre_transform is not None:
+            self.pre_transform(work)
+        return technology_map(work, self.library, self.options)
+
+
+def _eliminate_small(network: Network) -> None:
+    eliminate(network, max_support=6, max_cubes=12)
+    cleanup(network)
+
+
+SCRIPT_BALANCED = SynthesisScript(
+    "balanced_generic", LIB_GENERIC,
+    MappingOptions(balanced=True, prefer_wide=False, use_xor=True))
+
+SCRIPT_CHAIN = SynthesisScript(
+    "chain_generic", LIB_GENERIC,
+    MappingOptions(balanced=False, prefer_wide=False, use_xor=True))
+
+SCRIPT_NAND = SynthesisScript(
+    "balanced_nand", LIB_NAND_NOR,
+    MappingOptions(balanced=True, prefer_wide=False, use_xor=False))
+
+SCRIPT_ELIMINATE = SynthesisScript(
+    "eliminate_generic", LIB_GENERIC,
+    MappingOptions(balanced=True, prefer_wide=True, use_xor=True),
+    pre_transform=_eliminate_small)
+
+SCRIPT_LOWPOWER = SynthesisScript(
+    "wide_lowpower", LIB_LOWPOWER,
+    MappingOptions(balanced=True, prefer_wide=True, use_xor=False))
+
+TABLE3_SCRIPTS = [SCRIPT_BALANCED, SCRIPT_CHAIN, SCRIPT_NAND,
+                  SCRIPT_ELIMINATE, SCRIPT_LOWPOWER]
+
+# The flow used for "quick synthesis and mapping" before reliability
+# analysis (paper Sec 3): cheap, deterministic, generic library.
+QUICK_SCRIPT = SCRIPT_BALANCED
+
+
+def quick_map(network: Network) -> MappedNetlist:
+    """Quick synthesis pass used ahead of reliability analysis."""
+    return QUICK_SCRIPT.run(network)

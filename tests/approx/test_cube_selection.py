@@ -1,0 +1,163 @@
+"""Tests for exact and ODC-based cube selection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import (NodeType, conforms, exact_select,
+                          feasible_subspace, implement_phase, odc_select,
+                          odc_select_from_sop, phase_cover)
+from repro.bdd import BddManager
+from repro.cubes import Cover, Cube
+
+Z, O, E, D = NodeType.ZERO, NodeType.ONE, NodeType.EX, NodeType.DC
+
+
+class TestPhase:
+    def test_one_phase_is_identity(self):
+        cover = Cover.from_strings(["11"])
+        assert phase_cover(cover, O).to_strings() == ["11"]
+
+    def test_zero_phase_is_complement(self):
+        cover = Cover.from_strings(["11"])
+        zero_phase = phase_cover(cover, Z)
+        for m in range(4):
+            assert zero_phase.evaluate(m) == (not cover.evaluate(m))
+
+    def test_implement_phase_roundtrip(self):
+        cover = Cover.from_strings(["1-0", "-11"])
+        phase = phase_cover(cover, Z)
+        back = implement_phase(phase, Z)
+        for m in range(8):
+            assert back.evaluate(m) == cover.evaluate(m)
+
+
+class TestConformance:
+    def test_positive_literal_needs_type_one(self):
+        cube = Cube.from_string("1-")
+        assert conforms(cube, [O, D])
+        assert conforms(cube, [E, D])
+        assert not conforms(cube, [Z, D])
+        assert not conforms(cube, [D, D])
+
+    def test_negative_literal_needs_type_zero(self):
+        cube = Cube.from_string("0-")
+        assert conforms(cube, [Z, D])
+        assert conforms(cube, [E, D])
+        assert not conforms(cube, [O, D])
+
+    def test_dash_conforms_to_everything(self):
+        cube = Cube.from_string("--")
+        for t1 in (Z, O, E, D):
+            for t2 in (Z, O, E, D):
+                assert conforms(cube, [t1, t2])
+
+    def test_ex_fanin_accepts_any_literal(self):
+        assert conforms(Cube.from_string("10"), [E, E])
+
+
+class TestExactSelect:
+    def test_keeps_only_conforming(self):
+        sop = Cover.from_strings(["11", "0-"])
+        selected = exact_select(sop, [O, O])
+        assert selected.to_strings() == ["11"]
+
+    def test_empty_selection_is_valid(self):
+        sop = Cover.from_strings(["10"])
+        selected = exact_select(sop, [Z, O])
+        assert selected.is_zero()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            exact_select(Cover.from_strings(["1"]), [O, O])
+
+    def test_selection_implies_original(self):
+        sop = Cover.from_strings(["11-", "-01", "1-1"])
+        selected = exact_select(sop, [O, Z, E])
+        assert selected.implies(sop)
+
+
+class TestFeasibleSubspace:
+    def test_ex_fanins_leave_function_unchanged(self):
+        sop = Cover.from_strings(["11", "00"])
+        mgr = BddManager(2)
+        f = mgr.from_cover(sop)
+        feasible = feasible_subspace(mgr, f, [E, E])
+        assert feasible == f
+
+    def test_dc_fanin_restricts_to_unobservable(self):
+        # F = a | b; a's ODC is b=1.  With a of type DC the feasible
+        # space is F & (b's side where a is invisible) = (b=1).
+        sop = Cover.from_strings(["1-", "-1"])
+        mgr = BddManager(2)
+        f = mgr.from_cover(sop)
+        feasible = feasible_subspace(mgr, f, [D, E])
+        assert feasible == mgr.var(1)
+
+    def test_type_one_term(self):
+        # F = a & b, fanin a type ONE: feasible = F & (a | !Obs_a)
+        # Obs_a = b, so feasible = ab & (a | !b) = ab.
+        sop = Cover.from_strings(["11"])
+        mgr = BddManager(2)
+        f = mgr.from_cover(sop)
+        feasible = feasible_subspace(mgr, f, [O, E])
+        assert feasible == f
+
+
+class TestOdcSelect:
+    def test_richer_than_exact(self):
+        """The paper's key claim: ODC selection explores a superset."""
+        # F = a&b | !a&c with a type DC: exact selection keeps nothing
+        # (every cube reads a), ODC keeps the subspace where a is not
+        # observable: b&c.
+        sop = Cover.from_strings(["11-", "0-1"])
+        types = [D, E, E]
+        exact = exact_select(sop, types)
+        odc = odc_select(sop, types)
+        assert exact.is_zero()
+        assert not odc.is_zero()
+        # b & c is in the ODC selection (a invisible there).
+        assert odc.covers_minterm(0b110)
+        assert odc.covers_minterm(0b111)
+
+    def test_odc_subset_of_phase_function(self):
+        sop = Cover.from_strings(["11-", "0-1"])
+        odc = odc_select(sop, [D, E, E])
+        assert odc.implies(sop)
+
+    def test_exact_selection_within_feasible(self):
+        sop = Cover.from_strings(["11-", "-01", "1-1"])
+        types = [O, Z, E]
+        exact = exact_select(sop, types)
+        odc = odc_select(sop, types)
+        assert exact.implies(odc)
+
+    def test_restricted_variant_supseteq_exact(self):
+        sop = Cover.from_strings(["11-", "-01", "1-1"])
+        types = [O, Z, D]
+        exact = exact_select(sop, types)
+        restricted = odc_select_from_sop(sop, types)
+        assert exact.implies(restricted)
+        assert restricted.implies(sop)
+
+
+class TestTheoremProperty:
+    """The paper's theorem: composing per-node conforming selections
+    yields a correct approximation at the composition's output."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 ** 12 - 1), st.integers(0, 2 ** 12 - 1))
+    def test_and_composition(self, m1, m2):
+        # X1, X2 arbitrary functions of 2 vars each (truth tables m1, m2
+        # restricted to 4 bits); X1', X2' arbitrary 1-approximations.
+        t1 = [bool(m1 >> i & 1) for i in range(4)]
+        t2 = [bool(m2 >> i & 1) for i in range(4)]
+        a1 = [t1[i] and bool(m1 >> (i + 4) & 1) for i in range(4)]
+        a2 = [t2[i] and bool(m2 >> (i + 4) & 1) for i in range(4)]
+        for i in range(4):
+            for j in range(4):
+                f = t1[i] and t2[j]
+                fa = a1[i] and a2[j]
+                assert (not fa) or f      # F' => F
+                g = t1[i] or t2[j]
+                ga = a1[i] or a2[j]
+                assert (not ga) or g

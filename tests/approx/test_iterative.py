@@ -1,0 +1,198 @@
+"""Tests for the iterative approximate-synthesis algorithm.
+
+The central invariant (the whole point of the paper): the synthesized
+circuit is a correct 0/1-approximation at every primary output, verified
+here with independent exhaustive or BDD checks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import (ApproxConfig, NodeType, approximation_percentage,
+                          synthesize_approximation)
+from repro.bench import random_network, tiny_benchmark
+from repro.cubes import Cover
+from repro.network import GlobalBdds, Network
+
+
+def verify_approximation(original, approx, directions):
+    """Independent BDD check of every output implication."""
+    bdds = GlobalBdds(original.inputs)
+    bdds.add_network(original, prefix="o_")
+    bdds.add_network(approx, prefix="a_")
+    for po, direction in directions.items():
+        if original.is_input(po):
+            continue
+        f = bdds.function("o_" + po)
+        g = bdds.function("a_" + po)
+        if direction == 1:
+            assert bdds.manager.implies(g, f), f"{po}: G does not imply F"
+        else:
+            assert bdds.manager.implies(f, g), f"{po}: F does not imply G"
+
+
+class TestSmallCircuits:
+    def test_and_or_tree(self):
+        net = Network()
+        for pi in "abcd":
+            net.add_input(pi)
+        net.add_node("t1", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("t2", ["c", "d"], Cover.from_strings(["1-", "-1"]))
+        net.add_node("y", ["t1", "t2"], Cover.from_strings(["1-", "-1"]))
+        net.add_output("y")
+        result = synthesize_approximation(net, {"y": 1})
+        assert result.all_correct
+        verify_approximation(net, result.approx, {"y": 1})
+
+    def test_zero_approximation_direction(self):
+        net = Network()
+        for pi in "abc":
+            net.add_input(pi)
+        net.add_node("y", ["a", "b", "c"],
+                     Cover.from_strings(["11-", "1-1", "-11"]))
+        net.add_output("y")
+        result = synthesize_approximation(net, {"y": 0})
+        assert result.all_correct
+        verify_approximation(net, result.approx, {"y": 0})
+
+    def test_pi_output_passthrough(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("y", ["a"], Cover.from_strings(["0"]))
+        net.add_output("y")
+        net.add_output("a")
+        result = synthesize_approximation(net, {"y": 1, "a": 0})
+        assert result.correctness["a"] is True
+
+    def test_mixed_output_directions(self):
+        net = tiny_benchmark(seed=3)
+        directions = {po: i % 2 for i, po in enumerate(net.outputs)}
+        result = synthesize_approximation(net, directions)
+        assert result.all_correct
+        verify_approximation(net, result.approx, directions)
+
+    def test_approx_never_larger_much(self):
+        net = tiny_benchmark(seed=5)
+        directions = {po: 0 for po in net.outputs}
+        result = synthesize_approximation(net, directions)
+        assert result.approx.total_literals() <= net.total_literals() * 2
+
+
+class TestCheckMethods:
+    def test_bdd_and_sim_agree_on_correctness(self):
+        net = tiny_benchmark(seed=11)
+        directions = {po: 1 for po in net.outputs}
+        r_bdd = synthesize_approximation(
+            net, directions, ApproxConfig(check="bdd"))
+        r_sim = synthesize_approximation(
+            net, directions, ApproxConfig(check="sim"))
+        assert r_bdd.check_method == "bdd"
+        assert r_sim.check_method == "sim"
+        assert r_bdd.all_correct
+        verify_approximation(net, r_bdd.approx, directions)
+        # The sim-checked result must also verify exactly.
+        verify_approximation(net, r_sim.approx, directions)
+
+    def test_auto_falls_back_on_tiny_budget(self):
+        net = tiny_benchmark(seed=11)
+        directions = {po: 1 for po in net.outputs}
+        config = ApproxConfig(check="auto", bdd_node_budget=16)
+        result = synthesize_approximation(net, directions, config)
+        assert result.check_method == "sim"
+        verify_approximation(net, result.approx, directions)
+
+    def test_bdd_budget_violation_raises(self):
+        from repro.bdd import BddOverflowError
+        net = tiny_benchmark(seed=11)
+        directions = {po: 1 for po in net.outputs}
+        with pytest.raises(BddOverflowError):
+            synthesize_approximation(
+                net, directions,
+                ApproxConfig(check="bdd", bdd_node_budget=16))
+
+
+class TestTradeoff:
+    def test_threshold_trades_size_for_fidelity(self):
+        net = tiny_benchmark(seed=21)
+        directions = {po: 0 for po in net.outputs}
+        gentle = synthesize_approximation(
+            net, directions, ApproxConfig(cube_drop_threshold=0.01))
+        aggressive = synthesize_approximation(
+            net, directions, ApproxConfig(cube_drop_threshold=0.4))
+        assert gentle.all_correct and aggressive.all_correct
+        lits_gentle = gentle.approx.total_literals()
+        lits_aggr = aggressive.approx.total_literals()
+        assert lits_aggr <= lits_gentle
+
+    def test_zero_threshold_significance_mode_keeps_exact(self):
+        """With significance-only stage 1, no DC collapse, and a zero
+        threshold, nothing is dropped and the approximation is the
+        identity."""
+        net = tiny_benchmark(seed=23)
+        directions = {po: 1 for po in net.outputs}
+        result = synthesize_approximation(
+            net, directions,
+            ApproxConfig(cube_drop_threshold=0.0, stage1="significance",
+                         collapse_dc=False))
+        assert result.dropped_cubes == 0
+        for po in net.outputs:
+            pct = approximation_percentage(net, result.approx, po, 1)
+            assert pct == pytest.approx(100.0)
+
+    def test_conformance_mode_shrinks_network(self):
+        """Conformance selection with DC collapse produces a genuinely
+        smaller approximate circuit."""
+        net = tiny_benchmark(seed=23)
+        directions = {po: 0 for po in net.outputs}
+        result = synthesize_approximation(net, directions, ApproxConfig())
+        assert result.approx.num_nodes < net.num_nodes
+        assert result.all_correct
+
+
+class TestPropertyCorrectness:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([0, 1]),
+           st.sampled_from([0.02, 0.1, 0.3]))
+    def test_random_networks_always_correct(self, seed, direction,
+                                            threshold):
+        net = random_network(seed, n_nodes=18, n_inputs=7, n_outputs=2,
+                             name=f"rnd{seed}")
+        directions = {po: direction for po in net.outputs}
+        config = ApproxConfig(cube_drop_threshold=threshold)
+        result = synthesize_approximation(net, directions, config)
+        assert result.all_correct
+        verify_approximation(net, result.approx, directions)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sim_checked_results_verify_exactly(self, seed):
+        net = random_network(seed, n_nodes=14, n_inputs=6, n_outputs=2,
+                             name=f"rnd{seed}")
+        directions = {po: 1 for po in net.outputs}
+        result = synthesize_approximation(
+            net, directions,
+            ApproxConfig(check="sim", sim_check_words=64))
+        verify_approximation(net, result.approx, directions)
+
+
+class TestSatChecking:
+    def test_sat_checked_synthesis_is_exactly_correct(self):
+        net = tiny_benchmark(seed=47)
+        directions = {po: i % 2 for i, po in enumerate(net.outputs)}
+        result = synthesize_approximation(net, directions,
+                                          ApproxConfig(check="sat"))
+        assert result.check_method == "sat"
+        assert result.all_correct
+        verify_approximation(net, result.approx, directions)
+
+    def test_sat_and_bdd_agree(self):
+        net = tiny_benchmark(seed=49)
+        directions = {po: 0 for po in net.outputs}
+        r_sat = synthesize_approximation(net, directions,
+                                         ApproxConfig(check="sat"))
+        r_bdd = synthesize_approximation(net, directions,
+                                         ApproxConfig(check="bdd"))
+        assert r_sat.all_correct and r_bdd.all_correct
+        # Both checkers are exact, so both must verify externally.
+        verify_approximation(net, r_sat.approx, directions)
+        verify_approximation(net, r_bdd.approx, directions)

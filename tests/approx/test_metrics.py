@@ -1,0 +1,117 @@
+"""Tests for approximation metrics, including the paper's Sec 2 example."""
+
+import pytest
+
+from repro.approx import (approximation_percentage, area_overhead,
+                          delay_change_pct, mean_approximation_percentage,
+                          power_overhead_pct)
+from repro.cubes import Cover
+from repro.network import Network
+from repro.synth import LIB_GENERIC, technology_map
+
+
+def paper_example_networks():
+    """F = a + b + !c!d + cd, G = a + b (paper Sec 2)."""
+    orig = Network("F")
+    approx = Network("G")
+    for net in (orig, approx):
+        for pi in "abcd":
+            net.add_input(pi)
+    orig.add_node("y", ["a", "b", "c", "d"],
+                  Cover.from_strings(["1---", "-1--", "--00", "--11"]))
+    orig.add_output("y")
+    approx.add_node("y", ["a", "b"], Cover.from_strings(["1-", "-1"]))
+    approx.add_output("y")
+    return orig, approx
+
+
+class TestPaperExample:
+    def test_approximation_percentage_is_85_72(self):
+        orig, approx = paper_example_networks()
+        pct = approximation_percentage(orig, approx, "y", 1, method="bdd")
+        assert pct == pytest.approx(100 * 12 / 14, abs=0.01)  # 85.71%
+
+    def test_sim_estimate_close_to_exact(self):
+        orig, approx = paper_example_networks()
+        exact = approximation_percentage(orig, approx, "y", 1,
+                                         method="bdd")
+        est = approximation_percentage(orig, approx, "y", 1, method="sim",
+                                       n_words=512)
+        assert est == pytest.approx(exact, abs=2.0)
+
+    def test_g_is_a_valid_1_approximation(self):
+        orig, approx = paper_example_networks()
+        for m in range(16):
+            values = {pi: bool(m >> i & 1)
+                      for i, pi in enumerate("abcd")}
+            g = approx.evaluate_outputs(values)["y"]
+            f = orig.evaluate_outputs(values)["y"]
+            assert (not g) or f
+
+
+class TestDirections:
+    def test_zero_direction_counts_off_set(self):
+        orig = Network()
+        approx = Network()
+        for net in (orig, approx):
+            net.add_input("a")
+            net.add_input("b")
+        orig.add_node("y", ["a", "b"], Cover.from_strings(["11"]))
+        orig.add_output("y")
+        # 0-approximation G = a covers F's on-set; its off-set {00,01}
+        # covers 2 of F's 3 off-set minterms.
+        approx.add_node("y", ["a"], Cover.from_strings(["1"]))
+        approx.add_output("y")
+        pct = approximation_percentage(orig, approx, "y", 0, method="bdd")
+        assert pct == pytest.approx(100 * 2 / 3, abs=0.01)
+
+    def test_constant_function_edge_case(self):
+        orig = Network()
+        approx = Network()
+        for net in (orig, approx):
+            net.add_input("a")
+        orig.add_node("y", ["a"], Cover.zero(1))
+        orig.add_output("y")
+        approx.add_node("y", ["a"], Cover.zero(1))
+        approx.add_output("y")
+        # F has no 1-minterms: 1-approximation trivially 100%.
+        assert approximation_percentage(orig, approx, "y", 1) == 100.0
+
+    def test_mean_over_outputs(self):
+        orig, approx = paper_example_networks()
+        pct = mean_approximation_percentage(orig, approx, {"y": 1},
+                                            method="bdd")
+        assert pct == pytest.approx(100 * 12 / 14, abs=0.01)
+
+    def test_unknown_method_rejected(self):
+        orig, approx = paper_example_networks()
+        with pytest.raises(ValueError):
+            approximation_percentage(orig, approx, "y", 1,
+                                     method="magic")
+
+
+class TestOverheadMetrics:
+    def test_paper_example_area_overhead(self):
+        orig, approx = paper_example_networks()
+        m_orig = technology_map(orig, LIB_GENERIC)
+        m_approx = technology_map(approx, LIB_GENERIC)
+        overhead = area_overhead(m_orig, m_approx)
+        # G is far smaller than F.
+        assert overhead < 50.0
+
+    def test_area_overhead_gate_count(self):
+        orig, approx = paper_example_networks()
+        m_orig = technology_map(orig, LIB_GENERIC)
+        assert area_overhead(m_orig, 0) == 0.0
+        assert area_overhead(m_orig, m_orig.gate_count) == 100.0
+
+    def test_delay_change_sign(self):
+        orig, approx = paper_example_networks()
+        m_orig = technology_map(orig, LIB_GENERIC)
+        m_approx = technology_map(approx, LIB_GENERIC)
+        assert delay_change_pct(m_orig, m_approx) < 0  # approx is faster
+
+    def test_power_overhead_of_self_is_positiveish(self):
+        orig, _ = paper_example_networks()
+        m_orig = technology_map(orig, LIB_GENERIC)
+        assert power_overhead_pct(m_orig, m_orig) == pytest.approx(0.0)

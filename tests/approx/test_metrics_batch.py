@@ -1,0 +1,75 @@
+"""Tests for the batched approximation-percentage computation."""
+
+import pytest
+
+from repro.approx import (approximation_percentage,
+                          approximation_percentages)
+from repro.bdd import BddOverflowError
+from repro.bench import tiny_benchmark
+from repro.cubes import Cover
+from repro.network import Network
+
+
+def example_pair():
+    orig = Network("F")
+    approx = Network("G")
+    for net in (orig, approx):
+        for pi in "abcd":
+            net.add_input(pi)
+    orig.add_node("y", ["a", "b", "c", "d"],
+                  Cover.from_strings(["1---", "-1--", "--00", "--11"]))
+    orig.add_node("z", ["a", "b"], Cover.from_strings(["11"]))
+    orig.add_output("y")
+    orig.add_output("z")
+    approx.add_node("y", ["a", "b"], Cover.from_strings(["1-", "-1"]))
+    approx.add_node("z", ["a", "b"], Cover.from_strings(["11"]))
+    approx.add_output("y")
+    approx.add_output("z")
+    return orig, approx
+
+
+class TestBatchedPercentages:
+    def test_matches_single_output_api(self):
+        orig, approx = example_pair()
+        directions = {"y": 1, "z": 1}
+        batched = approximation_percentages(orig, approx, directions,
+                                            method="bdd")
+        for po, direction in directions.items():
+            single = approximation_percentage(orig, approx, po,
+                                              direction, method="bdd")
+            assert batched[po] == pytest.approx(single)
+
+    def test_exact_output_is_100(self):
+        orig, approx = example_pair()
+        pct = approximation_percentages(orig, approx, {"z": 0})
+        assert pct["z"] == pytest.approx(100.0)
+
+    def test_sim_method_close_to_bdd(self):
+        orig, approx = example_pair()
+        directions = {"y": 1, "z": 1}
+        exact = approximation_percentages(orig, approx, directions,
+                                          method="bdd")
+        est = approximation_percentages(orig, approx, directions,
+                                        method="sim", n_words=512)
+        for po in directions:
+            assert est[po] == pytest.approx(exact[po], abs=2.0)
+
+    def test_bdd_budget_fallback(self):
+        net = tiny_benchmark(seed=2)
+        directions = {po: 1 for po in net.outputs}
+        # Tiny budget: auto falls back to simulation silently.
+        pct = approximation_percentages(net, net.copy(), directions,
+                                        bdd_node_budget=8)
+        for po in directions:
+            assert pct[po] == pytest.approx(100.0)
+
+    def test_bdd_budget_strict_raises(self):
+        net = tiny_benchmark(seed=2)
+        directions = {po: 1 for po in net.outputs}
+        with pytest.raises(BddOverflowError):
+            approximation_percentages(net, net.copy(), directions,
+                                      method="bdd", bdd_node_budget=8)
+
+    def test_empty_directions(self):
+        orig, approx = example_pair()
+        assert approximation_percentages(orig, approx, {}) == {}

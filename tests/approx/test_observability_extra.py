@@ -1,0 +1,74 @@
+"""Tests for local ODC covers, observability BDDs, and mass shares."""
+
+import pytest
+
+from repro.approx import (local_odc_cover, local_observabilities,
+                          observability_bdds)
+from repro.approx.types import _read_mass_shares
+from repro.bdd import BddManager
+from repro.cubes import Cover
+
+
+class TestLocalOdcCover:
+    def test_odc_of_and_gate(self):
+        # F = ab: a's ODC is b=0 (a invisible when b=0).
+        odc = local_odc_cover(Cover.from_strings(["11"]), fanin=0)
+        for m in range(4):
+            b = bool(m >> 1 & 1)
+            assert odc.evaluate(m) == (not b)
+
+    def test_odc_of_or_gate(self):
+        # F = a+b: a's ODC is b=1.
+        odc = local_odc_cover(Cover.from_strings(["1-", "-1"]), fanin=0)
+        for m in range(4):
+            b = bool(m >> 1 & 1)
+            assert odc.evaluate(m) == b
+
+    def test_unread_fanin_always_odc(self):
+        odc = local_odc_cover(Cover.from_strings(["1-"]), fanin=1)
+        assert odc.is_tautology()
+
+    def test_xor_never_odc(self):
+        odc = local_odc_cover(Cover.from_strings(["10", "01"]), fanin=0)
+        assert odc.is_zero()
+
+
+class TestObservabilityBdds:
+    def test_matches_boolean_difference(self):
+        mgr = BddManager(3)
+        f = mgr.from_cover(Cover.from_strings(["11-", "--1"]))
+        diffs = observability_bdds(mgr, f)
+        for i in range(3):
+            assert diffs[i] == mgr.boolean_difference(f, i)
+
+
+class TestMassShares:
+    def test_shares_of_or_with_heavy_and_light_cube(self):
+        # F = a + b&c&!d... over uniform probs: cube "1---" has mass
+        # 0.5, cube "-110" mass 0.125.
+        cover = Cover.from_strings(["1---", "-110"])
+        shares = _read_mass_shares(cover, [0.5] * 4)
+        total = 0.5 + 0.125
+        assert shares[0] == pytest.approx(0.5 / total)
+        assert shares[1] == pytest.approx(0.125 / total)
+        assert shares[2] == pytest.approx(0.125 / total)
+
+    def test_unread_fanin_zero_share(self):
+        cover = Cover.from_strings(["1-"])
+        shares = _read_mass_shares(cover, [0.5, 0.5])
+        assert shares[1] == 0.0
+
+    def test_empty_cover(self):
+        shares = _read_mass_shares(Cover.zero(2), [0.5, 0.5])
+        assert shares == [0.0, 0.0]
+
+
+class TestObservabilityEdgeCases:
+    def test_constant_function_unobservable(self):
+        obs = local_observabilities(Cover.one(2))
+        assert all(o.total == 0.0 for o in obs)
+
+    def test_ratio_clipping(self):
+        # Unread fanin: both observabilities zero; ratio defined (1.0).
+        obs = local_observabilities(Cover.from_strings(["1-"]))
+        assert obs[1].ratio == pytest.approx(1.0)

@@ -1,0 +1,153 @@
+"""Tests for type assignment."""
+
+import pytest
+
+from repro.approx import (ApproxConfig, NodeType, assign_types,
+                          fanin_requests, local_observabilities,
+                          resolve_type, type_histogram)
+from repro.cubes import Cover
+from repro.network import Network
+
+
+class TestResolveType:
+    def test_rules_in_order(self):
+        Z, O, E, D = (NodeType.ZERO, NodeType.ONE, NodeType.EX,
+                      NodeType.DC)
+        assert resolve_type({E, Z}) == E          # any EX -> EX
+        assert resolve_type({D}) == D             # all DC -> DC
+        assert resolve_type({Z, D}) == Z          # 0/DC -> 0
+        assert resolve_type({Z}) == Z
+        assert resolve_type({O, D}) == O          # 1/DC -> 1
+        assert resolve_type({O, Z}) == E          # conflict -> EX
+        assert resolve_type(set()) == D           # unread -> DC
+
+
+class TestLocalObservability:
+    def test_and_gate_observabilities(self):
+        # F = ab: a observable iff b=1.  obs1(a)=P(a=1,b=1)=1/4,
+        # obs0(a)=P(a=0,b=1)=1/4.
+        obs = local_observabilities(Cover.from_strings(["11"]))
+        assert obs[0].obs0 == pytest.approx(0.25)
+        assert obs[0].obs1 == pytest.approx(0.25)
+
+    def test_or_with_biased_probs(self):
+        # F = a+b: a observable iff b=0.
+        obs = local_observabilities(Cover.from_strings(["1-", "-1"]),
+                                    [0.5, 0.9])
+        assert obs[0].obs0 == pytest.approx(0.5 * 0.1)
+        assert obs[0].obs1 == pytest.approx(0.5 * 0.1)
+
+    def test_unread_variable_has_zero_observability(self):
+        # F = a (b unread).
+        obs = local_observabilities(Cover.from_strings(["1-"]))
+        assert obs[1].total == 0.0
+
+    def test_skewed_observability(self):
+        # F = a & !b | a & b & c: flipping a matters often; direction of
+        # a's observability skews with the cover structure.
+        cover = Cover.from_strings(["10-", "111"])
+        obs = local_observabilities(cover)
+        assert obs[0].total > obs[2].total
+
+
+class TestFaninRequests:
+    def test_dc_node_requests_dc(self):
+        reqs = fanin_requests(Cover.from_strings(["11"]), [0.5, 0.5],
+                              NodeType.DC, ApproxConfig())
+        assert reqs == [NodeType.DC, NodeType.DC]
+
+    def test_unread_fanin_requested_dc(self):
+        reqs = fanin_requests(Cover.from_strings(["1-"]), [0.5, 0.5],
+                              NodeType.ONE, ApproxConfig())
+        assert reqs[1] == NodeType.DC
+
+    def test_balanced_observability_phase_tiebreak(self):
+        # AND gate: obs0 == obs1 for both fanins; the phase-aware
+        # tiebreak sees only positive literals and requests ONE.
+        reqs = fanin_requests(Cover.from_strings(["11"]), [0.5, 0.5],
+                              NodeType.ONE, ApproxConfig())
+        assert reqs == [NodeType.ONE, NodeType.ONE]
+
+    def test_balanced_observability_requests_ex_paper_literal(self):
+        # With the phase tiebreak disabled (paper-literal rule iii),
+        # comparable observabilities yield EX.
+        reqs = fanin_requests(
+            Cover.from_strings(["11"]), [0.5, 0.5], NodeType.ONE,
+            ApproxConfig(phase_aware_requests=False))
+        assert reqs == [NodeType.EX, NodeType.EX]
+
+    def test_disparity_requests_direction(self):
+        # F = a | b with P(b=1)=0.9: a observable iff b=0, and then a=0
+        # w.p. 0.5 / a=1 w.p. 0.5 -> balanced.  Use biased a instead:
+        # P(a=1)=0.9 makes obs1(a) >> obs0(a) -> request ONE.
+        reqs = fanin_requests(Cover.from_strings(["1-", "-1"]),
+                              [0.9, 0.5], NodeType.ONE,
+                              ApproxConfig(disparity_ratio=2.0,
+                                           dc_threshold=0.0))
+        assert reqs[0] == NodeType.ONE
+
+    def test_ex_node_conservative_mode(self):
+        reqs = fanin_requests(
+            Cover.from_strings(["11"]), [0.5, 0.5], NodeType.EX,
+            ApproxConfig(conservative_ex=True))
+        assert reqs == [NodeType.EX, NodeType.EX]
+
+    def test_ex_node_uniform_rules_by_default(self):
+        # Paper-uniform: EX nodes hand out requests like any other node.
+        reqs = fanin_requests(Cover.from_strings(["11"]), [0.5, 0.5],
+                              NodeType.EX, ApproxConfig())
+        assert reqs == [NodeType.ONE, NodeType.ONE]
+
+
+class TestAssignTypes:
+    def build(self):
+        net = Network()
+        for pi in "abcd":
+            net.add_input(pi)
+        net.add_node("t1", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("t2", ["c", "d"], Cover.from_strings(["1-", "-1"]))
+        net.add_node("y", ["t1", "t2"], Cover.from_strings(["1-", "-1"]))
+        net.add_output("y")
+        return net
+
+    def test_po_driver_gets_output_direction(self):
+        net = self.build()
+        types = assign_types(net, {"y": 1})
+        assert types["y"] == NodeType.ONE
+        types0 = assign_types(net, {"y": 0})
+        assert types0["y"] == NodeType.ZERO
+
+    def test_all_nodes_typed(self):
+        net = self.build()
+        types = assign_types(net, {"y": 1})
+        assert set(types) == {"t1", "t2", "y"}
+
+    def test_missing_direction_rejected(self):
+        net = self.build()
+        with pytest.raises(ValueError):
+            assign_types(net, {})
+
+    def test_pi_output_skipped(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("n", ["a"], Cover.from_strings(["1"]))
+        net.add_output("n")
+        net.add_output("a")
+        types = assign_types(net, {"n": 1, "a": 0})
+        assert "a" not in types
+
+    def test_conflicting_outputs_make_ex(self):
+        net = Network()
+        for pi in "ab":
+            net.add_input(pi)
+        net.add_node("y", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_output("y")
+        net.add_output("y")  # same driver, two outputs
+        types = assign_types(net, {"y": 1})
+        assert types["y"] == NodeType.ONE  # same direction merges
+
+    def test_histogram(self):
+        net = self.build()
+        types = assign_types(net, {"y": 1})
+        hist = type_histogram(types)
+        assert sum(hist.values()) == 3

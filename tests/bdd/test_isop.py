@@ -1,0 +1,92 @@
+"""Tests for Minato-Morreale ISOP extraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager, cover_from_bdd, isop
+from repro.cubes import Cover, Cube
+
+
+class TestIsop:
+    def test_exact_roundtrip_simple(self):
+        mgr = BddManager(3)
+        cover = Cover.from_strings(["1-0", "-11"])
+        f = mgr.from_cover(cover)
+        extracted = cover_from_bdd(mgr, f)
+        for m in range(8):
+            assert extracted.evaluate(m) == mgr.evaluate(f, m)
+
+    def test_interval_uses_dont_cares(self):
+        mgr = BddManager(2)
+        a, b = mgr.var(0), mgr.var(1)
+        lower = mgr.and_(a, b)
+        upper = a  # don't care on a & !b
+        cover = isop(mgr, lower, upper)
+        # Single-literal cube 'a' is the expected irredundant answer.
+        assert cover.num_literals == 1
+        for m in range(4):
+            value = cover.evaluate(m)
+            assert (not mgr.evaluate(lower, m)) or value
+            assert (not value) or mgr.evaluate(upper, m)
+
+    def test_empty_interval_rejected(self):
+        mgr = BddManager(2)
+        a, b = mgr.var(0), mgr.var(1)
+        with pytest.raises(ValueError):
+            isop(mgr, a, mgr.and_(a, b))
+
+    def test_constant_functions(self):
+        mgr = BddManager(3)
+        assert cover_from_bdd(mgr, mgr.zero).is_zero()
+        assert cover_from_bdd(mgr, mgr.one).is_tautology()
+
+    def test_xor_extraction(self):
+        mgr = BddManager(2)
+        f = mgr.xor_(mgr.var(0), mgr.var(1))
+        cover = cover_from_bdd(mgr, f)
+        assert len(cover) == 2
+        for m in range(4):
+            assert cover.evaluate(m) == mgr.evaluate(f, m)
+
+
+class TestIsopProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 15), max_size=8),
+           st.lists(st.integers(0, 15), max_size=8))
+    def test_result_within_interval(self, on, dc):
+        mgr = BddManager(4)
+        lower = mgr.or_many(mgr.from_cube(Cube.from_minterm(4, m))
+                            for m in on)
+        upper = mgr.or_(lower, mgr.or_many(
+            mgr.from_cube(Cube.from_minterm(4, m)) for m in dc))
+        cover = isop(mgr, lower, upper)
+        for m in range(16):
+            value = cover.evaluate(m)
+            if mgr.evaluate(lower, m):
+                assert value, "onset minterm dropped"
+            if value:
+                assert mgr.evaluate(upper, m), "offset minterm included"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 15), max_size=10))
+    def test_exact_roundtrip(self, minterms):
+        mgr = BddManager(4)
+        f = mgr.or_many(mgr.from_cube(Cube.from_minterm(4, m))
+                        for m in minterms)
+        cover = cover_from_bdd(mgr, f)
+        for m in range(16):
+            assert cover.evaluate(m) == mgr.evaluate(f, m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=10))
+    def test_irredundancy(self, minterms):
+        mgr = BddManager(4)
+        f = mgr.or_many(mgr.from_cube(Cube.from_minterm(4, m))
+                        for m in minterms)
+        cover = cover_from_bdd(mgr, f)
+        # Dropping any single cube must lose at least one onset minterm.
+        for i in range(len(cover)):
+            rest = Cover(4, cover.cubes[:i] + cover.cubes[i + 1:])
+            lost = any(mgr.evaluate(f, m) and not rest.evaluate(m)
+                       for m in range(16))
+            assert lost

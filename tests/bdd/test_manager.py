@@ -1,0 +1,233 @@
+"""Unit and property tests for the ROBDD manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager, BddOverflowError
+from repro.cubes import Cover, Cube
+
+
+@pytest.fixture
+def mgr():
+    return BddManager(4)
+
+
+def brute_force(mgr, f, n=4):
+    return [mgr.evaluate(f, m) for m in range(1 << n)]
+
+
+class TestBasics:
+    def test_constants(self, mgr):
+        assert mgr.evaluate(mgr.zero, 0) is False
+        assert mgr.evaluate(mgr.one, 0) is True
+
+    def test_var_and_nvar(self, mgr):
+        x1 = mgr.var(1)
+        assert mgr.evaluate(x1, 0b0010)
+        assert not mgr.evaluate(x1, 0b0000)
+        nx1 = mgr.nvar(1)
+        assert mgr.evaluate(nx1, 0b0000)
+
+    def test_undeclared_var_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.var(7)
+
+    def test_canonicity(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.or_(mgr.and_(a, b), mgr.and_(a, mgr.not_(b)))
+        assert f == a  # a&b | a&!b reduces to a
+
+    def test_connectives(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        table = {
+            mgr.and_(a, b): lambda x, y: x and y,
+            mgr.or_(a, b): lambda x, y: x or y,
+            mgr.xor_(a, b): lambda x, y: x != y,
+            mgr.xnor_(a, b): lambda x, y: x == y,
+            mgr.nand_(a, b): lambda x, y: not (x and y),
+            mgr.nor_(a, b): lambda x, y: not (x or y),
+        }
+        for f, ref in table.items():
+            for m in range(4):
+                assert mgr.evaluate(f, m) == ref(bool(m & 1), bool(m & 2))
+
+    def test_and_or_many(self, mgr):
+        xs = [mgr.var(i) for i in range(4)]
+        allv = mgr.and_many(xs)
+        anyv = mgr.or_many(xs)
+        assert mgr.evaluate(allv, 0b1111) and not mgr.evaluate(allv, 0b0111)
+        assert mgr.evaluate(anyv, 0b1000) and not mgr.evaluate(anyv, 0)
+
+
+class TestStructuralOps:
+    def test_restrict(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.and_(a, b)
+        assert mgr.restrict(f, 0, 1) == b
+        assert mgr.restrict(f, 0, 0) == mgr.zero
+
+    def test_compose(self, mgr):
+        a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+        f = mgr.and_(a, b)
+        g = mgr.or_(b, c)
+        composed = mgr.compose(f, 0, g)
+        # (b|c) & b == b
+        assert composed == b
+
+    def test_exists_forall(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.and_(a, b)
+        assert mgr.exists(f, [0]) == b
+        assert mgr.forall(f, [0]) == mgr.zero
+        assert mgr.forall(mgr.or_(a, mgr.not_(a)), [0]) == mgr.one
+
+    def test_boolean_difference(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.and_(a, b)
+        # a observable iff b=1
+        assert mgr.boolean_difference(f, 0) == b
+
+    def test_support(self, mgr):
+        a, c = mgr.var(0), mgr.var(2)
+        f = mgr.xor_(a, c)
+        assert mgr.support(f) == {0, 2}
+
+
+class TestQueries:
+    def test_implies(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.implies(mgr.and_(a, b), a)
+        assert not mgr.implies(a, mgr.and_(a, b))
+
+    def test_sat_count(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.sat_count(mgr.and_(a, b)) == 4   # over 4 vars
+        assert mgr.sat_count(mgr.or_(a, b)) == 12
+        assert mgr.sat_count(mgr.one) == 16
+        assert mgr.sat_count(mgr.zero) == 0
+
+    def test_sat_count_with_explicit_width(self, mgr):
+        a = mgr.var(0)
+        assert mgr.sat_count(a, num_vars=1) == 1
+
+    def test_probability_uniform(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.probability(mgr.and_(a, b)) == pytest.approx(0.25)
+
+    def test_probability_biased(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        p = mgr.probability(mgr.and_(a, b), [0.9, 0.5, 0.5, 0.5])
+        assert p == pytest.approx(0.45)
+
+    def test_any_sat(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.and_(a, mgr.not_(b))
+        m = mgr.any_sat(f)
+        assert mgr.evaluate(f, m)
+        assert mgr.any_sat(mgr.zero) is None
+
+    def test_iter_sat(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.xor_(a, b)
+        sats = set(mgr.iter_sat(f, num_vars=2))
+        assert sats == {0b01, 0b10}
+
+    def test_size(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        f = mgr.and_(a, b)
+        assert mgr.size(f) == 4  # two decision nodes + two terminals
+
+
+class TestConversions:
+    def test_from_cube(self, mgr):
+        f = mgr.from_cube(Cube.from_string("1-0-"))
+        for m in range(16):
+            assert mgr.evaluate(f, m) == Cube.from_string("1-0-").evaluate(m)
+
+    def test_from_cover(self, mgr):
+        cover = Cover.from_strings(["1---", "-1--", "--00"])
+        f = mgr.from_cover(cover)
+        for m in range(16):
+            assert mgr.evaluate(f, m) == cover.evaluate(m)
+
+    def test_from_cover_with_var_map(self, mgr):
+        cover = Cover.from_strings(["1-"])
+        f = mgr.from_cover(cover, var_map=[3, 2])
+        assert mgr.evaluate(f, 0b1000)
+        assert not mgr.evaluate(f, 0b0001)
+
+
+class TestBudget:
+    def test_overflow_raises(self):
+        mgr = BddManager(12, max_nodes=16)
+        with pytest.raises(BddOverflowError):
+            f = mgr.zero
+            for i in range(0, 12, 2):
+                f = mgr.or_(f, mgr.and_(mgr.var(i), mgr.var(i + 1)))
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.sampled_from(["and", "or", "xor", "not"]),
+                    min_size=1, max_size=8),
+           st.integers(0, 3), st.integers(0, 3))
+    def test_random_expression_semantics(self, ops, v1, v2):
+        mgr = BddManager(4)
+        f = mgr.var(v1)
+        ref = lambda m: bool(m >> v1 & 1)
+        for op in ops:
+            if op == "not":
+                f = mgr.not_(f)
+                ref = (lambda r: lambda m: not r(m))(ref)
+            else:
+                g = mgr.var(v2)
+                gref = lambda m: bool(m >> v2 & 1)
+                if op == "and":
+                    f = mgr.and_(f, g)
+                    ref = (lambda r: lambda m: r(m) and gref(m))(ref)
+                elif op == "or":
+                    f = mgr.or_(f, g)
+                    ref = (lambda r: lambda m: r(m) or gref(m))(ref)
+                else:
+                    f = mgr.xor_(f, g)
+                    ref = (lambda r: lambda m: r(m) != gref(m))(ref)
+        for m in range(16):
+            assert mgr.evaluate(f, m) == ref(m)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 15), min_size=0, max_size=6))
+    def test_sat_count_matches_enumeration(self, minterms):
+        mgr = BddManager(4)
+        f = mgr.or_many(mgr.from_cube(Cube.from_minterm(4, m))
+                        for m in minterms)
+        assert mgr.sat_count(f) == len(set(minterms))
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=6))
+    def test_probability_equals_density(self, minterms):
+        mgr = BddManager(4)
+        f = mgr.or_many(mgr.from_cube(Cube.from_minterm(4, m))
+                        for m in minterms)
+        assert mgr.probability(f) == pytest.approx(len(set(minterms)) / 16)
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        mgr = BddManager(2)
+        f = mgr.and_(mgr.var(0), mgr.var(1))
+        dot = mgr.to_dot(f)
+        assert dot.startswith("digraph bdd {")
+        assert 'label="x0"' in dot
+        assert 'label="x1"' in dot
+        assert "style=dashed" in dot and "style=solid" in dot
+
+    def test_dot_var_names(self):
+        mgr = BddManager(2)
+        f = mgr.or_(mgr.var(0), mgr.var(1))
+        dot = mgr.to_dot(f, var_names=["alpha", "beta"])
+        assert 'label="alpha"' in dot
+
+    def test_dot_terminal_root(self):
+        mgr = BddManager(1)
+        dot = mgr.to_dot(mgr.one)
+        assert "root -> t1" in dot

@@ -1,0 +1,130 @@
+"""Tests for benchmark generation, the suite, cones, and Figure 1."""
+
+import pytest
+
+from repro.bench import (TABLE1_CONE_SPECS, TABLE2_SPECS, extract_cone,
+                         figure1_network, figure1_selections,
+                         largest_cone, load_benchmark, random_network,
+                         sized_network, tiny_benchmark)
+from repro.synth import quick_map
+
+
+class TestRandomNetwork:
+    def test_deterministic(self):
+        a = random_network(42, 30, 8, 3)
+        b = random_network(42, 30, 8, 3)
+        assert list(a.nodes) == list(b.nodes)
+        for name in a.nodes:
+            assert a.nodes[name].cover.to_strings() == \
+                b.nodes[name].cover.to_strings()
+
+    def test_different_seeds_differ(self):
+        a = random_network(1, 30, 8, 3)
+        b = random_network(2, 30, 8, 3)
+        covers_a = [a.nodes[n].cover.to_strings() for n in a.nodes]
+        covers_b = [b.nodes[n].cover.to_strings() for n in b.nodes]
+        assert covers_a != covers_b
+
+    def test_shape(self):
+        net = random_network(7, 50, 10, 4)
+        assert len(net.inputs) == 10
+        assert len(net.outputs) == 4
+        assert net.num_nodes <= 50
+        net.topological_order()  # acyclic
+
+    def test_evaluable(self):
+        net = random_network(3, 20, 6, 2)
+        values = {pi: False for pi in net.inputs}
+        out = net.evaluate_outputs(values)
+        assert set(out) == set(net.outputs)
+
+    def test_and_bias_skews_probabilities(self):
+        from repro.sim import signal_probabilities
+        andish = random_network(5, 60, 10, 4, and_bias=0.95,
+                                xor_fraction=0.0)
+        p = signal_probabilities(andish, n_words=16)
+        mean_p = sum(p[o] for o in andish.outputs) / len(andish.outputs)
+        assert mean_p < 0.5  # AND-dominated logic is mostly 0
+
+
+class TestSizedNetwork:
+    def test_hits_target_within_tolerance(self):
+        target = 200
+        net = sized_network(11, target, 20, 5,
+                            lambda n: quick_map(n).gate_count)
+        gates = quick_map(net).gate_count
+        assert abs(gates - target) / target <= 0.25
+
+
+class TestSuite:
+    def test_specs_match_paper_rows(self):
+        assert set(TABLE2_SPECS) == {"cmb", "cordic", "term1", "x1", "i2",
+                                     "frg2", "dalu", "i10"}
+        assert set(TABLE1_CONE_SPECS) == {"i8", "des", "dalu", "i10"}
+
+    def test_load_small_benchmark(self):
+        net = load_benchmark("cmb")
+        assert len(net.inputs) == 16
+        assert len(net.outputs) == 4
+        gates = quick_map(net).gate_count
+        assert abs(gates - 57) / 57 <= 0.30
+
+    def test_load_cone_benchmark(self):
+        net = load_benchmark("i8", table=1)
+        assert len(net.outputs) == 1
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_benchmark("nosuch")
+
+    def test_cache_returns_same_object(self):
+        assert load_benchmark("cmb") is load_benchmark("cmb")
+
+
+class TestCones:
+    def test_extract_cone_function_preserved(self):
+        net = tiny_benchmark(seed=9)
+        po = net.outputs[0]
+        cone = extract_cone(net, po)
+        assert cone.outputs == [po]
+        for trial in range(16):
+            values = {pi: bool(trial >> i & 1)
+                      for i, pi in enumerate(net.inputs)}
+            cone_values = {pi: values[pi] for pi in cone.inputs}
+            assert (cone.evaluate_outputs(cone_values)[po]
+                    == net.evaluate_outputs(values)[po])
+
+    def test_extract_cone_drops_unrelated_inputs(self):
+        net = tiny_benchmark(seed=9)
+        cone = largest_cone(net)
+        assert set(cone.inputs) <= set(net.inputs)
+
+    def test_non_output_rejected(self):
+        net = tiny_benchmark(seed=9)
+        with pytest.raises(ValueError):
+            extract_cone(net, "definitely_not_a_po")
+
+
+class TestFigure1:
+    def test_selection_outcomes_match_paper(self):
+        sel = figure1_selections()
+        # Solution 1: exactly one cube, reading only n2.
+        assert sel["solution1"].to_strings() == ["1--"]
+        # Solution 2: two conforming cubes.
+        assert sorted(sel["solution2"].to_strings()) == ["--1", "1--"]
+        # ODC selection discovers the additional cube -11.
+        odc_cubes = set(sel["odc"].to_strings())
+        assert "-11" in odc_cubes
+        assert "1--" in odc_cubes
+
+    def test_odc_richer_than_exact(self):
+        sel = figure1_selections()
+        assert sel["solution1"].implies(sel["odc"])
+        assert not sel["odc"].implies(sel["solution1"])
+
+    def test_network_is_well_formed(self):
+        net = figure1_network()
+        assert net.outputs == ["n5"]
+        out = net.evaluate_outputs(
+            {"a": 1, "b": 1, "c": 0, "d": 0})
+        assert out["n5"] is True  # n1=ab=1 -> n2=1 -> n5=1

@@ -1,0 +1,143 @@
+"""Tests for CED assembly, coverage evaluation, and logic sharing."""
+
+import pytest
+
+from repro.approx import ApproxConfig, synthesize_approximation
+from repro.bench import tiny_benchmark
+from repro.ced import build_ced, clone_netlist, evaluate_ced
+from repro.cubes import Cover
+from repro.network import Network, NetworkError
+from repro.sim import Fault
+from repro.synth import LIB_GENERIC, quick_map
+
+
+def small_flow(share_logic=False, directions_value=0, seed=7):
+    net = tiny_benchmark(seed=seed)
+    directions = {po: directions_value for po in net.outputs}
+    approx_result = synthesize_approximation(net, directions,
+                                             ApproxConfig())
+    assert approx_result.all_correct
+    original = quick_map(net)
+    approx = quick_map(approx_result.approx)
+    assembly = build_ced(original, approx, directions,
+                         share_logic=share_logic)
+    return net, assembly
+
+
+class TestCloneNetlist:
+    def test_identical_structure(self):
+        net = tiny_benchmark(seed=1)
+        mapped = quick_map(net)
+        clone = clone_netlist(mapped)
+        assert set(clone.gates) == set(mapped.gates)
+        assert clone.outputs == mapped.outputs
+
+    def test_clone_is_independent(self):
+        mapped = quick_map(tiny_benchmark(seed=1))
+        clone = clone_netlist(mapped)
+        victim = next(iter(clone.gates))
+        del clone.gates[victim]
+        assert victim in mapped.gates
+
+
+class TestBuildCed:
+    def test_original_gates_preserved(self):
+        _, assembly = small_flow()
+        for site in assembly.fault_sites:
+            assert site in assembly.netlist.gates
+
+    def test_function_preserved(self):
+        net, assembly = small_flow()
+        for trial in range(16):
+            values = {pi: bool(trial * 2654435761 >> i & 1)
+                      for i, pi in enumerate(net.inputs)}
+            expected = net.evaluate_outputs(values)
+            got = assembly.netlist.evaluate_outputs(
+                {pi: values[pi] for pi in assembly.netlist.inputs})
+            for po in net.outputs:
+                assert got[po] == expected[po]
+
+    def test_error_outputs_registered(self):
+        _, assembly = small_flow()
+        assert "__error0" in assembly.netlist.outputs
+        assert "__error1" in assembly.netlist.outputs
+
+    def test_fault_free_codeword_always_valid(self):
+        net, assembly = small_flow()
+        for trial in range(32):
+            values = {pi: bool(trial * 40503 >> i & 1)
+                      for i, pi in enumerate(assembly.netlist.inputs)}
+            out = assembly.netlist.evaluate_outputs(values)
+            assert out["__error0"] != out["__error1"], values
+
+    def test_missing_direction_rejected(self):
+        net = tiny_benchmark(seed=7)
+        directions = {po: 0 for po in net.outputs}
+        result = synthesize_approximation(net, directions)
+        original = quick_map(net)
+        approx = quick_map(result.approx)
+        with pytest.raises(NetworkError):
+            build_ced(original, approx, {})
+
+    def test_overhead_gates_counted(self):
+        _, assembly = small_flow()
+        assert assembly.overhead_gates > 0
+        assert assembly.overhead_gates == (assembly.netlist.gate_count
+                                           - len(assembly.fault_sites))
+
+
+class TestEvaluateCed:
+    def test_coverage_in_range(self):
+        _, assembly = small_flow()
+        result = evaluate_ced(assembly, n_words=8, seed=3)
+        assert 0.0 <= result.coverage <= 100.0
+        assert result.error_runs > 0
+        assert result.golden_invalid == 0
+
+    def test_detects_injected_error(self):
+        """A stuck-at fault on a PO driver in the protected direction
+        must be detected on some vectors."""
+        net, assembly = small_flow(directions_value=0)
+        po_site = assembly.original.po_signals[
+            assembly.original.outputs[0]]
+        result = evaluate_ced(assembly, n_words=32, seed=3,
+                              faults=[Fault(po_site, 1)])  # 0->1 error
+        if result.error_runs:
+            assert result.detected_error_runs > 0
+
+    def test_protected_direction_matters(self):
+        """With a 0-approximation, forcing the PO to 1 (0->1 errors) is
+        detected; forcing to 0 (1->0 errors) is not."""
+        net, assembly = small_flow(directions_value=0, seed=9)
+        po_site = assembly.original.po_signals[
+            assembly.original.outputs[0]]
+        up = evaluate_ced(assembly, n_words=32, seed=3,
+                          faults=[Fault(po_site, 1)])
+        down = evaluate_ced(assembly, n_words=32, seed=3,
+                            faults=[Fault(po_site, 0)])
+        if up.error_runs and down.error_runs:
+            assert up.coverage > down.coverage
+
+    def test_deterministic(self):
+        _, assembly = small_flow()
+        a = evaluate_ced(assembly, n_words=4, seed=5)
+        b = evaluate_ced(assembly, n_words=4, seed=5)
+        assert a.coverage == b.coverage
+
+
+class TestLogicSharing:
+    def test_sharing_reduces_overhead(self):
+        _, plain = small_flow(share_logic=False, seed=13)
+        _, shared = small_flow(share_logic=True, seed=13)
+        assert shared.shared_gates >= 0
+        assert shared.overhead_gates <= plain.overhead_gates
+
+    def test_sharing_preserves_golden_validity(self):
+        _, shared = small_flow(share_logic=True, seed=13)
+        result = evaluate_ced(shared, n_words=8, seed=3)
+        assert result.golden_invalid == 0
+
+    def test_sharing_keeps_fault_sites(self):
+        _, shared = small_flow(share_logic=True, seed=13)
+        for site in shared.fault_sites:
+            assert site in shared.netlist.gates

@@ -1,0 +1,118 @@
+"""Tests for the partial-duplication and parity-prediction baselines."""
+
+import pytest
+
+from repro.bench import tiny_benchmark
+from repro.ced import (build_parity_ced, build_parity_predictor,
+                       build_partial_duplication, evaluate_ced,
+                       plan_duplication)
+from repro.synth import quick_map
+
+
+@pytest.fixture(scope="module")
+def mapped_pair():
+    net = tiny_benchmark(seed=17)
+    return net, quick_map(net)
+
+
+class TestParityPredictor:
+    def test_predictor_computes_output_parity(self, mapped_pair):
+        net, _ = mapped_pair
+        predictor = build_parity_predictor(net)
+        for trial in range(16):
+            values = {pi: bool(trial * 2246822519 >> i & 1)
+                      for i, pi in enumerate(net.inputs)}
+            outs = net.evaluate_outputs(values)
+            parity = sum(outs.values()) % 2 == 1
+            pvals = {pi: values[pi] for pi in predictor.inputs}
+            got = predictor.evaluate_outputs(pvals)
+            assert got[predictor.outputs[0]] == parity
+
+    def test_parity_ced_valid_when_fault_free(self, mapped_pair):
+        net, mapped = mapped_pair
+        assembly = build_parity_ced(mapped, net)
+        result = evaluate_ced(assembly, n_words=4, seed=3)
+        assert result.golden_invalid == 0
+
+    def test_parity_overhead_near_100pct(self, mapped_pair):
+        """The headline comparison: parity prediction re-implements the
+        whole circuit, so its overhead is ~100%, far above approximate
+        logic."""
+        net, mapped = mapped_pair
+        assembly = build_parity_ced(mapped, net)
+        overhead = 100.0 * assembly.overhead_gates / mapped.gate_count
+        assert overhead > 60.0
+
+    def test_parity_detects_single_output_flips(self, mapped_pair):
+        net, mapped = mapped_pair
+        assembly = build_parity_ced(mapped, net)
+        result = evaluate_ced(assembly, n_words=8, seed=3)
+        # Odd-weight output errors dominate for random single faults.
+        assert result.coverage > 30.0
+
+
+class TestPartialDuplication:
+    def test_plan_respects_budget(self, mapped_pair):
+        _, mapped = mapped_pair
+        plan = plan_duplication(mapped, area_budget_pct=40.0, n_words=4)
+        assert plan.cost <= mapped.gate_count * 0.4 + 1
+
+    def test_full_budget_duplicates_everything_useful(self, mapped_pair):
+        _, mapped = mapped_pair
+        plan = plan_duplication(mapped, area_budget_pct=100.0, n_words=4)
+        assert len(plan.check_points) == len(mapped.outputs)
+
+    def test_duplication_ced_valid_when_fault_free(self, mapped_pair):
+        net, mapped = mapped_pair
+        assembly = build_partial_duplication(mapped, 60.0, n_words=4)
+        result = evaluate_ced(assembly, n_words=4, seed=3)
+        assert result.golden_invalid == 0
+
+    def test_full_duplication_has_high_coverage(self, mapped_pair):
+        """Duplicating every output cone detects (nearly) every output
+        error — the 100%-approximation special case."""
+        _, mapped = mapped_pair
+        assembly = build_partial_duplication(mapped, 100.0, n_words=4)
+        result = evaluate_ced(assembly, n_words=16, seed=3)
+        assert result.coverage > 95.0
+
+    def test_coverage_grows_with_budget(self, mapped_pair):
+        _, mapped = mapped_pair
+        small = build_partial_duplication(mapped, 25.0, n_words=4)
+        large = build_partial_duplication(mapped, 100.0, n_words=4)
+        cov_small = evaluate_ced(small, n_words=8, seed=3).coverage
+        cov_large = evaluate_ced(large, n_words=8, seed=3).coverage
+        assert cov_large >= cov_small
+
+    def test_empty_plan_detects_nothing(self, mapped_pair):
+        from repro.ced.baselines.partial_duplication import \
+            DuplicationPlan
+        _, mapped = mapped_pair
+        assembly = build_partial_duplication(
+            mapped, 0.0, plan=DuplicationPlan([], set()))
+        result = evaluate_ced(assembly, n_words=4, seed=3)
+        assert result.detected_runs == 0
+
+
+class TestPlanCustomCandidates:
+    def test_internal_check_points(self, mapped_pair):
+        """Candidates need not be PO drivers: internal gates work as
+        check points too (closer to [10]'s node-level selection)."""
+        from repro.ced import build_partial_duplication, evaluate_ced, \
+            plan_duplication
+        _, mapped = mapped_pair
+        internal = list(mapped.gates)[:4]
+        plan = plan_duplication(mapped, area_budget_pct=100.0,
+                                n_words=2, candidates=internal)
+        assert set(plan.check_points) <= set(internal)
+        assembly = build_partial_duplication(mapped, 100.0, plan=plan)
+        result = evaluate_ced(assembly, n_words=4, seed=3)
+        assert result.golden_invalid == 0
+
+    def test_greedy_prefers_cheap_high_impact(self, mapped_pair):
+        from repro.ced import plan_duplication
+        _, mapped = mapped_pair
+        tight = plan_duplication(mapped, area_budget_pct=30.0, n_words=2)
+        loose = plan_duplication(mapped, area_budget_pct=100.0,
+                                 n_words=2)
+        assert tight.cost <= loose.cost

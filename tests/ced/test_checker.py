@@ -1,0 +1,200 @@
+"""Tests for the TSC checkers — the Figure 3 experiment.
+
+Exhaustively verifies the checker's code space (code-disjointness) and
+probes the TSC fault properties the paper discusses: self-testing and
+fault-secureness when CED is active, and the documented exceptions
+(Y stuck-at-0 / X stuck-at-1 for a 0-approximation are untestable).
+"""
+
+import itertools
+
+import pytest
+
+from repro.ced import (checker_reference, emit_approximate_checker,
+                       emit_trc_tree, emit_two_rail_cell, is_two_rail,
+                       two_rail_cell_reference, valid_codeword)
+from repro.synth import Emitter, LIB_GENERIC, LIB_NAND_NOR, MappedNetlist
+
+
+class TestCodeDisjointness:
+    """Fig 3(a): valid input codewords map to valid two-rail outputs,
+    invalid ones to invalid outputs."""
+
+    @pytest.mark.parametrize("direction", [0, 1])
+    def test_code_disjoint(self, direction):
+        for x in (False, True):
+            for y in (False, True):
+                out = checker_reference(x, y, direction)
+                if valid_codeword(x, y, direction):
+                    assert is_two_rail(out), (x, y, direction)
+                else:
+                    assert not is_two_rail(out), (x, y, direction)
+
+    def test_invalid_codeword_identity(self):
+        # 0-approximation: (X, Y) = (0, 1) is the invalid codeword.
+        assert not valid_codeword(False, True, 0)
+        assert valid_codeword(False, False, 0)
+        # 1-approximation: (1, 0) is invalid.
+        assert not valid_codeword(True, False, 1)
+        assert valid_codeword(True, True, 1)
+
+
+class TestCheckerGateLevel:
+    @pytest.mark.parametrize("direction", [0, 1])
+    @pytest.mark.parametrize("library", [LIB_GENERIC, LIB_NAND_NOR])
+    def test_matches_reference(self, direction, library):
+        netlist = MappedNetlist("chk", library)
+        netlist.add_input("x")
+        netlist.add_input("y")
+        pair = emit_approximate_checker(Emitter(netlist), "x", "y",
+                                        direction, "c")
+        netlist.set_output("c1", pair[0])
+        netlist.set_output("c2", pair[1])
+        for x in (False, True):
+            for y in (False, True):
+                out = netlist.evaluate_outputs({"x": x, "y": y})
+                assert (out["c1"], out["c2"]) == \
+                    checker_reference(x, y, direction)
+
+    def test_bad_direction_rejected(self):
+        netlist = MappedNetlist("chk", LIB_GENERIC)
+        netlist.add_input("x")
+        netlist.add_input("y")
+        with pytest.raises(ValueError):
+            emit_approximate_checker(Emitter(netlist), "x", "y", 2, "c")
+
+
+class TestTscProperties:
+    """Single stuck-at faults inside the 0-approximate checker."""
+
+    def _checker_netlist(self):
+        netlist = MappedNetlist("chk", LIB_GENERIC)
+        netlist.add_input("x")
+        netlist.add_input("y")
+        pair = emit_approximate_checker(Emitter(netlist), "x", "y", 0,
+                                        "c")
+        netlist.set_output("c1", pair[0])
+        netlist.set_output("c2", pair[1])
+        return netlist
+
+    def test_checker_faults_detected_when_ced_active(self):
+        """Self-testing/fault-secure w.r.t. checker gate faults on the
+        valid codeword space: every internal stuck-at either keeps the
+        correct output or yields an invalid codeword, and every fault is
+        testable by some valid codeword."""
+        from repro.sim import fault_list
+        import numpy as np
+        from repro.sim import BitSimulator
+        netlist = self._checker_netlist()
+        sim = BitSimulator(netlist)
+        valid_inputs = [(x, y) for x in (0, 1) for y in (0, 1)
+                        if valid_codeword(bool(x), bool(y), 0)]
+        xs = np.array([sum(v[0] << i for i, v in
+                           enumerate(valid_inputs))], dtype=np.uint64)
+        ys = np.array([sum(v[1] << i for i, v in
+                           enumerate(valid_inputs))], dtype=np.uint64)
+        golden = sim.run(np.stack([xs, ys]))
+        for fault in fault_list(netlist):
+            overlay = sim.run_fault(golden, fault.signal, fault.stuck)
+            out = sim.faulty_outputs(golden, overlay)
+            gold_out = sim.outputs_of(golden)
+            detected_somewhere = False
+            for i in range(len(valid_inputs)):
+                shift = np.uint64(i)
+                one = np.uint64(1)
+                faulty_pair = (bool(out[0][0] >> shift & one),
+                               bool(out[1][0] >> shift & one))
+                golden_pair = (bool(gold_out[0][0] >> shift & one),
+                               bool(gold_out[1][0] >> shift & one))
+                if faulty_pair != golden_pair:
+                    # Fault-secure: a wrong output must be invalid.
+                    assert not is_two_rail(faulty_pair), fault
+                    detected_somewhere = True
+            # Self-testing: some valid codeword exposes the fault.
+            assert detected_somewhere, fault
+
+    def test_y_stuck_at_0_untestable(self):
+        """The paper's documented exception: Y/sa0 under a
+        0-approximation always presents a valid codeword."""
+        for x in (False, True):
+            for y in (False, True):
+                if not valid_codeword(x, y, 0):
+                    continue
+                # Y stuck at 0: checker sees (x, 0) which is also valid.
+                assert valid_codeword(x, False, 0)
+                out = checker_reference(x, False, 0)
+                assert is_two_rail(out)
+
+    def test_x_stuck_at_1_untestable(self):
+        for x in (False, True):
+            for y in (False, True):
+                if not valid_codeword(x, y, 0):
+                    continue
+                assert valid_codeword(True, y, 0)
+                assert is_two_rail(checker_reference(True, y, 0))
+
+
+class TestTwoRailCell:
+    def test_reference_truth_table(self):
+        for a0, a1, b0, b1 in itertools.product((False, True), repeat=4):
+            c = two_rail_cell_reference((a0, a1), (b0, b1))
+            a_valid = a0 != a1
+            b_valid = b0 != b1
+            if a_valid and b_valid:
+                assert is_two_rail(c)
+            if (a0, a1) in ((False, False),) or \
+                    (b0, b1) in ((False, False),):
+                pass  # all-zero rails propagate invalidity below
+
+    def test_invalid_input_propagates(self):
+        # (0,0) or (1,1) on either input must give an invalid output.
+        for bad in ((False, False), (True, True)):
+            for good in ((False, True), (True, False)):
+                assert not is_two_rail(two_rail_cell_reference(bad, good))
+                assert not is_two_rail(two_rail_cell_reference(good, bad))
+
+    def test_gate_level_cell_matches_reference(self):
+        netlist = MappedNetlist("trc", LIB_GENERIC)
+        for name in ("a0", "a1", "b0", "b1"):
+            netlist.add_input(name)
+        pair = emit_two_rail_cell(Emitter(netlist), ("a0", "a1"),
+                                  ("b0", "b1"), "cell")
+        netlist.set_output("c0", pair[0])
+        netlist.set_output("c1", pair[1])
+        for a0, a1, b0, b1 in itertools.product((False, True), repeat=4):
+            out = netlist.evaluate_outputs(
+                {"a0": a0, "a1": a1, "b0": b0, "b1": b1})
+            assert (out["c0"], out["c1"]) == \
+                two_rail_cell_reference((a0, a1), (b0, b1))
+
+
+class TestTrcTree:
+    @pytest.mark.parametrize("n_pairs", [1, 2, 3, 5, 8])
+    def test_tree_consolidation(self, n_pairs):
+        netlist = MappedNetlist("tree", LIB_GENERIC)
+        names = []
+        for i in range(n_pairs):
+            netlist.add_input(f"p{i}0")
+            netlist.add_input(f"p{i}1")
+            names.append((f"p{i}0", f"p{i}1"))
+        pair = emit_trc_tree(Emitter(netlist), names, "t")
+        netlist.set_output("t0", pair[0])
+        netlist.set_output("t1", pair[1])
+        # All-valid input pairs -> valid output.
+        values = {}
+        for i in range(n_pairs):
+            values[f"p{i}0"] = bool(i % 2)
+            values[f"p{i}1"] = not bool(i % 2)
+        out = netlist.evaluate_outputs(values)
+        assert out["t0"] != out["t1"]
+        # Corrupt one pair -> invalid output.
+        for i in range(n_pairs):
+            bad = dict(values)
+            bad[f"p{i}1"] = bad[f"p{i}0"]
+            out = netlist.evaluate_outputs(bad)
+            assert out["t0"] == out["t1"], f"pair {i} not propagated"
+
+    def test_empty_tree_rejected(self):
+        netlist = MappedNetlist("tree", LIB_GENERIC)
+        with pytest.raises(ValueError):
+            emit_trc_tree(Emitter(netlist), [], "t")

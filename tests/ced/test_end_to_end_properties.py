@@ -1,0 +1,49 @@
+"""End-to-end property tests of the CED pipeline on random circuits."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import random_network
+from repro.ced import evaluate_ced, run_ced_flow
+
+
+class TestFlowProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_no_false_alarms_when_verified(self, seed):
+        """A BDD-verified approximation never raises a fault-free alarm
+        and never reports detections on error-free runs beyond benign
+        pre-masking ones."""
+        net = random_network(seed, 20, 7, 2, name=f"e2e{seed}")
+        flow = run_ced_flow(net, reliability_words=2, coverage_words=2)
+        if flow.approx_result.check_method in ("bdd", "sat") and \
+                flow.approx_result.all_correct:
+            assert flow.coverage.golden_invalid == 0
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_coverage_at_most_error_runs(self, seed):
+        net = random_network(seed, 20, 7, 2, name=f"e2f{seed}")
+        flow = run_ced_flow(net, reliability_words=2, coverage_words=2)
+        result = flow.coverage
+        assert result.detected_error_runs <= result.error_runs
+        assert result.error_runs <= result.runs
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_sharing_never_increases_generator_area(self, seed):
+        net = random_network(seed, 24, 8, 3, name=f"e2g{seed}")
+        plain = run_ced_flow(net, reliability_words=2, coverage_words=1)
+        shared = run_ced_flow(net, share_logic=True,
+                              reliability_words=2, coverage_words=1)
+        assert shared.metrics["area_overhead_pct"] <= \
+            plain.metrics["area_overhead_pct"] + 1e-9
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 5000), st.integers(1, 9))
+    def test_coverage_deterministic_in_seed(self, seed, eval_seed):
+        net = random_network(seed, 16, 6, 2, name=f"e2h{seed}")
+        flow = run_ced_flow(net, reliability_words=2, coverage_words=1)
+        a = evaluate_ced(flow.assembly, n_words=2, seed=eval_seed)
+        b = evaluate_ced(flow.assembly, n_words=2, seed=eval_seed)
+        assert a.coverage == b.coverage
+        assert a.detected_runs == b.detected_runs

@@ -1,0 +1,92 @@
+"""Tests for the Sec 5 extensions: error masking and delay-fault CED."""
+
+import pytest
+
+from repro.approx import synthesize_approximation
+from repro.bench import tiny_benchmark
+from repro.ced import (build_ced, build_masked_circuit,
+                       evaluate_delay_fault_ced, evaluate_masking,
+                       run_ced_flow)
+from repro.synth import quick_map
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return run_ced_flow(tiny_benchmark(seed=41))
+
+
+@pytest.fixture(scope="module")
+def masked(flow):
+    return build_masked_circuit(flow.original_mapped, flow.approx_mapped,
+                                flow.assembly.directions)
+
+
+class TestMasking:
+    def test_fault_free_masked_equals_raw(self, masked):
+        for trial in range(32):
+            values = {pi: bool(trial * 2654435761 >> i & 1)
+                      for i, pi in enumerate(masked.netlist.inputs)}
+            out = masked.netlist.evaluate_outputs(values)
+            for po, masked_po in masked.masked_outputs.items():
+                assert out[po] == out[masked_po], \
+                    "masking corrupted the fault-free circuit"
+
+    def test_masking_reduces_error_rate(self, masked):
+        result = evaluate_masking(masked, n_words=16, seed=5)
+        assert result.raw_error_runs > 0
+        assert result.masked_error_runs <= result.raw_error_runs
+        assert result.reduction_pct > 0.0
+
+    def test_masking_rates_consistent(self, masked):
+        result = evaluate_masking(masked, n_words=8, seed=5)
+        assert 0.0 <= result.masked_error_rate <= \
+            result.raw_error_rate <= 1.0
+
+    def test_masking_never_adds_errors_per_direction(self):
+        """The construction's safety argument, checked exhaustively on
+        a small circuit: Y&X (0-approx) / Y|X (1-approx) never differ
+        from Y on fault-free inputs."""
+        net = tiny_benchmark(seed=43)
+        directions = {po: i % 2 for i, po in enumerate(net.outputs)}
+        result = synthesize_approximation(net, directions)
+        assert result.all_correct
+        masked = build_masked_circuit(quick_map(net),
+                                      quick_map(result.approx),
+                                      directions)
+        for trial in range(64):
+            values = {pi: bool(trial * 40503 >> i & 1)
+                      for i, pi in enumerate(masked.netlist.inputs)}
+            out = masked.netlist.evaluate_outputs(values)
+            for po, mpo in masked.masked_outputs.items():
+                assert out[po] == out[mpo]
+
+
+class TestDelayFaultCed:
+    def test_coverage_in_range(self, flow):
+        result = evaluate_delay_fault_ced(flow.assembly, n_words=8,
+                                          seed=13)
+        assert 0.0 <= result.coverage <= 100.0
+        assert result.golden_invalid == 0
+
+    def test_errors_occur_under_delay_faults(self, flow):
+        result = evaluate_delay_fault_ced(flow.assembly, n_words=16,
+                                          seed=13)
+        assert result.error_runs > 0
+
+    def test_detects_some_delay_errors(self, flow):
+        result = evaluate_delay_fault_ced(flow.assembly, n_words=16,
+                                          seed=13)
+        assert result.detected_error_runs > 0
+
+    def test_deterministic(self, flow):
+        a = evaluate_delay_fault_ced(flow.assembly, n_words=4, seed=3)
+        b = evaluate_delay_fault_ced(flow.assembly, n_words=4, seed=3)
+        assert a.coverage == b.coverage
+
+    def test_restricted_fault_list(self, flow):
+        from repro.sim import TransitionFault
+        site = flow.assembly.fault_sites[0]
+        result = evaluate_delay_fault_ced(
+            flow.assembly, n_words=4, seed=3,
+            faults=[TransitionFault(site, 1)])
+        assert result.runs == 4 * 64

@@ -1,0 +1,103 @@
+"""Integration tests for the end-to-end CED flow."""
+
+import pytest
+
+from repro.approx import ApproxConfig
+from repro.bench import load_benchmark, tiny_benchmark
+from repro.ced import run_ced_flow
+from repro.synth import SCRIPT_CHAIN
+
+
+class TestFlowTiny:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return run_ced_flow(tiny_benchmark(seed=31))
+
+    def test_all_artifacts_present(self, flow):
+        assert flow.original_mapped.gate_count > 0
+        assert flow.approx_mapped.gate_count > 0
+        assert flow.assembly.netlist.gate_count > \
+            flow.original_mapped.gate_count
+
+    def test_approximation_correct(self, flow):
+        assert flow.approx_result.all_correct
+
+    def test_summary_keys(self, flow):
+        summary = flow.summary()
+        for key in ("gates", "area_overhead_pct", "power_overhead_pct",
+                    "approximation_pct", "max_ced_coverage_pct",
+                    "ced_coverage_pct", "delay_change_pct"):
+            assert key in summary
+
+    def test_coverage_below_max(self, flow):
+        """Achieved coverage cannot exceed the direction-protection
+        bound by more than sampling noise."""
+        summary = flow.summary()
+        assert summary["ced_coverage_pct"] <= \
+            summary["max_ced_coverage_pct"] + 8.0
+
+    def test_no_false_alarms_when_exact(self, flow):
+        assert flow.coverage.golden_invalid == 0
+
+    def test_approximation_pct_positive(self, flow):
+        assert 0.0 < flow.approximation_pct <= 100.0
+
+
+class TestFlowVariants:
+    def test_share_logic_reduces_area(self):
+        net = tiny_benchmark(seed=33)
+        plain = run_ced_flow(net, share_logic=False)
+        shared = run_ced_flow(net, share_logic=True)
+        assert shared.metrics["area_overhead_pct"] <= \
+            plain.metrics["area_overhead_pct"]
+
+    def test_directions_override(self):
+        net = tiny_benchmark(seed=33)
+        directions = {po: 1 for po in net.outputs}
+        flow = run_ced_flow(net, directions=directions)
+        assert flow.assembly.directions == directions
+
+    def test_alternate_script(self):
+        net = tiny_benchmark(seed=33)
+        flow = run_ced_flow(net, script=SCRIPT_CHAIN)
+        assert flow.original_mapped.library.name == "generic"
+        assert flow.approx_result.all_correct
+
+    def test_aggressive_config_smaller_checker_circuit(self):
+        """In significance mode (conformance disabled so the threshold
+        is the only lever) a higher threshold never yields a larger
+        check-symbol generator."""
+        net = tiny_benchmark(seed=35)
+        gentle = run_ced_flow(
+            net, config=ApproxConfig(cube_drop_threshold=0.01,
+                                     stage1="significance",
+                                     collapse_dc=False))
+        aggressive = run_ced_flow(
+            net, config=ApproxConfig(cube_drop_threshold=0.5,
+                                     stage1="significance",
+                                     collapse_dc=False))
+        assert aggressive.approx_mapped.gate_count <= \
+            gentle.approx_mapped.gate_count
+
+    def test_dc_threshold_is_a_coverage_area_knob(self):
+        """A larger DC threshold marks more of the network DC, giving a
+        smaller approximate circuit (possibly at lower coverage)."""
+        net = tiny_benchmark(seed=35)
+        strict = run_ced_flow(
+            net, config=ApproxConfig(dc_threshold=0.0))
+        loose = run_ced_flow(
+            net, config=ApproxConfig(dc_threshold=0.6))
+        assert loose.approx_mapped.gate_count <= \
+            strict.approx_mapped.gate_count
+
+
+class TestFlowOnSuiteCircuit:
+    def test_cmb_sized_benchmark(self):
+        """Smallest Table 2 benchmark through the whole flow."""
+        net = load_benchmark("cmb")
+        flow = run_ced_flow(net, reliability_words=2, coverage_words=2)
+        summary = flow.summary()
+        assert summary["ced_coverage_pct"] > 20.0
+        assert summary["area_overhead_pct"] < 120.0
+        # Approximate circuit must be faster than the original.
+        assert summary["delay_change_pct"] < 10.0

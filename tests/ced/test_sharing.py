@@ -1,0 +1,82 @@
+"""Unit tests for criticality-budgeted logic sharing."""
+
+import pytest
+
+from repro.ced import merge_equivalent_gates
+from repro.synth import LIB_GENERIC, MappedNetlist
+
+
+def host_with_duplicates():
+    """Original gates g1/g2 plus approximate twins apx_g1/apx_g2."""
+    netlist = MappedNetlist("host", LIB_GENERIC)
+    for pi in "ab":
+        netlist.add_input(pi)
+    netlist.add_gate("g1", "AND2", ["a", "b"])
+    netlist.add_gate("g2", "OR2", ["a", "b"])
+    netlist.add_gate("apx_g1", "AND2", ["a", "b"])
+    netlist.add_gate("apx_g2", "OR2", ["a", "b"])
+    netlist.add_gate("apx_top", "AND2", ["apx_g1", "apx_g2"])
+    netlist.set_output("o1", "g1")
+    netlist.set_output("o2", "g2")
+    netlist.set_output("oa", "apx_top")
+    return netlist
+
+
+class TestMergeEquivalentGates:
+    def test_unbudgeted_merges_everything(self):
+        netlist = host_with_duplicates()
+        rename = merge_equivalent_gates(netlist, "apx_",
+                                        protect={"g1", "g2"})
+        assert rename == {"apx_g1": "g1", "apx_g2": "g2"}
+        assert "apx_g1" not in netlist.gates
+        assert netlist.gates["apx_top"].fanins == ["g1", "g2"]
+
+    def test_protected_gates_survive(self):
+        netlist = host_with_duplicates()
+        merge_equivalent_gates(netlist, "apx_", protect={"g1", "g2"})
+        assert "g1" in netlist.gates and "g2" in netlist.gates
+
+    def test_budget_zero_blocks_critical_merges(self):
+        netlist = host_with_duplicates()
+        criticality = {"g1": 0.5, "g2": 0.5}
+        rename = merge_equivalent_gates(netlist, "apx_",
+                                        protect={"g1", "g2"},
+                                        criticality=criticality,
+                                        budget=0.0)
+        assert rename == {}
+        assert "apx_g1" in netlist.gates
+
+    def test_budget_picks_least_critical_first(self):
+        netlist = host_with_duplicates()
+        criticality = {"g1": 0.9, "g2": 0.1}
+        rename = merge_equivalent_gates(netlist, "apx_",
+                                        protect={"g1", "g2"},
+                                        criticality=criticality,
+                                        budget=0.2)
+        assert rename == {"apx_g2": "g2"}
+        assert "apx_g1" in netlist.gates
+
+    def test_function_preserved_after_merge(self):
+        netlist = host_with_duplicates()
+        before = {}
+        for m in range(4):
+            values = {"a": bool(m & 1), "b": bool(m & 2)}
+            before[m] = netlist.evaluate_outputs(values)
+        merge_equivalent_gates(netlist, "apx_", protect={"g1", "g2"})
+        for m in range(4):
+            values = {"a": bool(m & 1), "b": bool(m & 2)}
+            assert netlist.evaluate_outputs(values) == before[m]
+
+    def test_cascaded_merge_resolves_chains(self):
+        netlist = MappedNetlist("chain", LIB_GENERIC)
+        netlist.add_input("a")
+        netlist.add_gate("g1", "INV", ["a"])
+        netlist.add_gate("g2", "INV", ["g1"])
+        netlist.add_gate("apx_g1", "INV", ["a"])
+        netlist.add_gate("apx_g2", "INV", ["apx_g1"])
+        netlist.set_output("o", "g2")
+        netlist.set_output("oa", "apx_g2")
+        rename = merge_equivalent_gates(netlist, "apx_", protect=set())
+        assert rename["apx_g2"] == "g2"
+        assert rename["apx_g1"] == "g1"
+        assert netlist.po_signals["oa"] == "g2"

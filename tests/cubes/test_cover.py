@@ -1,0 +1,191 @@
+"""Unit and property tests for SOP covers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cubes import Cover, Cube
+
+
+def covers(n=4, max_cubes=5):
+    """Strategy generating random covers over n variables."""
+    def cube_strategy(draw):
+        ones = draw(st.integers(0, (1 << n) - 1))
+        zeros = draw(st.integers(0, (1 << n) - 1)) & ~ones
+        return Cube(n, ones, zeros)
+    cube = st.composite(cube_strategy)()
+    return st.lists(cube, max_size=max_cubes).map(lambda cs: Cover(n, cs))
+
+
+def truth_table(cover):
+    return [cover.evaluate(m) for m in range(1 << cover.n)]
+
+
+class TestConstruction:
+    def test_zero_and_one(self):
+        assert Cover.zero(3).is_zero()
+        assert Cover.one(3).is_tautology()
+
+    def test_from_strings(self):
+        f = Cover.from_strings(["1--", "-1-"])
+        assert f.evaluate(0b001)
+        assert f.evaluate(0b010)
+        assert not f.evaluate(0b100)
+
+    def test_from_strings_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cover.from_strings([])
+
+    def test_mismatched_cube_rejected(self):
+        with pytest.raises(ValueError):
+            Cover(3, [Cube.full(2)])
+
+    def test_literal(self):
+        f = Cover.literal(3, 1, 1)
+        assert f.evaluate(0b010)
+        assert not f.evaluate(0b000)
+
+
+class TestTautologyAndContainment:
+    def test_tautology_of_x_or_not_x(self):
+        f = Cover.from_strings(["1--", "0--"])
+        assert f.is_tautology()
+
+    def test_non_tautology(self):
+        assert not Cover.from_strings(["1--"]).is_tautology()
+
+    def test_covers_cube(self):
+        f = Cover.from_strings(["11-", "10-"])
+        assert f.covers_cube(Cube.from_string("1--"))
+        assert not f.covers_cube(Cube.from_string("0--"))
+
+    def test_implies(self):
+        small = Cover.from_strings(["11-"])
+        big = Cover.from_strings(["1--"])
+        assert small.implies(big)
+        assert not big.implies(small)
+
+    def test_semantic_equality(self):
+        a = Cover.from_strings(["1--", "-1-"])
+        b = Cover.from_strings(["-1-", "10-"])
+        assert a == b
+
+
+class TestBooleanOps:
+    def test_union(self):
+        a = Cover.from_strings(["1--"])
+        b = Cover.from_strings(["-1-"])
+        u = a.union(b)
+        assert u.evaluate(0b001) and u.evaluate(0b010)
+
+    def test_intersection(self):
+        a = Cover.from_strings(["1--"])
+        b = Cover.from_strings(["-1-"])
+        inter = a.intersection(b)
+        assert inter.evaluate(0b011)
+        assert not inter.evaluate(0b001)
+
+    def test_complement_of_and(self):
+        f = Cover.from_strings(["11"])
+        comp = f.complement()
+        for m in range(4):
+            assert comp.evaluate(m) == (not f.evaluate(m))
+
+    def test_sharp(self):
+        a = Cover.from_strings(["1--"])
+        b = Cover.from_strings(["11-"])
+        diff = a.sharp(b)
+        assert diff.evaluate(0b001)
+        assert not diff.evaluate(0b011)
+
+
+class TestCleanup:
+    def test_sccc_removes_contained(self):
+        f = Cover.from_strings(["1--", "11-"])
+        assert f.sccc().to_strings() == ["1--"]
+
+    def test_irredundant_collapses_to_single_cube(self):
+        # --1 alone covers both other cubes.
+        f = Cover.from_strings(["1-1", "0-1", "--1"])
+        result = f.irredundant()
+        assert len(result) == 1
+        assert truth_table(result) == truth_table(f)
+
+    def test_irredundant_removes_consensus_cube(self):
+        # 1-1 and 0-1 jointly cover -11; none is singly contained.
+        f = Cover.from_strings(["1-1", "0-1", "-11"])
+        result = f.irredundant()
+        assert len(result) == 2
+        assert truth_table(result) == truth_table(f)
+
+    def test_disjoint_preserves_function(self):
+        f = Cover.from_strings(["1--", "-1-", "--1"])
+        dis = f.disjoint()
+        assert truth_table(f) == truth_table(dis)
+        for i, a in enumerate(dis.cubes):
+            for b in dis.cubes[i + 1:]:
+                assert not a.intersects(b)
+
+
+class TestCounting:
+    def test_count_minterms(self):
+        f = Cover.from_strings(["1--", "-1-"])
+        assert f.count_minterms() == 6
+
+    def test_paper_example_counts(self):
+        # F = a + b + !c!d + cd over (a, b, c, d): 14 minterms;
+        # G = a + b: 12 minterms (Sec 2 of the paper).
+        f = Cover.from_strings(["1---", "-1--", "--00", "--11"])
+        g = Cover.from_strings(["1---", "-1--"])
+        assert f.count_minterms() == 14
+        assert g.count_minterms() == 12
+
+    def test_probability_uniform(self):
+        f = Cover.from_strings(["1--", "-1-"])
+        assert f.probability() == pytest.approx(6 / 8)
+
+    def test_probability_biased(self):
+        f = Cover.from_strings(["1-"])
+        assert f.probability([0.9, 0.5]) == pytest.approx(0.9)
+
+    def test_iter_minterms(self):
+        f = Cover.from_strings(["11-", "--1"])
+        ms = sorted(f.iter_minterms())
+        assert ms == sorted(m for m in range(8) if f.evaluate(m))
+
+
+class TestProperties:
+    @settings(max_examples=60)
+    @given(covers())
+    def test_complement_is_semantic(self, f):
+        comp = f.complement()
+        for m in range(16):
+            assert comp.evaluate(m) == (not f.evaluate(m))
+
+    @settings(max_examples=60)
+    @given(covers())
+    def test_tautology_is_semantic(self, f):
+        assert f.is_tautology() == all(truth_table(f))
+
+    @settings(max_examples=60)
+    @given(covers(), covers())
+    def test_intersection_semantics(self, a, b):
+        inter = a.intersection(b)
+        for m in range(16):
+            assert inter.evaluate(m) == (a.evaluate(m) and b.evaluate(m))
+
+    @settings(max_examples=60)
+    @given(covers())
+    def test_count_matches_truth_table(self, f):
+        assert f.count_minterms() == sum(truth_table(f))
+
+    @settings(max_examples=60)
+    @given(covers())
+    def test_irredundant_preserves_function(self, f):
+        assert truth_table(f.irredundant()) == truth_table(f)
+
+    @settings(max_examples=60)
+    @given(covers(), covers())
+    def test_implies_is_semantic(self, a, b):
+        claimed = a.implies(b)
+        actual = all((not a.evaluate(m)) or b.evaluate(m) for m in range(16))
+        assert claimed == actual

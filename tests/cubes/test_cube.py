@@ -1,0 +1,164 @@
+"""Unit and property tests for the Cube primitive."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cubes import Cube
+
+
+def cubes(n=4):
+    """Strategy generating valid cubes over n variables."""
+    def build(draw):
+        ones = draw(st.integers(0, (1 << n) - 1))
+        zeros = draw(st.integers(0, (1 << n) - 1)) & ~ones
+        return Cube(n, ones, zeros)
+    return st.composite(build)()
+
+
+class TestConstruction:
+    def test_full_cube_has_no_literals(self):
+        c = Cube.full(3)
+        assert c.num_literals == 0
+        assert c.minterm_count() == 8
+
+    def test_from_string_roundtrip(self):
+        for text in ["1-0", "---", "111", "000", "0-1-"]:
+            assert Cube.from_string(text).to_string() == text
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_contradictory_literals_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, ones=0b01, zeros=0b01)
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, ones=0b100)
+
+    def test_from_minterm(self):
+        c = Cube.from_minterm(3, 0b101)
+        assert c.to_string() == "101"
+        assert c.minterm_count() == 1
+
+    def test_from_minterm_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.from_minterm(2, 0b100)
+
+    def test_immutability(self):
+        c = Cube.full(2)
+        with pytest.raises(AttributeError):
+            c.ones = 3
+
+
+class TestLiterals:
+    def test_literal_accessor(self):
+        c = Cube.from_string("1-0")
+        assert c.literal(0) == "1"
+        assert c.literal(1) == "-"
+        assert c.literal(2) == "0"
+
+    def test_support_mask(self):
+        assert Cube.from_string("1-0").support == 0b101
+
+    def test_with_literal_then_without(self):
+        c = Cube.full(3).with_literal(1, 1)
+        assert c.literal(1) == "1"
+        assert c.without_literal(1) == Cube.full(3)
+
+    def test_with_literal_contradiction(self):
+        c = Cube.from_string("0--")
+        with pytest.raises(ValueError):
+            c.with_literal(0, 1)
+
+
+class TestAlgebra:
+    def test_containment(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_intersection_disjoint(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("0--")
+        assert a.intersection(b) is None
+        assert a.distance(b) == 1
+
+    def test_intersection_overlap(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        assert a.intersection(b) == Cube.from_string("10-")
+
+    def test_supercube(self):
+        a = Cube.from_string("10-")
+        b = Cube.from_string("11-")
+        assert a.supercube(b) == Cube.from_string("1--")
+
+    def test_consensus(self):
+        a = Cube.from_string("1-1")
+        b = Cube.from_string("0-1")
+        assert a.consensus(b) == Cube.from_string("--1")
+
+    def test_consensus_distance_two_is_none(self):
+        a = Cube.from_string("11-")
+        b = Cube.from_string("00-")
+        assert a.consensus(b) is None
+
+    def test_cofactor(self):
+        c = Cube.from_string("1-0")
+        assert c.cofactor(0, 1) == Cube.from_string("--0")
+        assert c.cofactor(0, 0) is None
+
+    def test_cofactor_cube(self):
+        c = Cube.from_string("1-0")
+        other = Cube.from_string("1--")
+        assert c.cofactor_cube(other) == Cube.from_string("--0")
+        assert c.cofactor_cube(Cube.from_string("0--")) is None
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        c = Cube.from_string("1-0")
+        assert c.evaluate(0b001)       # x0=1, x2=0
+        assert c.evaluate(0b011)
+        assert not c.evaluate(0b101)   # x2=1
+        assert not c.evaluate(0b000)   # x0=0
+
+    def test_iter_minterms_matches_count(self):
+        c = Cube.from_string("1--0")
+        minterms = list(c.iter_minterms())
+        assert len(minterms) == c.minterm_count() == 4
+        assert all(c.evaluate(m) for m in minterms)
+
+
+class TestProperties:
+    @given(cubes(), cubes())
+    def test_containment_is_semantic(self, a, b):
+        claimed = a.contains(b)
+        actual = all(a.evaluate(m) for m in b.iter_minterms())
+        assert claimed == actual
+
+    @given(cubes(), cubes())
+    def test_intersection_is_semantic(self, a, b):
+        inter = a.intersection(b)
+        for m in range(16):
+            both = a.evaluate(m) and b.evaluate(m)
+            assert both == (inter is not None and inter.evaluate(m))
+
+    @given(cubes(), cubes())
+    def test_supercube_contains_both(self, a, b):
+        sup = a.supercube(b)
+        assert sup.contains(a) and sup.contains(b)
+
+    @given(cubes())
+    def test_minterm_count_matches_enumeration(self, c):
+        assert c.minterm_count() == sum(c.evaluate(m) for m in range(16))
+
+    @given(cubes(), cubes())
+    def test_consensus_covered_by_union(self, a, b):
+        cons = a.consensus(b)
+        if cons is not None:
+            for m in cons.iter_minterms():
+                assert a.evaluate(m) or b.evaluate(m)

@@ -1,0 +1,102 @@
+"""Tests for the espresso-style minimizer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cubes import Cover, Cube, expand, irredundant, minimize, reduce_cover
+
+
+def covers(n=4, max_cubes=5):
+    def cube_strategy(draw):
+        ones = draw(st.integers(0, (1 << n) - 1))
+        zeros = draw(st.integers(0, (1 << n) - 1)) & ~ones
+        return Cube(n, ones, zeros)
+    cube = st.composite(cube_strategy)()
+    return st.lists(cube, max_size=max_cubes).map(lambda cs: Cover(n, cs))
+
+
+def truth_table(cover):
+    return [cover.evaluate(m) for m in range(1 << cover.n)]
+
+
+class TestExpand:
+    def test_expand_merges_adjacent_minterms(self):
+        f = Cover.from_strings(["11", "10"])
+        result = expand(f)
+        assert result.to_strings() == ["1-"]
+
+    def test_expand_with_dc(self):
+        f = Cover.from_strings(["11"])
+        dc = Cover.from_strings(["10"])
+        result = expand(f, dc)
+        assert result.to_strings() == ["1-"]
+
+    def test_expand_preserves_function_without_dc(self):
+        f = Cover.from_strings(["110", "100", "001"])
+        assert truth_table(expand(f)) == truth_table(f)
+
+
+class TestReduce:
+    def test_reduce_drops_fully_covered_cube(self):
+        f = Cover.from_strings(["1--", "11-"])
+        result = reduce_cover(f)
+        assert truth_table(result) == truth_table(f)
+
+    def test_reduce_shrinks_overlap(self):
+        # Two overlapping cubes; reduce should shrink at least one.
+        f = Cover.from_strings(["1-", "-1"])
+        result = reduce_cover(f)
+        assert truth_table(result) == truth_table(f)
+
+
+class TestMinimize:
+    def test_xor_cover_is_already_minimal(self):
+        f = Cover.from_strings(["10", "01"])
+        result = minimize(f)
+        assert len(result) == 2
+        assert truth_table(result) == truth_table(f)
+
+    def test_redundant_cover_shrinks(self):
+        f = Cover.from_strings(["1-1", "0-1", "--1", "11-"])
+        result = minimize(f)
+        assert truth_table(result) == truth_table(f)
+        assert len(result) < len(f)
+
+    def test_minimize_zero(self):
+        assert minimize(Cover.zero(3)).is_zero()
+
+    def test_minimize_tautology(self):
+        f = Cover.from_strings(["1--", "0--"])
+        result = minimize(f)
+        assert result.is_tautology()
+        assert len(result) == 1
+
+    def test_minimize_with_dc_uses_dc(self):
+        f = Cover.from_strings(["11"])
+        dc = Cover.from_strings(["10", "01"])
+        result = minimize(f, dc)
+        # With those don't cares, a single one-literal cube suffices.
+        assert result.num_literals == 1
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(covers())
+    def test_minimize_preserves_function(self, f):
+        assert truth_table(minimize(f)) == truth_table(f)
+
+    @settings(max_examples=40, deadline=None)
+    @given(covers())
+    def test_minimize_never_increases_cost(self, f):
+        result = minimize(f)
+        assert len(result) <= len(f.sccc()) or \
+            result.num_literals <= f.num_literals
+
+    @settings(max_examples=40, deadline=None)
+    @given(covers(), covers())
+    def test_minimize_with_dc_stays_in_bounds(self, f, dc):
+        result = minimize(f, dc)
+        for m in range(16):
+            if f.evaluate(m) and not dc.evaluate(m):
+                assert result.evaluate(m)          # onset preserved
+            if not f.evaluate(m) and not dc.evaluate(m):
+                assert not result.evaluate(m)      # offset preserved

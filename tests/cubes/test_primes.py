@@ -1,0 +1,93 @@
+"""Tests for prime implicant generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cubes import (Cover, Cube, essential_primes, is_prime,
+                         minimize, prime_implicants)
+
+
+def covers(n=4, max_cubes=5):
+    def cube_strategy(draw):
+        ones = draw(st.integers(0, (1 << n) - 1))
+        zeros = draw(st.integers(0, (1 << n) - 1)) & ~ones
+        return Cube(n, ones, zeros)
+    cube = st.composite(cube_strategy)()
+    return st.lists(cube, max_size=max_cubes).map(lambda cs: Cover(n, cs))
+
+
+class TestPrimeImplicants:
+    def test_xor_primes(self):
+        f = Cover.from_strings(["10", "01"])
+        primes = prime_implicants(f)
+        assert sorted(primes.to_strings()) == ["01", "10"]
+
+    def test_consensus_discovered(self):
+        # a!c + bc has consensus ab.
+        f = Cover.from_strings(["1-0", "-11"])
+        primes = prime_implicants(f)
+        assert "11-" in primes.to_strings()
+
+    def test_tautology(self):
+        f = Cover.from_strings(["1-", "0-"])
+        primes = prime_implicants(f)
+        assert primes.to_strings() == ["--"]
+
+    def test_empty(self):
+        assert prime_implicants(Cover.zero(3)).is_zero()
+
+
+class TestIsPrime:
+    def test_prime_and_nonprime(self):
+        f = Cover.from_strings(["1-", "-1"])
+        assert is_prime(Cube.from_string("1-"), f)
+        assert not is_prime(Cube.from_string("11"), f)  # expandable
+
+    def test_non_implicant(self):
+        f = Cover.from_strings(["11"])
+        assert not is_prime(Cube.from_string("1-"), f)
+
+
+class TestEssentialPrimes:
+    def test_xor_all_essential(self):
+        f = Cover.from_strings(["10", "01"])
+        essentials = essential_primes(f)
+        assert sorted(essentials.to_strings()) == ["01", "10"]
+
+    def test_consensus_cube_not_essential(self):
+        # Primes of a!c + bc + ab: the consensus ab is non-essential.
+        f = Cover.from_strings(["1-0", "-11"])
+        essentials = essential_primes(f)
+        assert "11-" not in essentials.to_strings()
+        assert len(essentials) == 2
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(covers())
+    def test_all_primes_are_prime(self, f):
+        primes = prime_implicants(f)
+        for cube in primes.cubes:
+            assert is_prime(cube, f)
+
+    @settings(max_examples=40, deadline=None)
+    @given(covers())
+    def test_complete_sum_equals_function(self, f):
+        primes = prime_implicants(f)
+        for m in range(16):
+            assert primes.evaluate(m) == f.evaluate(m)
+
+    @settings(max_examples=30, deadline=None)
+    @given(covers())
+    def test_minimized_cubes_are_primes(self, f):
+        """Espresso EXPAND must leave only prime implicants."""
+        result = minimize(f)
+        for cube in result.cubes:
+            assert is_prime(cube, f)
+
+    @settings(max_examples=30, deadline=None)
+    @given(covers())
+    def test_essential_primes_subset_of_primes(self, f):
+        primes = set(prime_implicants(f).cubes)
+        for cube in essential_primes(f).cubes:
+            assert cube in primes

@@ -1,0 +1,23 @@
+"""Property test: BLIF write/parse round-trips preserve functions."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import random_network
+from repro.network import parse_blif, write_blif
+from repro.sim import BitSimulator, exhaustive_inputs
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 3000), st.integers(6, 30))
+def test_blif_roundtrip_equivalence(seed, nodes):
+    net = random_network(seed, nodes, 7, 3, name=f"rt{seed}")
+    again = parse_blif(write_blif(net))
+    assert again.inputs == net.inputs
+    assert again.outputs == net.outputs
+    sim_a = BitSimulator(net)
+    sim_b = BitSimulator(again)
+    rows = exhaustive_inputs(len(net.inputs))
+    out_a = sim_a.outputs_of(sim_a.run(rows))
+    out_b = sim_b.outputs_of(sim_b.run(rows))
+    assert np.array_equal(out_a, out_b)

@@ -1,0 +1,52 @@
+"""Tests for DFS input ordering of global BDDs."""
+
+import pytest
+
+from repro.bench import random_network, tiny_benchmark
+from repro.cubes import Cover
+from repro.network import GlobalBdds, Network, dfs_input_order
+
+
+class TestDfsOrder:
+    def test_all_inputs_present_once(self):
+        net = tiny_benchmark(seed=3)
+        order = dfs_input_order(net)
+        assert sorted(order) == sorted(net.inputs)
+        assert len(set(order)) == len(order)
+
+    def test_cone_inputs_adjacent(self):
+        """Two disjoint cones: each cone's inputs are contiguous."""
+        net = Network()
+        for pi in ("a1", "a2", "b1", "b2"):
+            net.add_input(pi)
+        net.add_node("ya", ["a1", "a2"], Cover.from_strings(["11"]))
+        net.add_node("yb", ["b1", "b2"], Cover.from_strings(["1-", "-1"]))
+        net.add_output("ya")
+        net.add_output("yb")
+        order = dfs_input_order(net)
+        pos = {pi: i for i, pi in enumerate(order)}
+        assert abs(pos["a1"] - pos["a2"]) == 1
+        assert abs(pos["b1"] - pos["b2"]) == 1
+
+    def test_unused_inputs_kept_at_end(self):
+        net = Network()
+        net.add_input("used")
+        net.add_input("unused")
+        net.add_node("y", ["used"], Cover.from_strings(["1"]))
+        net.add_output("y")
+        order = dfs_input_order(net)
+        assert order == ["used", "unused"]
+
+    def test_build_orders_agree_functionally(self):
+        net = random_network(77, 24, 8, 2, name="order")
+        dfs = GlobalBdds.build(net, order="dfs")
+        natural = GlobalBdds.build(net, order="natural")
+        for po in net.outputs:
+            # Same probability regardless of variable order.
+            assert dfs.minterm_fraction(po) == pytest.approx(
+                natural.minterm_fraction(po))
+
+    def test_unknown_order_rejected(self):
+        net = tiny_benchmark(seed=3)
+        with pytest.raises(ValueError):
+            GlobalBdds.build(net, order="sideways")

@@ -1,0 +1,193 @@
+"""Tests for the Network data structure."""
+
+import pytest
+
+from repro.cubes import Cover
+from repro.network import Network, NetworkError, embed
+
+
+def small_network():
+    """y = (a & b) | !c, with an intermediate AND node."""
+    net = Network("small")
+    for pi in "abc":
+        net.add_input(pi)
+    net.add_node("t1", ["a", "b"], Cover.from_strings(["11"]))
+    net.add_node("y", ["t1", "c"], Cover.from_strings(["1-", "-0"]))
+    net.add_output("y")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_signal_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_node("a", [], Cover.zero(0))
+
+    def test_unknown_fanin_rejected(self):
+        net = Network()
+        with pytest.raises(NetworkError):
+            net.add_node("x", ["ghost"], Cover.from_strings(["1"]))
+
+    def test_unknown_output_rejected(self):
+        net = Network()
+        with pytest.raises(NetworkError):
+            net.add_output("ghost")
+
+    def test_const_nodes(self):
+        net = Network()
+        net.add_const("k1", True)
+        net.add_const("k0", False)
+        net.add_output("k1")
+        net.add_output("k0")
+        values = net.evaluate_outputs({})
+        assert values == {"k1": True, "k0": False}
+
+    def test_output_can_be_input(self):
+        net = Network()
+        net.add_input("a")
+        net.add_output("a")
+        assert net.evaluate_outputs({"a": True}) == {"a": True}
+
+
+class TestTopology:
+    def test_topological_order(self):
+        net = small_network()
+        order = net.topological_order()
+        assert order.index("t1") < order.index("y")
+
+    def test_diamond_is_not_a_cycle(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("l", ["a"], Cover.from_strings(["1"]))
+        net.add_node("r", ["a"], Cover.from_strings(["0"]))
+        net.add_node("top", ["l", "r"], Cover.from_strings(["11"]))
+        net.add_output("top")
+        order = net.topological_order()
+        assert order.index("top") == 2
+
+    def test_cycle_detected(self):
+        net = small_network()
+        with pytest.raises(NetworkError):
+            net.replace_node("t1", ["a", "y"], Cover.from_strings(["11"]))
+
+    def test_cycle_rejection_restores_node(self):
+        net = small_network()
+        try:
+            net.replace_node("t1", ["a", "y"], Cover.from_strings(["11"]))
+        except NetworkError:
+            pass
+        assert net.nodes["t1"].fanins == ["a", "b"]
+        net.topological_order()  # still valid
+
+    def test_transitive_fanin(self):
+        net = small_network()
+        tfi = net.transitive_fanin(["t1"])
+        assert tfi == {"t1", "a", "b"}
+
+    def test_levels_and_depth(self):
+        net = small_network()
+        levels = net.level_map()
+        assert levels["a"] == 0
+        assert levels["t1"] == 1
+        assert levels["y"] == 2
+        assert net.depth() == 2
+
+    def test_fanouts(self):
+        net = small_network()
+        fo = net.fanouts()
+        assert fo["a"] == ["t1"]
+        assert fo["t1"] == ["y"]
+        assert fo["y"] == []
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("a,b,c", [(x, y, z) for x in (0, 1)
+                                       for y in (0, 1) for z in (0, 1)])
+    def test_matches_reference(self, a, b, c):
+        net = small_network()
+        out = net.evaluate_outputs({"a": a, "b": b, "c": c})
+        assert out["y"] == ((a and b) or not c)
+
+
+class TestMutation:
+    def test_replace_cover(self):
+        net = small_network()
+        net.replace_cover("t1", Cover.from_strings(["1-", "-1"]))  # OR now
+        out = net.evaluate_outputs({"a": True, "b": False, "c": True})
+        assert out["y"] is True
+
+    def test_replace_cover_wrong_width(self):
+        net = small_network()
+        with pytest.raises(NetworkError):
+            net.replace_cover("t1", Cover.from_strings(["1"]))
+
+    def test_remove_node_with_fanout_rejected(self):
+        net = small_network()
+        with pytest.raises(NetworkError):
+            net.remove_node("t1")
+
+    def test_remove_free_node(self):
+        net = small_network()
+        net.add_node("dangling", ["a"], Cover.from_strings(["1"]))
+        net.remove_node("dangling")
+        assert "dangling" not in net.nodes
+
+
+class TestCopies:
+    def test_copy_is_deep(self):
+        net = small_network()
+        dup = net.copy()
+        dup.replace_cover("t1", Cover.from_strings(["--"]))
+        assert net.nodes["t1"].cover.to_strings() == ["11"]
+
+    def test_renamed(self):
+        net = small_network()
+        dup = net.renamed(lambda s: "x_" + s)
+        assert dup.inputs == ["x_a", "x_b", "x_c"]
+        assert dup.outputs == ["x_y"]
+        out = dup.evaluate_outputs({"x_a": 1, "x_b": 1, "x_c": 1})
+        assert out["x_y"] is True
+
+    def test_renamed_keep_inputs(self):
+        net = small_network()
+        dup = net.renamed(lambda s: "x_" + s, rename_inputs=False)
+        assert dup.inputs == ["a", "b", "c"]
+        assert dup.outputs == ["x_y"]
+
+
+class TestEmbed:
+    def test_embed_wires_inputs(self):
+        host = Network("host")
+        for pi in "ab":
+            host.add_input(pi)
+        host.add_node("inv", ["a"], Cover.from_strings(["0"]))
+        guest = Network("guest")
+        guest.add_input("p")
+        guest.add_input("q")
+        guest.add_node("g", ["p", "q"], Cover.from_strings(["11"]))
+        guest.add_output("g")
+        mapping = embed(host, guest, {"p": "inv", "q": "b"}, "u0_")
+        host.add_output(mapping["g"])
+        out = host.evaluate_outputs({"a": False, "b": True})
+        assert out[mapping["g"]] is True  # !a & b
+
+    def test_embed_unbound_input_rejected(self):
+        host = Network()
+        guest = Network()
+        guest.add_input("p")
+        with pytest.raises(NetworkError):
+            embed(host, guest, {}, "u_")
+
+    def test_embed_name_collision_avoided(self):
+        host = Network()
+        host.add_input("a")
+        host.add_node("u_g", ["a"], Cover.from_strings(["1"]))
+        guest = Network()
+        guest.add_input("p")
+        guest.add_node("g", ["p"], Cover.from_strings(["0"]))
+        mapping = embed(host, guest, {"p": "a"}, "u_")
+        assert mapping["g"] != "u_g"
+        assert mapping["g"] in host.nodes

@@ -1,0 +1,173 @@
+"""Tests for network transformations."""
+
+import pytest
+
+from repro.cubes import Cover
+from repro.network import (Network, cleanup, eliminate,
+                           propagate_constants, strash, sweep)
+
+
+def exhaustive_outputs(net):
+    table = []
+    for m in range(1 << len(net.inputs)):
+        values = {pi: bool(m >> i & 1) for i, pi in enumerate(net.inputs)}
+        table.append(tuple(net.evaluate_outputs(values)[o]
+                           for o in net.outputs))
+    return table
+
+
+def build_net_with_dead_logic():
+    net = Network()
+    for pi in "abc":
+        net.add_input(pi)
+    net.add_node("live", ["a", "b"], Cover.from_strings(["11"]))
+    net.add_node("dead", ["c"], Cover.from_strings(["0"]))
+    net.add_node("dead2", ["dead"], Cover.from_strings(["1"]))
+    net.add_output("live")
+    return net
+
+
+class TestSweep:
+    def test_removes_dead_cone(self):
+        net = build_net_with_dead_logic()
+        removed = sweep(net)
+        assert removed == 2
+        assert set(net.nodes) == {"live"}
+
+    def test_noop_on_clean_network(self):
+        net = build_net_with_dead_logic()
+        sweep(net)
+        assert sweep(net) == 0
+
+
+class TestPropagateConstants:
+    def test_constant_and_input(self):
+        net = Network()
+        net.add_input("a")
+        net.add_const("k1", True)
+        net.add_node("y", ["a", "k1"], Cover.from_strings(["11"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        propagate_constants(net)
+        assert exhaustive_outputs(net) == before
+        assert net.nodes["y"].fanins == ["a"]
+
+    def test_node_that_becomes_constant(self):
+        net = Network()
+        net.add_input("a")
+        net.add_const("k0", False)
+        # y = a & 0 == 0; z reads y.
+        net.add_node("y", ["a", "k0"], Cover.from_strings(["11"]))
+        net.add_node("z", ["y"], Cover.from_strings(["0"]))
+        net.add_output("z")
+        before = exhaustive_outputs(net)
+        propagate_constants(net)
+        assert exhaustive_outputs(net) == before
+        assert net.nodes["z"].is_constant
+
+    def test_tautology_cover_folds(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("t", ["a"], Cover.from_strings(["1", "0"]))
+        net.add_node("y", ["t", "a"], Cover.from_strings(["11"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        propagate_constants(net)
+        assert exhaustive_outputs(net) == before
+
+
+class TestEliminate:
+    def test_single_fanout_collapse(self):
+        net = Network()
+        for pi in "abc":
+            net.add_input(pi)
+        net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("y", ["t", "c"], Cover.from_strings(["1-", "-1"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        count = eliminate(net)
+        assert count == 1
+        assert "t" not in net.nodes
+        assert exhaustive_outputs(net) == before
+
+    def test_multi_fanout_not_collapsed(self):
+        net = Network()
+        for pi in "ab":
+            net.add_input(pi)
+        net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("u", ["t"], Cover.from_strings(["0"]))
+        net.add_node("v", ["t"], Cover.from_strings(["1"]))
+        net.add_output("u")
+        net.add_output("v")
+        assert eliminate(net) == 0
+        assert "t" in net.nodes
+
+    def test_support_budget_respected(self):
+        net = Network()
+        for i in range(6):
+            net.add_input(f"i{i}")
+        net.add_node("t", [f"i{i}" for i in range(3)],
+                     Cover.from_strings(["111"]))
+        net.add_node("y", ["t"] + [f"i{i}" for i in range(3, 6)],
+                     Cover.from_strings(["1---", "-111"]))
+        net.add_output("y")
+        assert eliminate(net, max_support=2) == 0
+
+
+class TestStrash:
+    def test_merges_identical_nodes(self):
+        net = Network()
+        for pi in "ab":
+            net.add_input(pi)
+        net.add_node("t1", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("t2", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("y", ["t1", "t2"], Cover.from_strings(["1-", "-1"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        merged = strash(net)
+        assert merged == 1
+        assert exhaustive_outputs(net) == before
+
+    def test_cascaded_merge(self):
+        net = Network()
+        for pi in "ab":
+            net.add_input(pi)
+        net.add_node("t1", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("t2", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("u1", ["t1"], Cover.from_strings(["0"]))
+        net.add_node("u2", ["t2"], Cover.from_strings(["0"]))
+        net.add_node("y", ["u1", "u2"], Cover.from_strings(["1-", "-1"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        merged = strash(net)
+        assert merged == 2
+        assert exhaustive_outputs(net) == before
+
+    def test_output_rename(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("t1", ["a"], Cover.from_strings(["0"]))
+        net.add_node("t2", ["a"], Cover.from_strings(["0"]))
+        net.add_output("t2")
+        strash(net)
+        assert len(net.nodes) == 1
+        survivor = next(iter(net.nodes))
+        assert net.outputs == [survivor]
+
+
+class TestCleanup:
+    def test_pipeline_preserves_function(self):
+        net = Network()
+        for pi in "abc":
+            net.add_input(pi)
+        net.add_const("k1", True)
+        net.add_node("t1", ["a", "k1"], Cover.from_strings(["11"]))
+        net.add_node("t2", ["a"], Cover.from_strings(["1"]))
+        net.add_node("dead", ["c"], Cover.from_strings(["0"]))
+        net.add_node("y", ["t1", "t2", "b"],
+                     Cover.from_strings(["11-", "--1"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        cleanup(net)
+        assert exhaustive_outputs(net) == before
+        assert "dead" not in net.nodes

@@ -1,0 +1,79 @@
+"""Property tests: network transforms preserve circuit function.
+
+Uses the benchmark generator as a source of structurally diverse
+networks and bit-parallel simulation as the equivalence oracle.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import random_network
+from repro.network import (cleanup, eliminate, propagate_constants,
+                           strash, sweep, trim_unread_fanins)
+from repro.sim import BitSimulator
+
+
+def outputs_signature(net, seed=99, n_words=4):
+    """Simulation fingerprint of the network's output functions."""
+    sim = BitSimulator(net)
+    rng = np.random.default_rng(seed)
+    pi = sim.random_inputs(rng, n_words)
+    values = sim.run(pi)
+    return [tuple(values[idx]) for idx in sim.output_indices]
+
+
+def nets():
+    return st.builds(
+        lambda seed, nodes: random_network(seed, nodes, 8, 3,
+                                           name=f"p{seed}"),
+        st.integers(0, 5000), st.integers(8, 40))
+
+
+class TestTransformEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(nets())
+    def test_cleanup_preserves_outputs(self, net):
+        before = outputs_signature(net)
+        cleanup(net)
+        assert outputs_signature(net) == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(nets())
+    def test_eliminate_preserves_outputs(self, net):
+        before = outputs_signature(net)
+        eliminate(net, max_support=8)
+        assert outputs_signature(net) == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(nets())
+    def test_strash_preserves_outputs_and_po_names(self, net):
+        before = outputs_signature(net)
+        pos = list(net.outputs)
+        strash(net)
+        assert net.outputs == pos, "strash must not rename outputs"
+        assert outputs_signature(net) == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(nets())
+    def test_trim_and_sweep_preserve_outputs(self, net):
+        before = outputs_signature(net)
+        trim_unread_fanins(net)
+        sweep(net)
+        assert outputs_signature(net) == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(nets())
+    def test_propagate_constants_preserves_outputs(self, net):
+        before = outputs_signature(net)
+        propagate_constants(net)
+        assert outputs_signature(net) == before
+
+    @settings(max_examples=15, deadline=None)
+    @given(nets())
+    def test_transform_pipeline_idempotent_on_size(self, net):
+        cleanup(net)
+        eliminate(net, max_support=8)
+        cleanup(net)
+        size_once = net.num_nodes
+        cleanup(net)
+        assert net.num_nodes == size_once

@@ -1,0 +1,79 @@
+"""Tests for trim_unread_fanins and the eliminate support squeeze."""
+
+from repro.cubes import Cover
+from repro.network import Network, eliminate, sweep, trim_unread_fanins
+
+
+def exhaustive_outputs(net):
+    table = []
+    for m in range(1 << len(net.inputs)):
+        values = {pi: bool(m >> i & 1) for i, pi in enumerate(net.inputs)}
+        table.append(tuple(net.evaluate_outputs(values)[o]
+                           for o in net.outputs))
+    return table
+
+
+class TestTrimUnreadFanins:
+    def test_trims_and_preserves_function(self):
+        net = Network()
+        for pi in "abc":
+            net.add_input(pi)
+        net.add_node("t", ["c"], Cover.from_strings(["1"]))
+        # y lists t as a fanin but never reads it.
+        net.add_node("y", ["a", "b", "t"], Cover.from_strings(["11-"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        trimmed = trim_unread_fanins(net)
+        assert trimmed == 1
+        assert net.nodes["y"].fanins == ["a", "b"]
+        assert exhaustive_outputs(net) == before
+
+    def test_trim_then_sweep_removes_cone(self):
+        net = Network()
+        for pi in "abcd":
+            net.add_input(pi)
+        net.add_node("deep", ["c", "d"], Cover.from_strings(["11"]))
+        net.add_node("mid", ["deep"], Cover.from_strings(["0"]))
+        net.add_node("y", ["a", "b", "mid"], Cover.from_strings(["11-"]))
+        net.add_output("y")
+        trim_unread_fanins(net)
+        removed = sweep(net)
+        assert removed == 2
+        assert set(net.nodes) == {"y"}
+
+    def test_noop_when_all_read(self):
+        net = Network()
+        for pi in "ab":
+            net.add_input(pi)
+        net.add_node("y", ["a", "b"], Cover.from_strings(["1-", "-1"]))
+        net.add_output("y")
+        assert trim_unread_fanins(net) == 0
+
+    def test_middle_variable_trim_remaps_masks(self):
+        net = Network()
+        for pi in "abc":
+            net.add_input(pi)
+        # Reads a (index 0) and c (index 2); b unread.
+        net.add_node("y", ["a", "b", "c"], Cover.from_strings(["1-0"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        trim_unread_fanins(net)
+        assert net.nodes["y"].fanins == ["a", "c"]
+        assert net.nodes["y"].cover.to_strings() == ["10"]
+        assert exhaustive_outputs(net) == before
+
+
+class TestEliminateSupportSqueeze:
+    def test_composition_dropping_support(self):
+        net = Network()
+        for pi in "abc":
+            net.add_input(pi)
+        # t = a | !a  == 1 in disguise; y = t & b.
+        net.add_node("t", ["a"], Cover.from_strings(["1", "0"]))
+        net.add_node("y", ["t", "b"], Cover.from_strings(["11"]))
+        net.add_output("y")
+        before = exhaustive_outputs(net)
+        eliminate(net)
+        assert exhaustive_outputs(net) == before
+        # After elimination y must not list 'a' (support vanished).
+        assert "a" not in net.nodes["y"].fanins

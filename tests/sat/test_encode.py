@@ -1,0 +1,108 @@
+"""Tests for Tseitin encoding and SAT-based implication checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import random_network
+from repro.cubes import Cover
+from repro.network import Network
+from repro.sat import NetworkEncoder
+
+
+def demo_network():
+    net = Network("demo")
+    for pi in "abc":
+        net.add_input(pi)
+    net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+    net.add_node("y", ["t", "c"], Cover.from_strings(["1-", "-0"]))
+    net.add_output("y")
+    return net
+
+
+class TestEncoding:
+    def test_encoded_function_matches_evaluation(self):
+        net = demo_network()
+        enc = NetworkEncoder(net.inputs)
+        enc.add_network(net)
+        solver = enc.solver
+        for m in range(8):
+            assumptions = []
+            for i, pi in enumerate(net.inputs):
+                var = enc.var(pi)
+                assumptions.append(var if m >> i & 1 else -var)
+            assert solver.solve(assumptions=assumptions) is True
+            expected = net.evaluate_outputs(
+                {pi: bool(m >> i & 1)
+                 for i, pi in enumerate(net.inputs)})["y"]
+            assert solver.value(enc.var("y")) == expected
+
+    def test_constant_nodes(self):
+        net = Network()
+        net.add_input("a")
+        net.add_const("k1", True)
+        net.add_const("k0", False)
+        net.add_output("k1")
+        net.add_output("k0")
+        enc = NetworkEncoder(net.inputs)
+        enc.add_network(net)
+        assert enc.solver.solve() is True
+        assert enc.solver.value(enc.var("k1")) is True
+        assert enc.solver.value(enc.var("k0")) is False
+
+    def test_unknown_input_rejected(self):
+        net = demo_network()
+        enc = NetworkEncoder(["x", "y", "z"])
+        with pytest.raises(ValueError):
+            enc.add_network(net)
+
+
+class TestImplicationQueries:
+    def test_holding_implication(self):
+        net = demo_network()
+        enc = NetworkEncoder(net.inputs)
+        enc.add_network(net)
+        # t = a&b implies y = t | !c?  Not generally; t=1 -> y=1 holds.
+        assert enc.implication_holds("t", "y") is True
+
+    def test_violated_implication_with_counterexample(self):
+        net = demo_network()
+        enc = NetworkEncoder(net.inputs)
+        enc.add_network(net)
+        assert enc.implication_holds("y", "t") is False
+        cex = enc.counterexample("y", "t")
+        assert cex is not None
+        values = net.evaluate(cex)
+        assert values["y"] and not values["t"]
+
+    def test_equivalence(self):
+        net = demo_network()
+        duplicate = net.copy()
+        enc = NetworkEncoder(net.inputs)
+        enc.add_network(net, prefix="a_")
+        enc.add_network(duplicate, prefix="b_")
+        assert enc.equivalent("a_y", "b_y") is True
+        assert enc.equivalent("a_t", "b_y") is False
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 3000))
+    def test_agrees_with_exhaustive_on_random_networks(self, seed):
+        net = random_network(seed, 16, 6, 2, name=f"sat{seed}")
+        approx = net.copy()
+        # Perturb one node: drop its last cube (a 1-side shrink).
+        name = next(iter(approx.nodes))
+        cover = approx.nodes[name].cover
+        if len(cover) > 1:
+            approx.replace_cover(name, Cover(cover.n, cover.cubes[:-1]))
+        enc = NetworkEncoder(net.inputs)
+        enc.add_network(net, prefix="o_")
+        enc.add_network(approx, prefix="a_")
+        for po in net.outputs:
+            expected = all(
+                (not approx.evaluate_outputs(values)[po])
+                or net.evaluate_outputs(values)[po]
+                for values in (
+                    {pi: bool(m >> i & 1)
+                     for i, pi in enumerate(net.inputs)}
+                    for m in range(1 << len(net.inputs))))
+            got = enc.implication_holds("a_" + po, "o_" + po)
+            assert got is expected

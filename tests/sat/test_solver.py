@@ -1,0 +1,171 @@
+"""Tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import SatSolver
+
+
+def make_solver(n_vars):
+    solver = SatSolver()
+    for _ in range(n_vars):
+        solver.new_var()
+    return solver
+
+
+def brute_force_sat(n_vars, clauses, assumptions=()):
+    for m in range(1 << n_vars):
+        def val(lit):
+            bit = bool(m >> (abs(lit) - 1) & 1)
+            return bit if lit > 0 else not bit
+        if all(val(a) for a in assumptions) and \
+                all(any(val(lit) for lit in clause)
+                    for clause in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        solver = make_solver(1)
+        solver.add_clause([1])
+        assert solver.solve() is True
+        assert solver.model()[1] is True
+
+    def test_trivial_unsat(self):
+        solver = make_solver(1)
+        assert solver.add_clause([1])
+        assert solver.add_clause([-1]) is False or \
+            solver.solve() is False
+
+    def test_unit_propagation_chain(self):
+        solver = make_solver(3)
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve() is True
+        model = solver.model()
+        assert model[1] and model[2] and model[3]
+
+    def test_empty_clause_rejected(self):
+        solver = make_solver(1)
+        assert solver.add_clause([]) is False
+
+    def test_tautological_clause_ignored(self):
+        solver = make_solver(1)
+        assert solver.add_clause([1, -1]) is True
+        assert solver.solve() is True
+
+    def test_unknown_variable(self):
+        solver = make_solver(1)
+        with pytest.raises(ValueError):
+            solver.add_clause([5])
+
+    def test_xor_chain_sat(self):
+        # x1 ^ x2 = 1, x2 ^ x3 = 1, x1 = 1 -> forced model.
+        solver = make_solver(3)
+        for a, b in ((1, 2), (2, 3)):
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])
+        solver.add_clause([1])
+        assert solver.solve() is True
+        model = solver.model()
+        assert model[1] and not model[2] and model[3]
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole.
+        solver = make_solver(2)
+        solver.add_clause([1])
+        solver.add_clause([2])
+        solver.add_clause([-1, -2])
+        assert solver.solve() is False
+
+
+class TestAssumptions:
+    def test_sat_then_unsat_under_assumptions(self):
+        solver = make_solver(2)
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[1]) is True
+        assert solver.model()[2] is True
+        assert solver.solve(assumptions=[1, -2]) is False
+        # The solver stays usable: no permanent damage from UNSAT.
+        assert solver.solve(assumptions=[-1, -2]) is True
+
+    def test_incremental_reuse(self):
+        solver = make_solver(3)
+        solver.add_clause([1, 2, 3])
+        assert solver.solve(assumptions=[-1, -2]) is True
+        assert solver.model()[3] is True
+        assert solver.solve(assumptions=[-1, -2, -3]) is False
+        assert solver.solve() is True
+
+    def test_conflicting_assumptions(self):
+        solver = make_solver(1)
+        assert solver.solve(assumptions=[1, -1]) is False
+
+
+class TestBudget:
+    def test_budget_returns_none_or_answer(self):
+        solver = make_solver(6)
+        random_state = random.Random(5)
+        for _ in range(40):
+            clause = [random_state.choice([1, -1])
+                      * random_state.randint(1, 6) for _ in range(3)]
+            solver.add_clause(clause)
+        result = solver.solve(max_conflicts=1)
+        assert result in (True, False, None)
+
+
+class TestRandomInstances:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 6),
+           st.lists(st.lists(st.integers(1, 6).flatmap(
+               lambda v: st.sampled_from([v, -v])),
+               min_size=1, max_size=4), max_size=14),
+           st.integers(0, 100))
+    def test_agrees_with_brute_force(self, n_vars, clauses, seed):
+        clauses = [[lit for lit in clause if abs(lit) <= n_vars]
+                   or [1 if n_vars >= 1 else 1] for clause in clauses]
+        clauses = [c for c in clauses if c]
+        solver = make_solver(n_vars)
+        ok = True
+        for clause in clauses:
+            if not solver.add_clause(clause):
+                ok = False
+                break
+        expected = brute_force_sat(n_vars, clauses)
+        if not ok:
+            assert expected is False
+            return
+        assert solver.solve() is expected
+        if expected:
+            model = solver.model()
+            for clause in clauses:
+                assert any(
+                    (model.get(abs(lit), False) if lit > 0
+                     else not model.get(abs(lit), False))
+                    for lit in clause)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 5),
+           st.lists(st.lists(st.integers(1, 5).flatmap(
+               lambda v: st.sampled_from([v, -v])),
+               min_size=1, max_size=3), max_size=10),
+           st.lists(st.integers(1, 5).flatmap(
+               lambda v: st.sampled_from([v, -v])),
+               max_size=3, unique_by=abs))
+    def test_assumptions_agree_with_brute_force(self, n_vars, clauses,
+                                                assumptions):
+        clauses = [[lit for lit in clause if abs(lit) <= n_vars]
+                   for clause in clauses]
+        clauses = [c for c in clauses if c]
+        assumptions = [a for a in assumptions if abs(a) <= n_vars]
+        solver = make_solver(n_vars)
+        ok = all(solver.add_clause(c) for c in clauses)
+        expected = brute_force_sat(n_vars, clauses, assumptions)
+        if not ok:
+            assert not expected
+            return
+        assert solver.solve(assumptions=assumptions) is expected

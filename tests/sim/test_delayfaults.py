@@ -1,0 +1,98 @@
+"""Tests for the transition (delay) fault model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cubes import Cover
+from repro.network import Network
+from repro.sim import (BitSimulator, TransitionFault, late_value,
+                       run_transition_fault, transition_fault_list)
+
+
+def buffer_chain():
+    net = Network("chain")
+    net.add_input("a")
+    net.add_node("b1", ["a"], Cover.from_strings(["1"]))
+    net.add_node("b2", ["b1"], Cover.from_strings(["1"]))
+    net.add_output("b2")
+    return net
+
+
+class TestModel:
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            TransitionFault("x", 2)
+
+    def test_str(self):
+        assert str(TransitionFault("g", 1)) == "g/str"
+        assert str(TransitionFault("g", 0)) == "g/stf"
+
+    def test_fault_list(self):
+        faults = transition_fault_list(buffer_chain())
+        assert len(faults) == 4  # two gates x rise/fall
+
+    def test_fault_list_restricted(self):
+        faults = transition_fault_list(buffer_chain(), signals=["b1"])
+        assert {f.signal for f in faults} == {"b1"}
+
+
+class TestLateValue:
+    def test_slow_to_rise_blocks_rising_bits(self):
+        first = np.array([0b0011], dtype=np.uint64)
+        second = np.array([0b0101], dtype=np.uint64)
+        # Bit 2 rises (0->1): blocked.  Bit 1 falls: unaffected.
+        late = late_value(first, second, slow_to=1)
+        assert late[0] == 0b0001
+
+    def test_slow_to_fall_blocks_falling_bits(self):
+        first = np.array([0b0011], dtype=np.uint64)
+        second = np.array([0b0101], dtype=np.uint64)
+        # Bit 1 falls (1->0): stays 1.
+        late = late_value(first, second, slow_to=0)
+        assert late[0] == 0b0111
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 2 ** 16 - 1), st.integers(0, 2 ** 16 - 1),
+           st.sampled_from([0, 1]))
+    def test_late_value_semantics(self, v1, v2, slow_to):
+        first = np.array([v1], dtype=np.uint64)
+        second = np.array([v2], dtype=np.uint64)
+        late = int(late_value(first, second, slow_to)[0])
+        for bit in range(16):
+            b1 = v1 >> bit & 1
+            b2 = v2 >> bit & 1
+            expected = b1 if (b1 != b2 and b2 == slow_to) else b2
+            assert late >> bit & 1 == expected
+
+
+class TestRunTransitionFault:
+    def test_delayed_rise_propagates(self):
+        net = buffer_chain()
+        sim = BitSimulator(net)
+        first = sim.run(np.array([[0]], dtype=np.uint64))
+        second = sim.run(np.array([[1]], dtype=np.uint64))
+        overlay = run_transition_fault(sim, first, second,
+                                       TransitionFault("b1", 1))
+        out = sim.faulty_outputs(second, overlay)
+        assert out[0][0] == 0  # rise blocked, output still low
+
+    def test_wrong_direction_has_no_effect(self):
+        net = buffer_chain()
+        sim = BitSimulator(net)
+        first = sim.run(np.array([[0]], dtype=np.uint64))
+        second = sim.run(np.array([[1]], dtype=np.uint64))
+        overlay = run_transition_fault(sim, first, second,
+                                       TransitionFault("b1", 0))
+        out = sim.faulty_outputs(second, overlay)
+        assert out[0][0] == np.uint64(0xFFFFFFFFFFFFFFFF) & np.uint64(1) \
+            or bool(out[0][0] & np.uint64(1))
+
+    def test_no_transition_no_fault(self):
+        net = buffer_chain()
+        sim = BitSimulator(net)
+        same = sim.run(np.array([[1]], dtype=np.uint64))
+        overlay = run_transition_fault(sim, same, same,
+                                       TransitionFault("b1", 1))
+        out = sim.faulty_outputs(same, overlay)
+        assert np.array_equal(out, sim.outputs_of(same))

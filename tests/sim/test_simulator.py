@@ -1,0 +1,198 @@
+"""Tests for the bit-parallel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cubes import Cover
+from repro.network import Network
+from repro.sim import BitSimulator, popcount, signal_probabilities
+from repro.synth import LIB_GENERIC, technology_map
+
+
+def demo_network():
+    net = Network("demo")
+    for pi in "abc":
+        net.add_input(pi)
+    net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+    net.add_node("y", ["t", "c"], Cover.from_strings(["1-", "-0"]))
+    net.add_output("y")
+    return net
+
+
+def words_from_bits(bits):
+    """Pack a list of 0/1 into a single uint64 word array."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            value |= 1 << i
+    return np.array([value], dtype=np.uint64)
+
+
+class TestGoldenSimulation:
+    def test_network_matches_reference(self):
+        net = demo_network()
+        sim = BitSimulator(net)
+        rows = []
+        for m in range(8):
+            rows.append((m & 1, m >> 1 & 1, m >> 2 & 1))
+        pi_words = np.stack([
+            words_from_bits([r[0] for r in rows]),
+            words_from_bits([r[1] for r in rows]),
+            words_from_bits([r[2] for r in rows]),
+        ])
+        values = sim.run(pi_words)
+        out = values[sim.output_indices[0]]
+        for i, (a, b, c) in enumerate(rows):
+            expected = net.evaluate_outputs(
+                {"a": a, "b": b, "c": c})["y"]
+            assert bool(out[0] >> np.uint64(i) & np.uint64(1)) == expected
+
+    def test_mapped_netlist_matches_network(self):
+        net = demo_network()
+        mapped = technology_map(net, LIB_GENERIC)
+        sim_net = BitSimulator(net)
+        sim_map = BitSimulator(mapped)
+        rng = np.random.default_rng(7)
+        pi = sim_net.random_inputs(rng, 4)
+        out_net = sim_net.outputs_of(sim_net.run(pi))
+        out_map = sim_map.outputs_of(sim_map.run(pi))
+        assert np.array_equal(out_net, out_map)
+
+    def test_wrong_input_shape_rejected(self):
+        sim = BitSimulator(demo_network())
+        with pytest.raises(ValueError):
+            sim.run(np.zeros((2, 1), dtype=np.uint64))
+
+    def test_unsupported_circuit_type(self):
+        with pytest.raises(TypeError):
+            BitSimulator(42)
+
+
+class TestFaultInjection:
+    def test_stuck_at_changes_outputs(self):
+        net = demo_network()
+        sim = BitSimulator(net)
+        # a=1,b=1,c=1 -> t=1 -> y=1.  Stuck t@0 makes y=0.
+        pi = np.stack([words_from_bits([1]), words_from_bits([1]),
+                       words_from_bits([1])])
+        golden = sim.run(pi)
+        overlay = sim.run_fault(golden, "t", 0)
+        faulty = sim.faulty_outputs(golden, overlay)
+        assert not bool(faulty[0][0] & np.uint64(1))
+
+    def test_unexcited_fault_produces_no_change(self):
+        net = demo_network()
+        sim = BitSimulator(net)
+        # a=0 keeps t=0; stuck-at-0 on t is never excited.
+        pi = np.stack([words_from_bits([0] * 8), words_from_bits([1] * 8),
+                       words_from_bits([0] * 8)])
+        golden = sim.run(pi)
+        overlay = sim.run_fault(golden, "t", 0)
+        faulty = sim.faulty_outputs(golden, overlay)
+        assert np.array_equal(faulty, sim.outputs_of(golden))
+
+    def test_fault_on_pi(self):
+        net = demo_network()
+        sim = BitSimulator(net)
+        pi = np.stack([words_from_bits([1]), words_from_bits([1]),
+                       words_from_bits([1])])
+        golden = sim.run(pi)
+        overlay = sim.run_fault(golden, "a", 0)
+        faulty = sim.faulty_outputs(golden, overlay)
+        # a/sa0 -> t=0 -> y = !c = 0
+        assert not bool(faulty[0][0] & np.uint64(1))
+
+    def test_fault_matches_full_resimulation(self):
+        net = demo_network()
+        mapped = technology_map(net, LIB_GENERIC)
+        sim = BitSimulator(mapped)
+        rng = np.random.default_rng(3)
+        pi = sim.random_inputs(rng, 4)
+        golden = sim.run(pi)
+        for site in list(mapped.gates)[:10]:
+            for stuck in (0, 1):
+                overlay = sim.run_fault(golden, site, stuck)
+                fast = sim.faulty_outputs(golden, overlay)
+                # Reference: brute-force rebuild with the signal forced.
+                slow = _forced_run(sim, pi, site, stuck)
+                assert np.array_equal(fast, slow), (site, stuck)
+
+    def test_fanout_cone_is_cached(self):
+        sim = BitSimulator(demo_network())
+        first = sim.fanout_cone("t")
+        second = sim.fanout_cone("t")
+        assert first == second
+
+
+def _forced_run(sim, pi_words, site, stuck):
+    n_words = pi_words.shape[1]
+    forced_value = np.full(n_words, 0xFFFFFFFFFFFFFFFF if stuck else 0,
+                           dtype=np.uint64)
+    values = np.zeros((len(sim.signals), n_words), dtype=np.uint64)
+    values[:sim.num_inputs] = pi_words
+    site_idx = sim.index[site]
+    if site_idx < sim.num_inputs:
+        values[site_idx] = forced_value
+    from repro.sim.simulator import _eval_cubes
+    for out, cubes in sim.steps:
+        if out == site_idx:
+            values[out] = forced_value
+        else:
+            values[out] = _eval_cubes(cubes, values, n_words)
+    return values[sim.output_indices]
+
+
+class TestHelpers:
+    def test_popcount(self):
+        words = np.array([0b1011, 0], dtype=np.uint64)
+        assert popcount(words) == 3
+
+    def test_signal_probabilities(self):
+        net = demo_network()
+        probs = signal_probabilities(net, n_words=64, seed=1)
+        assert probs["a"] == pytest.approx(0.5, abs=0.05)
+        assert probs["t"] == pytest.approx(0.25, abs=0.05)
+        assert probs["y"] == pytest.approx(0.25 + 0.5 - 0.125, abs=0.05)
+
+
+class TestExhaustiveInputs:
+    def test_small_pattern_set(self):
+        from repro.sim import exhaustive_inputs
+        rows = exhaustive_inputs(3)
+        assert rows.shape == (3, 1)
+        for pattern in range(8):
+            for i in range(3):
+                bit = bool(rows[i][0] >> np.uint64(pattern) & np.uint64(1))
+                assert bit == bool(pattern >> i & 1)
+
+    def test_multi_word(self):
+        from repro.sim import exhaustive_inputs
+        rows = exhaustive_inputs(8)
+        assert rows.shape == (8, 4)
+        # Pattern 200 lives in word 3 bit 8.
+        pattern = 200
+        word, bit = divmod(pattern, 64)
+        for i in range(8):
+            value = bool(rows[i][word] >> np.uint64(bit) & np.uint64(1))
+            assert value == bool(pattern >> i & 1)
+
+    def test_exhaustive_matches_reference_eval(self):
+        from repro.sim import exhaustive_inputs
+        net = demo_network()
+        sim = BitSimulator(net)
+        rows = exhaustive_inputs(len(net.inputs))
+        values = sim.run(rows)
+        out = values[sim.output_indices[0]]
+        for pattern in range(8):
+            values_map = {pi: bool(pattern >> i & 1)
+                          for i, pi in enumerate(net.inputs)}
+            expected = net.evaluate_outputs(values_map)["y"]
+            got = bool(out[pattern // 64] >> np.uint64(pattern % 64)
+                       & np.uint64(1))
+            assert got == expected
+
+    def test_bounds(self):
+        from repro.sim import exhaustive_inputs
+        with pytest.raises(ValueError):
+            exhaustive_inputs(30)
+        assert exhaustive_inputs(0).shape == (0, 1)

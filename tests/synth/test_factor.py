@@ -1,0 +1,64 @@
+"""Tests for algebraic factoring."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cubes import Cover, Cube
+from repro.synth import (AndExpr, ConstExpr, Lit, OrExpr, evaluate_expr,
+                         factor, literal_count)
+
+
+def covers(n=4, max_cubes=6):
+    def cube_strategy(draw):
+        ones = draw(st.integers(0, (1 << n) - 1))
+        zeros = draw(st.integers(0, (1 << n) - 1)) & ~ones
+        return Cube(n, ones, zeros)
+    cube = st.composite(cube_strategy)()
+    return st.lists(cube, max_size=max_cubes).map(lambda cs: Cover(n, cs))
+
+
+class TestFactor:
+    def test_constants(self):
+        assert factor(Cover.zero(3)) == ConstExpr(False)
+        assert factor(Cover.one(3)) == ConstExpr(True)
+
+    def test_single_literal(self):
+        expr = factor(Cover.from_strings(["1--"]))
+        assert expr == Lit(0, True)
+
+    def test_single_cube(self):
+        expr = factor(Cover.from_strings(["10-"]))
+        assert isinstance(expr, AndExpr)
+        assert set(expr.terms) == {Lit(0, True), Lit(1, False)}
+
+    def test_shared_literal_factored(self):
+        # ab + ac should factor to a(b + c): 3 literals, not 4.
+        cover = Cover.from_strings(["11-", "1-1"])
+        expr = factor(cover)
+        assert literal_count(expr) == 3
+
+    def test_factored_form_is_equivalent(self):
+        cover = Cover.from_strings(["11-0", "1-10", "--11"])
+        expr = factor(cover)
+        for m in range(16):
+            assert evaluate_expr(expr, m) == cover.evaluate(m)
+
+    def test_or_of_literals(self):
+        cover = Cover.from_strings(["1--", "-1-", "--1"])
+        expr = factor(cover)
+        assert isinstance(expr, OrExpr)
+        assert literal_count(expr) == 3
+
+
+class TestFactorProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(covers())
+    def test_equivalence(self, cover):
+        expr = factor(cover)
+        for m in range(16):
+            assert evaluate_expr(expr, m) == cover.evaluate(m)
+
+    @settings(max_examples=80, deadline=None)
+    @given(covers())
+    def test_literal_count_never_worse_than_flat(self, cover):
+        expr = factor(cover)
+        assert literal_count(expr) <= max(cover.num_literals, 1)

@@ -1,0 +1,85 @@
+"""Tests for gate libraries."""
+
+import pytest
+
+from repro.synth import Gate, GateLibrary, LIBRARIES, LIB_GENERIC, \
+    LIB_NAND_NOR
+from repro.cubes import Cover
+
+
+class TestGate:
+    def test_evaluate_and2(self):
+        gate = LIB_GENERIC.get("AND2")
+        assert gate.evaluate((True, True))
+        assert not gate.evaluate((True, False))
+
+    def test_evaluate_nand3(self):
+        gate = LIB_GENERIC.get("NAND3")
+        assert gate.evaluate((True, False, True))
+        assert not gate.evaluate((True, True, True))
+
+    def test_evaluate_xor(self):
+        gate = LIB_GENERIC.get("XOR2")
+        assert gate.evaluate((True, False))
+        assert not gate.evaluate((True, True))
+
+    def test_num_inputs(self):
+        assert LIB_GENERIC.get("INV").num_inputs == 1
+        assert LIB_GENERIC.get("OR4").num_inputs == 4
+        assert LIB_GENERIC.get("TIE1").num_inputs == 0
+
+
+class TestLibrary:
+    def test_contains(self):
+        assert "NAND2" in LIB_GENERIC
+        assert "XOR2" not in LIB_NAND_NOR
+
+    def test_get_unknown_cell(self):
+        with pytest.raises(KeyError):
+            LIB_NAND_NOR.get("AND2")
+
+    def test_duplicate_cell_rejected(self):
+        inv = Gate("INV", Cover.from_strings(["0"]), 1, 1)
+        with pytest.raises(ValueError):
+            GateLibrary("dup", [inv, inv])
+
+    def test_all_libraries_have_tie_and_inv(self):
+        for lib in LIBRARIES.values():
+            assert "TIE0" in lib and "TIE1" in lib and "INV" in lib
+
+    def test_gate_semantics_sanity(self):
+        """Every cell's cover must match its name's semantics."""
+        for lib in LIBRARIES.values():
+            for cell_name in lib.cells():
+                gate = lib.get(cell_name)
+                n = gate.num_inputs
+                for m in range(1 << n):
+                    bits = tuple(bool(m >> i & 1) for i in range(n))
+                    expected = _reference(cell_name, bits)
+                    if expected is not None:
+                        assert gate.evaluate(bits) == expected, \
+                            f"{lib.name}:{cell_name} @ {bits}"
+
+
+def _reference(cell: str, bits):
+    if cell == "INV":
+        return not bits[0]
+    if cell == "BUF":
+        return bits[0]
+    if cell == "TIE0":
+        return False
+    if cell == "TIE1":
+        return True
+    if cell.startswith("NAND"):
+        return not all(bits)
+    if cell.startswith("NOR"):
+        return not any(bits)
+    if cell.startswith("AND"):
+        return all(bits)
+    if cell.startswith("OR"):
+        return any(bits)
+    if cell == "XOR2":
+        return bits[0] != bits[1]
+    if cell == "XNOR2":
+        return bits[0] == bits[1]
+    return None

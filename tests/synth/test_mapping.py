@@ -1,0 +1,178 @@
+"""Tests for technology mapping."""
+
+import pytest
+
+from repro.cubes import Cover
+from repro.network import Network
+from repro.synth import (Emitter, LIB_GENERIC, LIB_NAND_NOR, LIB_LOWPOWER,
+                         MappedNetlist, MappingOptions, technology_map)
+
+
+def demo_network():
+    """y = (a & b) | (!c & d), z = a ^ c."""
+    net = Network("demo")
+    for pi in "abcd":
+        net.add_input(pi)
+    net.add_node("y", ["a", "b", "c", "d"],
+                 Cover.from_strings(["11--", "--01"]))
+    net.add_node("z", ["a", "c"], Cover.from_strings(["10", "01"]))
+    net.add_output("y")
+    net.add_output("z")
+    return net
+
+
+def equivalent(net, mapped):
+    for m in range(1 << len(net.inputs)):
+        values = {pi: bool(m >> i & 1) for i, pi in enumerate(net.inputs)}
+        if net.evaluate_outputs(values) != mapped.evaluate_outputs(values):
+            return False
+    return True
+
+
+class TestTechnologyMap:
+    @pytest.mark.parametrize("library", [LIB_GENERIC, LIB_NAND_NOR,
+                                         LIB_LOWPOWER])
+    def test_equivalence_across_libraries(self, library):
+        net = demo_network()
+        use_xor = "XOR2" in library
+        mapped = technology_map(net, library,
+                                MappingOptions(use_xor=use_xor))
+        assert equivalent(net, mapped)
+
+    @pytest.mark.parametrize("balanced", [True, False])
+    @pytest.mark.parametrize("prefer_wide", [True, False])
+    def test_equivalence_across_styles(self, balanced, prefer_wide):
+        net = demo_network()
+        mapped = technology_map(
+            net, LIB_GENERIC,
+            MappingOptions(balanced=balanced, prefer_wide=prefer_wide))
+        assert equivalent(net, mapped)
+
+    def test_xor_cell_used_when_enabled(self):
+        net = demo_network()
+        mapped = technology_map(net, LIB_GENERIC,
+                                MappingOptions(use_xor=True))
+        cells = {g.cell.name for g in mapped.gates.values()}
+        assert "XOR2" in cells
+
+    def test_xor_expanded_when_disabled(self):
+        net = demo_network()
+        mapped = technology_map(net, LIB_GENERIC,
+                                MappingOptions(use_xor=False))
+        cells = {g.cell.name for g in mapped.gates.values()}
+        assert "XOR2" not in cells
+        assert equivalent(net, mapped)
+
+    def test_constant_output(self):
+        net = Network()
+        net.add_input("a")
+        net.add_const("k", True)
+        net.add_output("k")
+        mapped = technology_map(net, LIB_GENERIC)
+        assert mapped.evaluate_outputs({"a": False})["k"] is True
+
+    def test_wide_packing_reduces_gates(self):
+        net = Network()
+        for i in range(8):
+            net.add_input(f"i{i}")
+        net.add_node("y", [f"i{i}" for i in range(8)],
+                     Cover.from_strings(["1" * 8]))
+        net.add_output("y")
+        narrow = technology_map(net, LIB_GENERIC,
+                                MappingOptions(prefer_wide=False))
+        wide = technology_map(net, LIB_GENERIC,
+                              MappingOptions(prefer_wide=True))
+        assert wide.gate_count < narrow.gate_count
+        assert equivalent(net, wide)
+
+    def test_po_named_after_logical_output(self):
+        net = demo_network()
+        mapped = technology_map(net, LIB_GENERIC)
+        assert mapped.outputs == ["y", "z"]
+
+    def test_delay_positive_and_area_positive(self):
+        mapped = technology_map(demo_network(), LIB_GENERIC)
+        assert mapped.delay() > 0
+        assert mapped.area() > 0
+        assert mapped.gate_count > 0
+
+
+class TestEmitter:
+    def test_inverter_sharing(self):
+        netlist = MappedNetlist("t", LIB_GENERIC)
+        netlist.add_input("a")
+        emitter = Emitter(netlist)
+        first = emitter.emit_inv("a")
+        second = emitter.emit_inv("a")
+        assert first == second
+        assert netlist.gate_count == 1
+
+    def test_double_inversion_cancels(self):
+        netlist = MappedNetlist("t", LIB_GENERIC)
+        netlist.add_input("a")
+        emitter = Emitter(netlist)
+        inv = emitter.emit_inv("a")
+        back = emitter.emit_inv(inv)
+        assert back == "a"
+
+    def test_nand_fallback_in_inverting_library(self):
+        netlist = MappedNetlist("t", LIB_NAND_NOR)
+        for pi in "ab":
+            netlist.add_input(pi)
+        emitter = Emitter(netlist)
+        out = emitter.emit_and(["a", "b"], "g")
+        netlist.set_output("o", out)
+        assert netlist.evaluate_outputs({"a": 1, "b": 1})["o"] is True
+        assert netlist.evaluate_outputs({"a": 1, "b": 0})["o"] is False
+
+    def test_xor_fallback(self):
+        netlist = MappedNetlist("t", LIB_NAND_NOR)
+        for pi in "ab":
+            netlist.add_input(pi)
+        out = Emitter(netlist).emit_xor("a", "b")
+        netlist.set_output("o", out)
+        for a in (0, 1):
+            for b in (0, 1):
+                got = netlist.evaluate_outputs({"a": a, "b": b})["o"]
+                assert got == (a != b)
+
+    def test_tree_of_many_inputs(self):
+        netlist = MappedNetlist("t", LIB_GENERIC)
+        sigs = [netlist.add_input(f"i{i}") for i in range(9)]
+        out = Emitter(netlist).emit_or(sigs, "big")
+        netlist.set_output("o", out)
+        assert netlist.evaluate_outputs(
+            {f"i{i}": 0 for i in range(9)})["o"] is False
+        one_hot = {f"i{i}": (i == 7) for i in range(9)}
+        assert netlist.evaluate_outputs(one_hot)["o"] is True
+
+
+class TestNetlistStructure:
+    def test_to_network_equivalence(self):
+        net = demo_network()
+        mapped = technology_map(net, LIB_GENERIC)
+        back = mapped.to_network()
+        for m in range(16):
+            values = {pi: bool(m >> i & 1)
+                      for i, pi in enumerate(net.inputs)}
+            assert (back.evaluate_outputs(values)
+                    == net.evaluate_outputs(values))
+
+    def test_transitive_fanout(self):
+        net = demo_network()
+        mapped = technology_map(net, LIB_GENERIC)
+        tfo = mapped.transitive_fanout("a")
+        assert mapped.po_signals["y"] in tfo or \
+            mapped.po_signals["z"] in tfo
+
+    def test_merge_from(self):
+        host = technology_map(demo_network(), LIB_GENERIC)
+        guest = MappedNetlist("g", LIB_GENERIC)
+        guest.add_input("p")
+        guest.add_gate("q", "INV", ["p"])
+        guest.set_output("q", "q")
+        mapping = host.merge_from(guest, "u_", {"p": host.po_signals["y"]})
+        host.set_output("ny", mapping["q"])
+        values = {"a": 1, "b": 1, "c": 0, "d": 0}
+        out = host.evaluate_outputs(values)
+        assert out["ny"] == (not out["y"])

@@ -1,0 +1,53 @@
+"""Tests for the named synthesis scripts (the Table 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import tiny_benchmark
+from repro.sim import BitSimulator, exhaustive_inputs
+from repro.synth import (QUICK_SCRIPT, TABLE3_SCRIPTS, SynthesisScript,
+                         quick_map)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return tiny_benchmark(seed=61)
+
+
+class TestScripts:
+    def test_five_distinct_scripts(self):
+        names = [s.name for s in TABLE3_SCRIPTS]
+        assert len(set(names)) == 5
+
+    def test_scripts_use_multiple_libraries(self):
+        libs = {s.library.name for s in TABLE3_SCRIPTS}
+        assert len(libs) >= 2
+
+    @pytest.mark.parametrize("script", TABLE3_SCRIPTS,
+                             ids=lambda s: s.name)
+    def test_all_scripts_preserve_function(self, net, script):
+        mapped = script.run(net)
+        sim_net = BitSimulator(net)
+        sim_map = BitSimulator(mapped)
+        rows = exhaustive_inputs(len(net.inputs))
+        out_net = sim_net.outputs_of(sim_net.run(rows))
+        out_map = sim_map.outputs_of(sim_map.run(rows))
+        assert np.array_equal(out_net, out_map), script.name
+
+    def test_scripts_produce_different_netlists(self, net):
+        counts = {s.name: s.run(net).gate_count for s in TABLE3_SCRIPTS}
+        assert len(set(counts.values())) >= 2, counts
+
+    def test_script_does_not_mutate_input(self, net):
+        before = net.num_nodes
+        QUICK_SCRIPT.run(net)
+        assert net.num_nodes == before
+
+    def test_quick_map_alias(self, net):
+        assert quick_map(net).library.name == \
+            QUICK_SCRIPT.library.name
+
+    def test_po_names_preserved(self, net):
+        for script in TABLE3_SCRIPTS:
+            mapped = script.run(net)
+            assert mapped.outputs == net.outputs, script.name

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.network import read_blif
+
+
+@pytest.fixture
+def blif_path(tmp_path):
+    path = tmp_path / "demo.blif"
+    path.write_text("""
+.model demo
+.inputs a b c
+.outputs y z
+.names a b t1
+11 1
+.names t1 c y
+1- 1
+-0 1
+.names a c z
+11 1
+.end
+""")
+    return path
+
+
+class TestInfo:
+    def test_prints_structure(self, blif_path, capsys):
+        assert main(["info", "--blif", str(blif_path)]) == 0
+        out = capsys.readouterr().out
+        assert "inputs   : 3" in out
+        assert "outputs  : 2" in out
+        assert "mapped" in out
+
+
+class TestSynth:
+    def test_writes_correct_approximation(self, blif_path, tmp_path,
+                                          capsys):
+        out_path = tmp_path / "approx.blif"
+        code = main(["synth", "--blif", str(blif_path),
+                     "--out", str(out_path),
+                     "--cube-drop-threshold", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "correct       : True" in out
+        approx = read_blif(out_path)
+        assert set(approx.outputs) == {"y", "z"}
+
+    def test_forced_direction(self, blif_path, tmp_path, capsys):
+        out_path = tmp_path / "approx.blif"
+        assert main(["synth", "--blif", str(blif_path),
+                     "--out", str(out_path), "--direction", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1-approximation" in out
+
+    def test_synthesized_blif_is_an_implication(self, blif_path,
+                                                tmp_path):
+        out_path = tmp_path / "approx.blif"
+        main(["synth", "--blif", str(blif_path), "--out", str(out_path),
+              "--direction", "1", "--cube-drop-threshold", "0.3"])
+        original = read_blif(blif_path)
+        approx = read_blif(out_path)
+        for m in range(8):
+            values = {pi: bool(m >> i & 1)
+                      for i, pi in enumerate(original.inputs)}
+            o = original.evaluate_outputs(values)
+            a = approx.evaluate_outputs(
+                {pi: values[pi] for pi in approx.inputs})
+            for po in original.outputs:
+                assert (not a[po]) or o[po], (po, values)
+
+
+class TestCed:
+    def test_report(self, blif_path, capsys):
+        assert main(["ced", "--blif", str(blif_path),
+                     "--words", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved CED coverage" in out
+        assert "area overhead" in out
+
+    def test_share_logic_flag(self, blif_path, capsys):
+        assert main(["ced", "--blif", str(blif_path), "--words", "2",
+                     "--share-logic"]) == 0
+        assert "shared gates" in capsys.readouterr().out
+
+    def test_writes_generator(self, blif_path, tmp_path, capsys):
+        out_path = tmp_path / "gen.blif"
+        assert main(["ced", "--blif", str(blif_path), "--words", "2",
+                     "--out", str(out_path)]) == 0
+        assert out_path.exists()
+
+
+class TestGen:
+    def test_exports_benchmark(self, tmp_path, capsys):
+        out_path = tmp_path / "cmb.blif"
+        assert main(["gen", "--name", "cmb",
+                     "--out", str(out_path)]) == 0
+        net = read_blif(out_path)
+        assert len(net.inputs) == 16
+        assert len(net.outputs) == 4
+
+    def test_unknown_benchmark_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["gen", "--name", "nope",
+                  "--out", str(tmp_path / "x.blif")])
+
+
+class TestParser:
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_cleanly(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
