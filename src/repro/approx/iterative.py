@@ -28,7 +28,8 @@ from repro.cubes import Cover, minimize
 from repro.network import (GlobalBdds, Network, dfs_input_order,
                            eliminate, propagate_constants, strash,
                            sweep, trim_unread_fanins)
-from repro.sim import BitSimulator, signal_probabilities
+from repro.sim import (BitSimulator, get_simulator,
+                       signal_probabilities)
 
 from .config import ApproxConfig
 from .cube_selection import (exact_select, implement_phase, odc_select,
@@ -411,7 +412,7 @@ class _SimChecker(_Checker):
         super().__init__(network, approx, output_approximations, types)
         self.n_words = n_words
         self.seed = seed
-        self._orig_sim = BitSimulator(network)
+        self._orig_sim = get_simulator(network)
         rng = np.random.default_rng(seed)
         self._pi_words = self._orig_sim.random_inputs(rng, n_words)
         self._orig_values = self._orig_sim.run(self._pi_words)

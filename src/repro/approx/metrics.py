@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.bdd import BddOverflowError
 from repro.network import GlobalBdds, Network, dfs_input_order
-from repro.sim import BitSimulator, popcount, switching_activity
+from repro.sim import get_simulator, popcount, switching_activity
 from repro.synth.netlist import MappedNetlist
 
 
@@ -64,8 +64,8 @@ def _approx_pct_bdd(original, approx, output, direction, budget) -> float:
 
 def _approx_pct_sim(original, approx, output, direction, n_words,
                     seed) -> float:
-    sim_o = BitSimulator(original)
-    sim_a = BitSimulator(approx)
+    sim_o = get_simulator(original)
+    sim_a = get_simulator(approx)
     rng = np.random.default_rng(seed)
     pi = sim_o.random_inputs(rng, n_words)
     reorder = [original.inputs.index(p) for p in sim_a.input_names]
@@ -112,8 +112,8 @@ def approximation_percentages(original: Network, approx: Network,
         except BddOverflowError:
             if method == "bdd":
                 raise
-    sim_o = BitSimulator(original)
-    sim_a = BitSimulator(approx)
+    sim_o = get_simulator(original)
+    sim_a = get_simulator(approx)
     rng = np.random.default_rng(seed)
     pi = sim_o.random_inputs(rng, n_words)
     reorder = [original.inputs.index(p) for p in sim_a.input_names]

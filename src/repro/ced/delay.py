@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sim import WORD_BITS, BitSimulator, popcount
+from repro.sim import DEFAULT_BATCH, WORD_BITS, get_simulator, popcount
 from repro.sim.delayfaults import (TransitionFault, run_transition_fault,
+                                   run_transition_fault_batch,
                                    transition_fault_list)
 
 from .architecture import CedAssembly
@@ -25,10 +26,17 @@ from .coverage import CoverageResult
 
 def evaluate_delay_fault_ced(assembly: CedAssembly, n_words: int = 8,
                              seed: int = 2008,
-                             faults: list[TransitionFault] | None = None
+                             faults: list[TransitionFault] | None = None,
+                             vector_mode: str = "shared",
+                             batch_size: int = DEFAULT_BATCH
                              ) -> CoverageResult:
-    """Fault-simulate transition faults and measure CED coverage."""
-    sim = BitSimulator(assembly.netlist)
+    """Fault-simulate transition faults and measure CED coverage.
+
+    ``vector_mode="shared"`` draws one golden vector *pair* for the
+    whole campaign and batches fault evaluation on the compiled tape;
+    ``"per-fault"`` draws a fresh pair per fault (the seed scheme).
+    """
+    sim = get_simulator(assembly.netlist)
     if faults is None:
         faults = transition_fault_list(assembly.netlist,
                                        signals=assembly.fault_sites)
@@ -40,6 +48,32 @@ def evaluate_delay_fault_ced(assembly: CedAssembly, n_words: int = 8,
 
     runs = error_runs = detected_error = detected_all = false_alarms = 0
     golden_invalid = 0
+    if vector_mode == "shared":
+        first = sim.run(sim.random_inputs(rng, n_words))
+        second = sim.run(sim.random_inputs(rng, n_words))
+        valid = second[e0] ^ second[e1]
+        golden_invalid = popcount(~valid) * len(faults)
+        second_po = second[po_indices]
+        runs = len(faults) * n_words * WORD_BITS
+        ordered = sorted(faults, key=lambda f: sim.site_level(f.signal))
+        for start in range(0, len(ordered), batch_size):
+            batch = ordered[start:start + batch_size]
+            scratch = run_transition_fault_batch(sim, first, second,
+                                                 batch)
+            diff = scratch[po_indices] ^ second_po[:, None, :]
+            error_mask = np.bitwise_or.reduce(diff, axis=0) & valid
+            detect_mask = ~(scratch[e0] ^ scratch[e1]) & valid
+            error_runs += popcount(error_mask)
+            detected_error += popcount(error_mask & detect_mask)
+            detected_all += popcount(detect_mask)
+            false_alarms += popcount(detect_mask & ~error_mask)
+        return CoverageResult(
+            runs=runs,
+            error_runs=error_runs,
+            detected_error_runs=detected_error,
+            detected_runs=detected_all,
+            false_alarms=false_alarms,
+            golden_invalid=golden_invalid)
     for fault in faults:
         first = sim.run(sim.random_inputs(rng, n_words))
         second = sim.run(sim.random_inputs(rng, n_words))

@@ -4,45 +4,58 @@ The global observability of a signal is the probability that toggling it
 changes some primary output.  It ranks gates by how much a fault at that
 gate matters — the criticality measure that drives partial duplication
 [10] and provides the analytic reliability view of [14].
+
+Both estimators batch their injections on the compiled simulation tape:
+signals are grouped into lanes that share one golden simulation, so the
+whole sweep costs a handful of vectorized passes instead of one Python
+cone walk per signal.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sim import WORD_BITS, BitSimulator, popcount
+from repro.sim import (DEFAULT_BATCH, WORD_BITS, bit_count,
+                       get_simulator)
 
 
 def global_observabilities(circuit, n_words: int = 16,
                            seed: int = 2008,
-                           signals: list[str] | None = None
+                           signals: list[str] | None = None,
+                           batch_size: int = DEFAULT_BATCH
                            ) -> dict[str, float]:
     """Monte Carlo global observability of each signal.
 
     Returns, for each signal, the fraction of random vectors on which
     inverting the signal changes at least one primary output.
     """
-    sim = BitSimulator(circuit)
+    sim = get_simulator(circuit)
     rng = np.random.default_rng(seed)
     golden = sim.run(sim.random_inputs(rng, n_words))
     golden_out = sim.outputs_of(golden)
     total = n_words * WORD_BITS
     if signals is None:
         signals = list(sim.signals)
+    ordered = sorted(signals, key=sim.site_level)
     result: dict[str, float] = {}
-    for name in signals:
-        overlay = sim.run_toggle(golden, name)
-        flipped_out = sim.faulty_outputs(golden, overlay)
-        diff = golden_out ^ flipped_out
-        any_change = np.zeros(n_words, dtype=np.uint64)
-        for row in diff:
-            any_change |= row
-        result[name] = popcount(any_change) / total
+    for start in range(0, len(ordered), batch_size):
+        batch = ordered[start:start + batch_size]
+        site_rows = np.fromiter((sim.index[s] for s in batch),
+                                dtype=np.intp, count=len(batch))
+        scratch = sim.run_forced_batch(golden, site_rows,
+                                       ~golden[site_rows])
+        diff = scratch[sim.output_indices] ^ golden_out[:, None, :]
+        any_change = np.bitwise_or.reduce(diff, axis=0)    # (B, W)
+        counts = bit_count(any_change).sum(axis=1, dtype=np.int64)
+        for name, count in zip(batch, counts):
+            result[name] = int(count) / total
     return result
 
 
 def error_contributions(circuit, n_words: int = 8,
-                        seed: int = 2008) -> dict[str, float]:
+                        seed: int = 2008,
+                        batch_size: int = DEFAULT_BATCH
+                        ) -> dict[str, float]:
     """Per-gate expected error contribution under the stuck-at model.
 
     For gate g with output probability p and global observability o, a
@@ -51,20 +64,28 @@ def error_contributions(circuit, n_words: int = 8,
     probability ~o.  We estimate the product directly by simulating both
     stuck values, which also captures excitation/propagation correlation.
     """
-    sim = BitSimulator(circuit)
+    sim = get_simulator(circuit)
     rng = np.random.default_rng(seed)
     golden = sim.run(sim.random_inputs(rng, n_words))
     golden_out = sim.outputs_of(golden)
     total = n_words * WORD_BITS
+    names = sorted(sim.signals[sim.num_inputs:], key=sim.site_level)
     result: dict[str, float] = {}
-    for name in sim.signals[sim.num_inputs:]:
-        errors = 0
-        for stuck in (0, 1):
-            overlay = sim.run_fault(golden, name, stuck)
-            diff = golden_out ^ sim.faulty_outputs(golden, overlay)
-            any_change = np.zeros(n_words, dtype=np.uint64)
-            for row in diff:
-                any_change |= row
-            errors += popcount(any_change)
-        result[name] = errors / (2 * total)
+    # Two lanes per signal: stuck-at-0 and stuck-at-1.
+    pair_batch = max(1, batch_size // 2)
+    all_ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    for start in range(0, len(names), pair_batch):
+        batch = names[start:start + pair_batch]
+        site_rows = np.fromiter(
+            (sim.index[s] for s in batch for _ in (0, 1)),
+            dtype=np.intp, count=2 * len(batch))
+        forced = np.zeros((2 * len(batch), n_words), dtype=np.uint64)
+        forced[1::2] = all_ones
+        scratch = sim.run_forced_batch(golden, site_rows, forced)
+        diff = scratch[sim.output_indices] ^ golden_out[:, None, :]
+        any_change = np.bitwise_or.reduce(diff, axis=0)    # (2B, W)
+        counts = bit_count(any_change).sum(axis=1, dtype=np.int64)
+        for lane, name in enumerate(batch):
+            errors = int(counts[2 * lane] + counts[2 * lane + 1])
+            result[name] = errors / (2 * total)
     return result

@@ -1,17 +1,20 @@
 """Bit-parallel simulation, stuck-at faults, campaigns, and power."""
 
-from .simulator import (WORD_BITS, BitSimulator, exhaustive_inputs,
-                        popcount, signal_probabilities)
+from .simulator import (WORD_BITS, BitSimulator, bit_count,
+                        clear_simulator_cache, exhaustive_inputs,
+                        get_simulator, popcount, signal_probabilities)
 from .faults import Fault, fault_list
-from .faultsim import FaultSimReport, OutputErrorStats, run_campaign
+from .faultsim import (DEFAULT_BATCH, FaultSimReport, OutputErrorStats,
+                       batched, run_campaign)
 from .power import power_overhead, switching_activity
 from .delayfaults import (TransitionFault, late_value,
                           run_transition_fault, transition_fault_list)
 
 __all__ = [
-    "BitSimulator", "Fault", "FaultSimReport", "OutputErrorStats",
-    "WORD_BITS", "exhaustive_inputs", "fault_list", "popcount",
-    "power_overhead",
+    "BitSimulator", "DEFAULT_BATCH", "Fault", "FaultSimReport",
+    "OutputErrorStats", "WORD_BITS", "batched", "bit_count",
+    "clear_simulator_cache", "exhaustive_inputs", "fault_list",
+    "get_simulator", "popcount", "power_overhead",
     "run_campaign", "run_transition_fault", "signal_probabilities",
     "switching_activity", "TransitionFault", "transition_fault_list",
     "late_value",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .simulator import BitSimulator
+from .simulator import BitSimulator, get_simulator
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,7 @@ class TransitionFault:
 def transition_fault_list(circuit, signals=None) -> list[TransitionFault]:
     """Both transition faults for every gate output (or given signals)."""
     if signals is None:
-        sim_signals = BitSimulator(circuit)
+        sim_signals = get_simulator(circuit)
         signals = sim_signals.signals[sim_signals.num_inputs:]
     faults = []
     for signal in signals:
@@ -72,3 +72,25 @@ def run_transition_fault(sim: BitSimulator, first_values: np.ndarray,
     forced = late_value(first_values[idx], second_values[idx],
                         fault.slow_to)
     return sim.run_forced(second_values, fault.signal, forced)
+
+
+def run_transition_fault_batch(sim: BitSimulator,
+                               first_values: np.ndarray,
+                               second_values: np.ndarray,
+                               faults: list[TransitionFault]
+                               ) -> np.ndarray:
+    """Batched second-cycle evaluation of many transition faults.
+
+    All faults share the same golden vector pair; returns the faulty
+    value cube of shape (S, len(faults), n_words) — lane ``b`` holds the
+    second-cycle values with ``faults[b]``'s late value forced.
+    """
+    n_words = second_values.shape[1]
+    site_rows = np.fromiter((sim.index[f.signal] for f in faults),
+                            dtype=np.intp, count=len(faults))
+    forced = np.empty((len(faults), n_words), dtype=np.uint64)
+    for lane, fault in enumerate(faults):
+        idx = site_rows[lane]
+        forced[lane] = late_value(first_values[idx], second_values[idx],
+                                  fault.slow_to)
+    return sim.run_forced_batch(second_values, site_rows, forced)

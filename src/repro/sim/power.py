@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .simulator import WORD_BITS, BitSimulator, popcount
+from .simulator import WORD_BITS, bit_count, get_simulator
 
 
 def switching_activity(circuit, n_words: int = 16, seed: int = 2008,
@@ -20,20 +20,20 @@ def switching_activity(circuit, n_words: int = 16, seed: int = 2008,
     ``weighted=True`` scales each gate's toggle rate by its library
     cell's ``power`` figure (only meaningful for mapped netlists).
     """
-    sim = BitSimulator(circuit)
+    sim = get_simulator(circuit)
     rng = np.random.default_rng(seed)
     before = sim.run(sim.random_inputs(rng, n_words))
     after = sim.run(sim.random_inputs(rng, n_words))
     transitions = n_words * WORD_BITS
-    total = 0.0
-    weights = _gate_weights(circuit) if weighted else None
-    for name in sim.signals[sim.num_inputs:]:
-        idx = sim.index[name]
-        toggles = popcount(before[idx] ^ after[idx]) / transitions
-        if weights is not None:
-            toggles *= weights.get(name, 1.0)
-        total += toggles
-    return total
+    gate_rows = slice(sim.num_inputs, len(sim.signals))
+    toggles = bit_count(before[gate_rows] ^ after[gate_rows]).sum(
+        axis=1, dtype=np.int64) / transitions
+    if weighted:
+        weights = _gate_weights(circuit)
+        names = sim.signals[sim.num_inputs:]
+        toggles = toggles * np.array([weights.get(n, 1.0)
+                                      for n in names])
+    return float(toggles.sum())
 
 
 def power_overhead(base_power: float, total_power: float) -> float:

@@ -6,12 +6,33 @@ a time using numpy uint64 words.  This is the engine behind reliability
 analysis, CED-coverage campaigns, and switching-activity power
 estimation — the roles the authors' fault-injection framework played.
 
+Two evaluation paths coexist:
+
+* a **compiled tape**: the circuit is lowered once into flat numpy index
+  arrays grouped by logic level (literal indices, complement masks, and
+  ``reduceat`` segment offsets), so :meth:`BitSimulator.run` evaluates a
+  whole level with four vectorized calls instead of per-cube Python
+  loops.  The tape also supports *batched* faulty evaluation
+  (:meth:`BitSimulator.run_forced_batch`): many faults share one golden
+  simulation and are re-evaluated together along an extra lane axis.
+* the original **interpreter** (:meth:`BitSimulator.run_interpreted` and
+  the overlay-based :meth:`BitSimulator.run_forced`), kept both as the
+  reference oracle for equivalence tests and for sparse single-fault
+  queries where a cone overlay beats a full batched pass.
+
 Fault injection uses transitive-fanout overlays: a stuck-at value is
 forced on one signal and only its fanout cone is re-evaluated, the rest
 of the circuit aliasing the golden values.
+
+Because every flow stage (reliability, coverage, power, masking,
+observability) simulates the same handful of circuits, compiled
+simulators are cached per circuit object via :func:`get_simulator`.
 """
 
 from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -20,6 +41,27 @@ from repro.synth.netlist import MappedNetlist
 
 WORD_BITS = 64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class _TapeLevel:
+    """One logic level of the compiled instruction tape.
+
+    Literals of all cubes of all (non-constant) gates in the level are
+    concatenated into ``lit_idx``/``lit_inv``; ``cube_starts`` segments
+    them into cubes (AND-reduced) and ``gate_cube_starts`` segments the
+    cube terms into gates (OR-reduced).  Constant gates — empty covers
+    (0) and tautology cubes (1) — are materialized separately because
+    ``reduceat`` cannot express empty segments.
+    """
+
+    lit_idx: np.ndarray          # (L,) intp   signal row per literal
+    lit_inv: np.ndarray          # (L,) uint64 0 or ~0 xor-mask
+    cube_starts: np.ndarray      # (C,) intp   literal offset per cube
+    gate_cube_starts: np.ndarray  # (G,) intp  cube offset per gate
+    gate_out: np.ndarray         # (G,) intp   output row per gate
+    const_out: np.ndarray        # (K,) intp   rows of constant gates
+    const_vals: np.ndarray       # (K,) uint64 their values
 
 
 class BitSimulator:
@@ -85,6 +127,93 @@ class BitSimulator:
                         self._readers[idx].append(out)
             self._step_fanins.append(tuple(ordered))
         self._tfo_cache: dict[int, list[int]] = {}
+        self._compile_tape()
+
+    # ------------------------------------------------------------------
+    # Tape compilation
+    # ------------------------------------------------------------------
+    def _compile_tape(self) -> None:
+        """Lower the steps into levelized flat-array form."""
+        level = np.zeros(len(self.signals), dtype=np.intp)
+        for (out, _), fanins in zip(self.steps, self._step_fanins):
+            level[out] = max((level[f] for f in fanins), default=0) + 1
+        self._level_of_row = level
+
+        by_level: dict[int, list[int]] = {}
+        for si, (out, _) in enumerate(self.steps):
+            by_level.setdefault(int(level[out]), []).append(si)
+        max_level = max(by_level, default=0)
+
+        self._tape: list[_TapeLevel] = []
+        for lvl_no in range(1, max_level + 1):
+            lit_idx: list[int] = []
+            lit_inv: list[np.uint64] = []
+            cube_starts: list[int] = []
+            gate_cube_starts: list[int] = []
+            gate_out: list[int] = []
+            const_out: list[int] = []
+            const_vals: list[np.uint64] = []
+            n_cubes = 0
+            for si in by_level.get(lvl_no, ()):
+                out, cubes = self.steps[si]
+                if not cubes:
+                    const_out.append(out)
+                    const_vals.append(np.uint64(0))
+                    continue
+                if any(not pos and not neg for pos, neg in cubes):
+                    const_out.append(out)      # tautology cube wins
+                    const_vals.append(_ALL_ONES)
+                    continue
+                gate_cube_starts.append(n_cubes)
+                gate_out.append(out)
+                for pos, neg in cubes:
+                    cube_starts.append(len(lit_idx))
+                    for idx in pos:
+                        lit_idx.append(idx)
+                        lit_inv.append(np.uint64(0))
+                    for idx in neg:
+                        lit_idx.append(idx)
+                        lit_inv.append(_ALL_ONES)
+                    n_cubes += 1
+            self._tape.append(_TapeLevel(
+                lit_idx=np.asarray(lit_idx, dtype=np.intp),
+                lit_inv=np.asarray(lit_inv, dtype=np.uint64),
+                cube_starts=np.asarray(cube_starts, dtype=np.intp),
+                gate_cube_starts=np.asarray(gate_cube_starts,
+                                            dtype=np.intp),
+                gate_out=np.asarray(gate_out, dtype=np.intp),
+                const_out=np.asarray(const_out, dtype=np.intp),
+                const_vals=np.asarray(const_vals, dtype=np.uint64)))
+
+    @property
+    def depth(self) -> int:
+        """Number of logic levels in the compiled tape."""
+        return len(self._tape)
+
+    def site_level(self, signal: str) -> int:
+        """Logic level of a signal (0 for primary inputs)."""
+        return int(self._level_of_row[self.index[signal]])
+
+    def _run_tape(self, values: np.ndarray, first_level: int = 0) -> None:
+        """Evaluate tape levels ``first_level..`` in place.
+
+        ``values`` has shape (S, C) where C is any flattened column
+        count (words, or lanes x words for batched evaluation).
+        """
+        for lvl in self._tape[first_level:]:
+            self._eval_level(lvl, values)
+
+    @staticmethod
+    def _eval_level(lvl: _TapeLevel, values: np.ndarray) -> None:
+        if lvl.lit_idx.size:
+            lits = values[lvl.lit_idx]
+            np.bitwise_xor(lits, lvl.lit_inv[:, None], out=lits)
+            terms = np.bitwise_and.reduceat(lits, lvl.cube_starts,
+                                            axis=0)
+            values[lvl.gate_out] = np.bitwise_or.reduceat(
+                terms, lvl.gate_cube_starts, axis=0)
+        if lvl.const_out.size:
+            values[lvl.const_out] = lvl.const_vals[:, None]
 
     # ------------------------------------------------------------------
     # Input generation
@@ -99,27 +228,108 @@ class BitSimulator:
     # Golden simulation
     # ------------------------------------------------------------------
     def run(self, pi_words: np.ndarray) -> np.ndarray:
-        """Simulate; returns values for all signals, shape (S, n_words)."""
+        """Simulate; returns values for all signals, shape (S, n_words).
+
+        Uses the compiled tape; bit-identical to
+        :meth:`run_interpreted`.
+        """
+        values = self._alloc_values(pi_words)
+        self._run_tape(values)
+        return values
+
+    def run_interpreted(self, pi_words: np.ndarray) -> np.ndarray:
+        """Reference interpreter: the original per-cube evaluation loop.
+
+        Kept as the equivalence-test oracle and for before/after
+        benchmarking of the compiled tape.
+        """
+        values = self._alloc_values(pi_words)
+        n_words = pi_words.shape[1]
+        for out, cubes in self.steps:
+            values[out] = _eval_cubes(cubes, values, n_words)
+        return values
+
+    def _alloc_values(self, pi_words: np.ndarray) -> np.ndarray:
         if pi_words.shape[0] != self.num_inputs:
             raise ValueError(
                 f"expected {self.num_inputs} input rows, "
                 f"got {pi_words.shape[0]}")
-        n_words = pi_words.shape[1]
-        values = np.zeros((len(self.signals), n_words), dtype=np.uint64)
+        values = np.zeros((len(self.signals), pi_words.shape[1]),
+                          dtype=np.uint64)
         values[:self.num_inputs] = pi_words
-        for out, cubes in self.steps:
-            values[out] = _eval_cubes(cubes, values, n_words)
         return values
 
     def outputs_of(self, values: np.ndarray) -> np.ndarray:
         return values[self.output_indices]
 
     # ------------------------------------------------------------------
-    # Faulty simulation
+    # Faulty simulation — batched (compiled tape)
+    # ------------------------------------------------------------------
+    def run_forced_batch(self, golden: np.ndarray,
+                         site_rows: np.ndarray,
+                         forced: np.ndarray) -> np.ndarray:
+        """Re-simulate many forced-value faults against one golden run.
+
+        ``site_rows`` (B,) are signal row indices, ``forced`` (B,
+        n_words) the value each lane forces on its site.  Returns the
+        full faulty value cube of shape (S, B, n_words): lane ``b``
+        holds the circuit's values with ``site_rows[b]`` forced to
+        ``forced[b]``, all lanes sharing ``golden``'s input vectors.
+
+        Levels below the shallowest fault site are not re-evaluated
+        (they cannot change), so batching faults of similar depth —
+        e.g. sorting a fault list by :meth:`site_level` — skips most of
+        the tape for faults near the outputs.
+        """
+        site_rows = np.asarray(site_rows, dtype=np.intp)
+        forced = np.asarray(forced, dtype=np.uint64)
+        n_signals = len(self.signals)
+        n_lanes = site_rows.size
+        n_words = golden.shape[1]
+        scratch = np.empty((n_signals, n_lanes, n_words), dtype=np.uint64)
+        scratch[:] = golden[:, None, :]
+        if n_lanes == 0:
+            return scratch
+        lanes = np.arange(n_lanes, dtype=np.intp)
+        levels = self._level_of_row[site_rows]
+        lmin = int(levels.min())
+        # Sites at the shallowest level (or on PIs) are forced up front;
+        # deeper sites are recomputed by their own level's sweep and
+        # overwritten with the forced value before any reader (always at
+        # a strictly higher level) consumes them.
+        head = levels <= lmin
+        scratch[site_rows[head], lanes[head]] = forced[head]
+        flat = scratch.reshape(n_signals, n_lanes * n_words)
+        for ti in range(lmin, len(self._tape)):
+            self._eval_level(self._tape[ti], flat)
+            late = levels == ti + 1
+            if late.any():
+                scratch[site_rows[late], lanes[late]] = forced[late]
+        return scratch
+
+    def run_stuck_batch(self, golden: np.ndarray, faults) -> np.ndarray:
+        """Batched stuck-at evaluation: one lane per fault.
+
+        ``faults`` is a sequence of objects with ``signal`` and
+        ``stuck`` attributes (:class:`~repro.sim.faults.Fault`).
+        Returns the (S, B, n_words) faulty value cube.
+        """
+        n_words = golden.shape[1]
+        site_rows = np.fromiter((self.index[f.signal] for f in faults),
+                                dtype=np.intp, count=len(faults))
+        forced = np.empty((len(faults), n_words), dtype=np.uint64)
+        for lane, fault in enumerate(faults):
+            forced[lane] = _ALL_ONES if fault.stuck else np.uint64(0)
+        return self.run_forced_batch(golden, site_rows, forced)
+
+    # ------------------------------------------------------------------
+    # Faulty simulation — sparse overlays (interpreter)
     # ------------------------------------------------------------------
     def fanout_cone(self, signal: str) -> list[int]:
         """Topologically sorted step-output indices affected by a fault."""
-        site = self.index[signal]
+        return self._fanout_cone_rows(self.index[signal])
+
+    def _fanout_cone_rows(self, site: int) -> list[int]:
         cached = self._tfo_cache.get(site)
         if cached is not None:
             return cached
@@ -156,19 +366,10 @@ class BitSimulator:
         previous vector.
         """
         site = self.index[signal]
-        n_words = golden.shape[1]
         overlay: dict[int, np.ndarray] = {site: forced}
         if np.array_equal(forced, golden[site]):
             return overlay  # fault never excites: cone is unchanged
-        for idx in self.fanout_cone(signal):
-            step = self._step_of[idx]
-            if not any(f in overlay for f in self._step_fanins[step]):
-                continue  # no changed fanin: gate keeps its golden value
-            _, cubes = self.steps[step]
-            faulty = _eval_cubes_overlay(cubes, golden, overlay, n_words)
-            if not np.array_equal(faulty, golden[idx]):
-                overlay[idx] = faulty
-        return overlay
+        return self._propagate_overlay(golden, site, overlay)
 
     def run_toggle(self, golden: np.ndarray,
                    signal: str) -> dict[int, np.ndarray]:
@@ -180,15 +381,21 @@ class BitSimulator:
         """
         site = self.index[signal]
         overlay: dict[int, np.ndarray] = {site: ~golden[site]}
+        return self._propagate_overlay(golden, site, overlay)
+
+    def _propagate_overlay(self, golden: np.ndarray, site: int,
+                           overlay: dict[int, np.ndarray]
+                           ) -> dict[int, np.ndarray]:
+        """Propagate an overlay through the fanout cone of ``site``."""
         n_words = golden.shape[1]
-        for idx in self.fanout_cone(signal):
+        for idx in self._fanout_cone_rows(site):
             step = self._step_of[idx]
             if not any(f in overlay for f in self._step_fanins[step]):
-                continue
+                continue  # no changed fanin: gate keeps its golden value
             _, cubes = self.steps[step]
-            flipped = _eval_cubes_overlay(cubes, golden, overlay, n_words)
-            if not np.array_equal(flipped, golden[idx]):
-                overlay[idx] = flipped
+            faulty = _eval_cubes_overlay(cubes, golden, overlay, n_words)
+            if not np.array_equal(faulty, golden[idx]):
+                overlay[idx] = faulty
         return overlay
 
     def faulty_outputs(self, golden: np.ndarray,
@@ -205,6 +412,50 @@ class BitSimulator:
         if overlay is not None and idx in overlay:
             return overlay[idx]
         return golden[idx]
+
+
+# ----------------------------------------------------------------------
+# Simulator cache
+# ----------------------------------------------------------------------
+_SIM_CACHE: "weakref.WeakKeyDictionary[object, tuple[tuple, BitSimulator]]"
+_SIM_CACHE = weakref.WeakKeyDictionary()
+
+
+def _cache_fingerprint(circuit) -> tuple:
+    """Cheap structural fingerprint to catch post-compile mutation."""
+    if isinstance(circuit, MappedNetlist):
+        return (len(circuit.gates), len(circuit.inputs),
+                len(circuit.outputs))
+    return (len(circuit.nodes), len(circuit.inputs),
+            len(circuit.outputs))
+
+
+def get_simulator(circuit) -> BitSimulator:
+    """Compile-once simulator lookup, keyed on circuit identity.
+
+    Every flow stage (reliability, coverage, power, masking,
+    observability) simulates the same few circuits; compiling the tape
+    once per circuit object amortizes setup across the whole flow.  A
+    structural fingerprint (gate/IO counts) invalidates the entry when
+    the circuit grows or shrinks after compilation; callers that mutate
+    a circuit in place without changing its size must call
+    :func:`clear_simulator_cache`.
+    """
+    try:
+        entry = _SIM_CACHE.get(circuit)
+    except TypeError:            # unhashable / non-weakref-able object
+        return BitSimulator(circuit)
+    fingerprint = _cache_fingerprint(circuit)
+    if entry is not None and entry[0] == fingerprint:
+        return entry[1]
+    sim = BitSimulator(circuit)
+    _SIM_CACHE[circuit] = (fingerprint, sim)
+    return sim
+
+
+def clear_simulator_cache() -> None:
+    """Drop all cached compiled simulators."""
+    _SIM_CACHE.clear()
 
 
 def _eval_cubes(cubes, values, n_words) -> np.ndarray:
@@ -284,17 +535,48 @@ def exhaustive_inputs(num_inputs: int) -> np.ndarray:
     return rows
 
 
+# ----------------------------------------------------------------------
+# Population counts
+# ----------------------------------------------------------------------
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_BYTE_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
+                          dtype=np.uint8)
+
+
+def bit_count(words: np.ndarray) -> np.ndarray:
+    """Element-wise set-bit counts of a uint64 array (same shape).
+
+    Uses ``np.bitwise_count`` when available, else a 256-entry byte
+    LUT.  Both paths work on the packed words directly — unlike
+    ``np.unpackbits``, which materializes one byte per *bit* (a 64x
+    memory blow-up on uint64 data).
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    as_bytes = words.view(np.uint8).reshape(words.shape + (8,))
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.uint8)
+
+
 def popcount(words: np.ndarray) -> int:
     """Total number of set bits in a uint64 array."""
+    if words.size == 0:
+        return 0
+    return int(bit_count(words).sum(dtype=np.int64))
+
+
+def _popcount_unpackbits(words: np.ndarray) -> int:
+    """The seed implementation; kept as the test oracle for popcount."""
     return int(np.unpackbits(words.view(np.uint8)).sum())
 
 
 def signal_probabilities(circuit, n_words: int = 32,
                          seed: int = 2008) -> dict[str, float]:
     """Monte-Carlo estimate of P(signal = 1) for every signal."""
-    sim = BitSimulator(circuit)
+    sim = get_simulator(circuit)
     rng = np.random.default_rng(seed)
     values = sim.run(sim.random_inputs(rng, n_words))
     total = n_words * WORD_BITS
-    return {name: popcount(values[sim.index[name]]) / total
+    counts = bit_count(values).sum(axis=1, dtype=np.int64)
+    return {name: int(counts[sim.index[name]]) / total
             for name in sim.signals}
