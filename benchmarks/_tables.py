@@ -1,17 +1,25 @@
 """Shared plumbing for the reproduction benchmarks.
 
-Every bench regenerates one table or figure of the paper and records
-its rows both to stdout and to ``results/<name>.txt`` so the numbers
-survive pytest's output capture.  Campaign sizes adapt to circuit size
-to keep the full `pytest benchmarks/ --benchmark-only` run tractable.
+Every bench regenerates one table or figure of the paper.  Since PR 2
+the grid of rows behind each table runs through ``repro.lab``: rows
+execute as parallel jobs on a process pool (``REPRO_LAB_WORKERS``
+selects the worker count, ``serial`` debugs inline), completed rows
+land in the content-addressed ``.lab_cache/`` so re-runs are
+incremental, and every bench invocation writes a structured manifest
+under ``results/runs/bench-<name>/``.  Campaign sizes adapt to circuit
+size to keep the full ``pytest benchmarks/`` run tractable.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+import threading
 from pathlib import Path
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
+CACHE_DIR = REPO_ROOT / ".lab_cache"
 
 #: Paper numbers for side-by-side reporting (Table 1).
 PAPER_TABLE1 = {
@@ -72,19 +80,54 @@ def campaign_words(gate_count: int) -> int:
     return 1
 
 
+def run_bench_jobs(jobs, run_name: str, root_seed: int = 2008):
+    """Run one bench's job grid through the lab.
+
+    Workers come from ``REPRO_LAB_WORKERS`` (default
+    ``os.cpu_count() - 1``; ``serial`` runs inline for debugging).
+    Artifacts land in the repo-level ``.lab_cache/`` so repeated bench
+    invocations — and a re-run after a kill — skip finished rows; the
+    manifest is written to ``results/runs/<run_name>/manifest.json``.
+    """
+    from repro.lab import ArtifactStore, run_jobs
+    return run_jobs(jobs, root_seed=root_seed, run_id=run_name,
+                    cache=ArtifactStore(CACHE_DIR),
+                    results_dir=RESULTS_DIR)
+
+
 class TableWriter:
-    """Accumulates table rows and flushes them to results/<name>.txt."""
+    """Accumulates keyed table rows; flushes them atomically, in order.
+
+    Rows may complete out of order (grid points run on worker
+    processes), so each row carries a sort key — rows without one keep
+    insertion order, after all keyed rows.  ``flush`` writes the whole
+    table to a temp file and ``os.replace``s it into
+    ``results/<name>.txt``: a concurrent reader or a killed run can
+    never observe an interleaved or truncated table.
+    """
 
     def __init__(self, name: str, title: str):
         self.name = name
-        self.lines: list[str] = [title, "=" * len(title)]
+        self.title = title
+        self._rows: dict[str, list[str]] = {}
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
 
-    def row(self, text: str) -> None:
-        self.lines.append(text)
+    def row(self, text: str, key: "str | None" = None) -> None:
         print(text)
+        with self._lock:
+            index = next(self._counter)
+            sort_key = key if key is not None else f"~{index:06d}"
+            self._rows.setdefault(sort_key, []).append(text)
 
     def flush(self) -> Path:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self.name}.txt"
-        path.write_text("\n".join(self.lines) + "\n")
+        with self._lock:
+            lines = [self.title, "=" * len(self.title)]
+            for sort_key in sorted(self._rows):
+                lines.extend(self._rows[sort_key])
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text("\n".join(lines) + "\n")
+        os.replace(tmp, path)
         return path

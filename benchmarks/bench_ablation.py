@@ -6,93 +6,85 @@
 * phase-aware request tiebreak on/off (paper-literal rule iii);
 * correctness checking backend: BDD vs simulation;
 * logic sharing on/off (Sec 3.1).
+
+The whole ablation grid runs as one ``repro.lab`` job graph — configs
+are plain keyword-override dicts so every point is cacheable — with a
+manifest under ``results/runs/bench-ablation/``.
 """
 
 import pytest
 
-from repro.approx import ApproxConfig
-from repro.bench import load_benchmark
-from repro.ced import run_ced_flow
+from repro.lab import Job
+from repro.lab.tasks import ced_flow_task
 
-from _tables import TableWriter, campaign_words
+from _tables import TableWriter, campaign_words, run_bench_jobs
 
 _writer = TableWriter("ablation",
                       "Ablations on term1 (area% / approx% / cov%)")
 
+#: ApproxConfig keyword overrides per ablation point.
 CONFIGS = {
-    "default(both)": ApproxConfig(),
-    "stage1=conformance": ApproxConfig(stage1="conformance"),
-    "stage1=significance": ApproxConfig(stage1="significance"),
-    "no-odc-repair": ApproxConfig(odc_in_repair=False),
-    "paper-literal-ruleiii": ApproxConfig(phase_aware_requests=False),
-    "conservative-ex": ApproxConfig(conservative_ex=True),
-    "no-dc-collapse": ApproxConfig(collapse_dc=False),
-    "check=sim": ApproxConfig(check="sim"),
-    "check=sat": ApproxConfig(check="sat"),
+    "default(both)": {},
+    "stage1=conformance": {"stage1": "conformance"},
+    "stage1=significance": {"stage1": "significance"},
+    "no-odc-repair": {"odc_in_repair": False},
+    "paper-literal-ruleiii": {"phase_aware_requests": False},
+    "conservative-ex": {"conservative_ex": True},
+    "no-dc-collapse": {"collapse_dc": False},
+    "check=sim": {"check": "sim"},
+    "check=sat": {"check": "sat"},
 }
 
-_results: dict[str, dict] = {}
+WORDS = campaign_words(260)
 
 
 @pytest.fixture(scope="module")
-def circuit():
-    return load_benchmark("term1")
+def ablation_run():
+    jobs = [Job(f"ablation/{label}", ced_flow_task,
+                params={"circuit": "term1", "words": WORDS,
+                        "seed": 2008,
+                        "config": overrides or None})
+            for label, overrides in CONFIGS.items()]
+    jobs.append(Job("ablation/share-on", ced_flow_task,
+                    params={"circuit": "term1", "words": WORDS,
+                            "seed": 2008, "share_logic": True}))
+    return run_bench_jobs(jobs, "bench-ablation")
 
 
 @pytest.mark.parametrize("label", list(CONFIGS))
-def test_ablation_point(benchmark, circuit, label):
-    words = campaign_words(260)
-
-    def run():
-        return run_ced_flow(circuit, config=CONFIGS[label],
-                            reliability_words=words,
-                            coverage_words=words)
-
-    flow = benchmark.pedantic(run, rounds=1, iterations=1)
-    s = flow.summary()
-    _results[label] = s
+def test_ablation_point(ablation_run, label):
+    s = ablation_run.value(f"ablation/{label}")["summary"]
+    order = list(CONFIGS).index(label)
     _writer.row(f"{label:<22} area {s['area_overhead_pct']:5.1f}  "
                 f"approx {s['approximation_pct']:5.1f}  "
                 f"cov {s['ced_coverage_pct']:5.1f}  "
-                f"(max {s['max_ced_coverage_pct']:.1f})")
+                f"(max {s['max_ced_coverage_pct']:.1f})",
+                key=f"{order:02d}-{label}")
     _writer.flush()
     assert 0.0 <= s["ced_coverage_pct"] <= 100.0
 
 
-def test_sharing_ablation(benchmark, circuit):
-    words = campaign_words(260)
-
-    def run():
-        plain = run_ced_flow(circuit, reliability_words=words,
-                             coverage_words=words)
-        shared = run_ced_flow(circuit, share_logic=True,
-                              reliability_words=words,
-                              coverage_words=words)
-        return plain, shared
-
-    plain, shared = benchmark.pedantic(run, rounds=1, iterations=1)
-    ps, ss = plain.summary(), shared.summary()
+def test_sharing_ablation(ablation_run):
+    ps = ablation_run.value("ablation/default(both)")["summary"]
+    shared = ablation_run.value("ablation/share-on")
+    ss = shared["summary"]
     _writer.row(f"{'sharing=off':<22} area {ps['area_overhead_pct']:5.1f}"
-                f"  cov {ps['ced_coverage_pct']:5.1f}")
+                f"  cov {ps['ced_coverage_pct']:5.1f}",
+                key="90-sharing")
     _writer.row(f"{'sharing=on':<22} area {ss['area_overhead_pct']:5.1f}"
                 f"  cov {ss['ced_coverage_pct']:5.1f}  "
-                f"(shared {int(ss['shared_gates'])} gates)")
+                f"(shared {int(ss['shared_gates'])} gates)",
+                key="90-sharing")
     _writer.flush()
     assert ss["area_overhead_pct"] <= ps["area_overhead_pct"] + 1e-6
 
 
-def test_ablation_relationships(benchmark):
-    if len(_results) < len(CONFIGS):
-        pytest.skip("ablation points did not all run")
-
-    def analyze():
-        default = _results["default(both)"]
-        literal = _results["paper-literal-ruleiii"]
-        conservative = _results["conservative-ex"]
-        return default, literal, conservative
-
-    default, literal, conservative = benchmark.pedantic(
-        analyze, rounds=1, iterations=1)
+def test_ablation_relationships(ablation_run):
+    default = ablation_run.value("ablation/default(both)")["summary"]
+    literal = ablation_run.value(
+        "ablation/paper-literal-ruleiii")["summary"]
+    conservative = ablation_run.value(
+        "ablation/conservative-ex")["summary"]
     # Paper-literal rule (iii) types far more of the circuit EX: its
     # approximation is more faithful but the circuit is bigger.
     assert literal["approximation_pct"] >= \

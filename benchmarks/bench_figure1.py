@@ -1,45 +1,45 @@
 """Figure 1: the exact vs ODC cube-selection example.
 
 Regenerates the three published selection outcomes on the reconstructed
-example circuit and times the two cube-selection procedures.
+example circuit, as a single cached ``repro.lab`` job (manifest under
+``results/runs/bench-figure1/``).
 """
 
-from repro.approx import NodeType, exact_select, odc_select
-from repro.bench import figure1_network, figure1_selections
+import pytest
 
-from _tables import TableWriter
+from repro.lab import Job
+from repro.lab.tasks import figure1_task
+
+from _tables import TableWriter, run_bench_jobs
 
 _writer = TableWriter("figure1",
                       "Figure 1 — cube selection on the example circuit")
 
 
-def test_figure1_selection_outcomes(benchmark):
-    selections = benchmark.pedantic(figure1_selections, rounds=5,
-                                    iterations=1)
+@pytest.fixture(scope="module")
+def figure1_run():
+    return run_bench_jobs([Job("figure1", figure1_task)],
+                          "bench-figure1")
+
+
+def test_figure1_selection_outcomes(figure1_run):
+    record = figure1_run.value("figure1")
     _writer.row(f"solution1 (exact, n2/n5 type 1): "
-                f"{selections['solution1'].to_strings()}")
+                f"{record['solution1']}", key="0-solution1")
     _writer.row(f"solution2 (exact, +n4 type 1)  : "
-                f"{sorted(selections['solution2'].to_strings())}")
+                f"{record['solution2']}", key="1-solution2")
     _writer.row(f"odc (same types as solution 1) : "
-                f"{sorted(selections['odc'].to_strings())}")
+                f"{sorted(record['odc'])}", key="2-odc")
     _writer.flush()
 
-    assert selections["solution1"].to_strings() == ["1--"]
-    assert sorted(selections["solution2"].to_strings()) == \
-        ["--1", "1--"]
-    assert "-11" in selections["odc"].to_strings()
+    assert record["solution1"] == ["1--"]
+    assert record["solution2"] == ["--1", "1--"]
+    assert "-11" in record["odc"]
 
 
-def test_figure1_odc_strictly_richer(benchmark):
-    net = figure1_network()
-    sop = net.nodes["n5"].cover
-    types = [NodeType.ONE, NodeType.DC, NodeType.DC]
-
-    def both():
-        return exact_select(sop, types), odc_select(sop, types)
-
-    exact, odc = benchmark.pedantic(both, rounds=5, iterations=1)
-    assert exact.implies(odc)
-    assert not odc.implies(exact)
+def test_figure1_odc_strictly_richer(figure1_run):
+    record = figure1_run.value("figure1")
+    assert record["exact_implies_odc"]
+    assert not record["odc_implies_exact"]
     # The ODC space covers strictly more minterm mass.
-    assert odc.count_minterms() > exact.count_minterms()
+    assert record["odc_minterms"] > record["exact_minterms"]

@@ -3,71 +3,58 @@
 The paper claims the algorithm "scales with circuit size" — cube
 selection is linear in the network, and the largest benchmark (i10,
 2866 gates) synthesized in 5m28s on 2007 hardware.  This bench times
-approximate synthesis over a size sweep and checks growth stays
-near-linear (no blow-up), plus records the i10-class runtime.
+approximate synthesis over a size sweep (each size one ``repro.lab``
+job; the per-point wall time is measured inside the job so worker
+contention does not distort it) and checks growth stays near-linear
+(no blow-up), plus records the i10-class runtime.
 """
 
-import time
+import math
 
 import pytest
 
-from repro.approx import ApproxConfig, synthesize_approximation
-from repro.bench import random_network
-from repro.reliability import analyze_reliability
-from repro.synth import quick_map
+from repro.lab import Job
+from repro.lab.tasks import scalability_task
 
-from _tables import TableWriter
+from _tables import TableWriter, run_bench_jobs
 
 _writer = TableWriter(
     "scalability", "Synthesis runtime vs size (paper: i10 in 5m28s)")
 
 SIZES = [100, 200, 400, 800, 1600]
 
-_samples: list[tuple[int, float]] = []
 
-
-def _synthesize(n_nodes):
-    net = random_network(4242 + n_nodes, n_nodes, 48, 12,
-                         name=f"scale{n_nodes}")
-    reliability = analyze_reliability(quick_map(net), n_words=1)
-    # Simulation checking: the scaling claim is about the synthesis
-    # algorithm, not about BDD construction.
-    config = ApproxConfig(check="sim", sim_check_words=16)
-    start = time.perf_counter()
-    result = synthesize_approximation(net, reliability.approximations,
-                                      config)
-    elapsed = time.perf_counter() - start
-    return net.num_nodes, elapsed, result
+@pytest.fixture(scope="module")
+def scaling_run():
+    jobs = [Job(f"scale/{n_nodes}", scalability_task,
+                params={"n_nodes": n_nodes})
+            for n_nodes in SIZES]
+    return run_bench_jobs(jobs, "bench-scalability")
 
 
 @pytest.mark.parametrize("n_nodes", SIZES)
-def test_scaling_point(benchmark, n_nodes):
-    nodes, elapsed, result = benchmark.pedantic(
-        lambda: _synthesize(n_nodes), rounds=1, iterations=1)
-    _samples.append((nodes, elapsed))
-    _writer.row(f"{nodes:>6} nodes: {elapsed:7.2f}s  "
-                f"(repair rounds {result.repair_rounds})")
+def test_scaling_point(scaling_run, n_nodes):
+    record = scaling_run.value(f"scale/{n_nodes}")
+    _writer.row(f"{record['nodes']:>6} nodes: "
+                f"{record['elapsed_s']:7.2f}s  "
+                f"(repair rounds {record['repair_rounds']})",
+                key=f"{n_nodes:06d}")
     _writer.flush()
-    assert result is not None
+    assert record["nodes"] > 0
 
 
-def test_growth_is_subquadratic(benchmark):
-    if len(_samples) < 3:
+def test_growth_is_subquadratic(scaling_run):
+    samples = [scaling_run.value(f"scale/{n}") for n in SIZES]
+    if len(samples) < 3:
         pytest.skip("size sweep did not run")
-
-    def exponent():
-        import math
-        xs = [math.log(n) for n, _ in _samples]
-        ys = [math.log(max(t, 1e-3)) for _, t in _samples]
-        n = len(xs)
-        mean_x, mean_y = sum(xs) / n, sum(ys) / n
-        slope = sum((x - mean_x) * (y - mean_y)
-                    for x, y in zip(xs, ys)) \
-            / sum((x - mean_x) ** 2 for x in xs)
-        return slope
-
-    slope = benchmark.pedantic(exponent, rounds=1, iterations=1)
+    xs = [math.log(s["nodes"]) for s in samples]
+    ys = [math.log(max(s["elapsed_s"], 1e-3)) for s in samples]
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    slope = sum((x - mean_x) * (y - mean_y)
+                for x, y in zip(xs, ys)) \
+        / sum((x - mean_x) ** 2 for x in xs)
     _writer.row(f"fitted runtime exponent: {slope:.2f} "
-                f"(1.0 = linear, <2 required)")
+                f"(1.0 = linear, <2 required)", key="999999-fit")
     _writer.flush()
     assert slope < 2.0, f"runtime grows as n^{slope:.2f}"

@@ -3,7 +3,9 @@
 For every suite circuit this bench runs the proposed CED flow without
 and with logic sharing, partial duplication [10] at a matched area
 budget, and single-bit parity prediction, reporting the paper's columns
-side by side.  The headline shapes asserted here:
+side by side.  The per-circuit scheme bundles run as one ``repro.lab``
+job grid (parallel, cached, manifest under
+``results/runs/bench-table2/``).  The headline shapes asserted here:
 
 * parity prediction costs ~an order more area/power than approximate
   logic (paper: ~3x) while approximate logic stays below duplication
@@ -16,77 +18,53 @@ Set ``REPRO_BENCH_FULL=1`` to include frg2 and i10 (long).
 
 import pytest
 
-from repro.bench import load_benchmark
-from repro.ced import (build_parity_ced, build_partial_duplication,
-                       evaluate_ced, run_ced_flow)
-from repro.sim import switching_activity
+from repro.lab import Job
+from repro.lab.tasks import table2_schemes_task
 
 from _tables import (PAPER_TABLE2, TableWriter, campaign_words,
-                     selected_suite)
+                     run_bench_jobs, selected_suite)
 
 _writer = TableWriter(
     "table2",
     "Table 2 — full circuits: measured (paper) per scheme")
 
 
-def _run_circuit(name):
-    net = load_benchmark(name)
-    words = campaign_words(PAPER_TABLE2[name][0])
-    plain = run_ced_flow(net, reliability_words=words,
-                         coverage_words=words)
-    shared = run_ced_flow(net, share_logic=True,
-                          reliability_words=words, coverage_words=words)
-    original = plain.original_mapped
-
-    budget = max(plain.summary()["area_overhead_pct"], 5.0)
-    pdup = build_partial_duplication(original, budget, n_words=words)
-    pdup_cov = evaluate_ced(pdup, n_words=words, seed=11)
-    pdup_gates = sum(1 for g in pdup.netlist.gates
-                     if g.startswith("dup_"))
-
-    parity = build_parity_ced(original, net)
-    parity_cov = evaluate_ced(parity, n_words=words, seed=11)
-    parity_gates = sum(1 for g in parity.netlist.gates
-                       if g.startswith("pp_"))
-    base_power = switching_activity(original, n_words=8)
-    parity_power = switching_activity(parity.netlist, n_words=8)
-
-    return {
-        "plain": plain, "shared": shared,
-        "pdup_area": 100 * pdup_gates / original.gate_count,
-        "pdup_cov": pdup_cov.coverage,
-        "parity_area": 100 * parity_gates / original.gate_count,
-        "parity_power": 100 * (parity_power - base_power) / base_power,
-        "parity_cov": parity_cov.coverage,
-    }
+@pytest.fixture(scope="module")
+def table2_run():
+    jobs = [Job(f"table2/{name}", table2_schemes_task,
+                params={"circuit": name,
+                        "words": campaign_words(PAPER_TABLE2[name][0])})
+            for name in selected_suite()]
+    return run_bench_jobs(jobs, "bench-table2")
 
 
 @pytest.mark.parametrize("name", selected_suite())
-def test_table2_row(benchmark, name):
-    r = benchmark.pedantic(lambda: _run_circuit(name), rounds=1,
-                           iterations=1)
-    plain_s = r["plain"].summary()
-    shared_s = r["shared"].summary()
+def test_table2_row(table2_run, name):
+    r = table2_run.value(f"table2/{name}")
+    plain_s = r["plain"]["summary"]
+    shared_s = r["shared"]["summary"]
     paper = PAPER_TABLE2[name]
+    key = f"{selected_suite().index(name):02d}-{name}"
     _writer.row(
         f"{name:<6} gates {int(plain_s['gates']):>5}  "
-        f"max {plain_s['max_ced_coverage_pct']:5.1f} ({paper[1]})")
+        f"max {plain_s['max_ced_coverage_pct']:5.1f} ({paper[1]})",
+        key=key)
     _writer.row(
         f"   no-share : area {plain_s['area_overhead_pct']:5.1f} "
         f"({paper[2]})  power {plain_s['power_overhead_pct']:5.1f} "
         f"({paper[3]})  cov {plain_s['ced_coverage_pct']:5.1f} "
-        f"({paper[4]})")
+        f"({paper[4]})", key=key)
     _writer.row(
         f"   sharing  : area {shared_s['area_overhead_pct']:5.1f} "
         f"({paper[5]})  cov {shared_s['ced_coverage_pct']:5.1f} "
-        f"({paper[6]})")
+        f"({paper[6]})", key=key)
     _writer.row(
         f"   pdup[10] : area {r['pdup_area']:5.1f} ({paper[7]})  "
-        f"cov {r['pdup_cov']:5.1f} ({paper[8]})")
+        f"cov {r['pdup_cov']:5.1f} ({paper[8]})", key=key)
     _writer.row(
         f"   parity   : area {r['parity_area']:5.1f} ({paper[9]})  "
         f"power {r['parity_power']:5.1f} ({paper[10]})  "
-        f"cov {r['parity_cov']:5.1f} ({paper[11]})")
+        f"cov {r['parity_cov']:5.1f} ({paper[11]})", key=key)
     _writer.flush()
 
     # --- Shape assertions -------------------------------------------

@@ -3,20 +3,18 @@
 The same approximate logic function protects five different
 technology-mapped implementations of each circuit (different synthesis
 scripts and libraries); the paper shows coverage stays nearly constant.
-This bench synthesizes the approximation once per circuit, re-maps the
-original with each of the five scripts, and measures coverage spread.
+Each circuit's synthesize-once/re-map-five-ways bundle runs as one
+``repro.lab`` job (parallel across circuits, cached, manifest under
+``results/runs/bench-table3/``).
 """
 
 import pytest
 
-from repro.approx import synthesize_approximation
-from repro.bench import load_benchmark
-from repro.ced import build_ced, evaluate_ced
-from repro.reliability import analyze_reliability
-from repro.synth import TABLE3_SCRIPTS, quick_map
+from repro.lab import Job
+from repro.lab.tasks import table3_task
 
 from _tables import (PAPER_TABLE2, PAPER_TABLE3, TableWriter,
-                     campaign_words, selected_suite)
+                     campaign_words, run_bench_jobs, selected_suite)
 
 _writer = TableWriter(
     "table3",
@@ -28,33 +26,27 @@ CIRCUITS = [n for n in selected_suite() if n not in ("dalu",)] \
     + (["dalu"] if "dalu" in selected_suite() else [])
 
 
-def _run_circuit(name):
-    net = load_benchmark(name)
-    words = campaign_words(PAPER_TABLE2[name][0])
-    reliability = analyze_reliability(quick_map(net), n_words=words)
-    approx = synthesize_approximation(net, reliability.approximations)
-    coverages = []
-    for script in TABLE3_SCRIPTS:
-        original = script.run(net)
-        approx_mapped = script.run(approx.approx)
-        assembly = build_ced(original, approx_mapped,
-                             reliability.approximations)
-        result = evaluate_ced(assembly, n_words=words, seed=31)
-        coverages.append(result.coverage)
-    return coverages
+@pytest.fixture(scope="module")
+def table3_run():
+    jobs = [Job(f"table3/{name}", table3_task,
+                params={"circuit": name,
+                        "words": campaign_words(PAPER_TABLE2[name][0])})
+            for name in CIRCUITS]
+    return run_bench_jobs(jobs, "bench-table3")
 
 
 @pytest.mark.parametrize("name", CIRCUITS)
-def test_table3_row(benchmark, name):
-    coverages = benchmark.pedantic(lambda: _run_circuit(name),
-                                   rounds=1, iterations=1)
+def test_table3_row(table3_run, name):
+    record = table3_run.value(f"table3/{name}")
+    coverages = record["coverages"]
     paper = PAPER_TABLE3[name]
     measured = "  ".join(f"{c:5.1f}" for c in coverages)
     expected = "  ".join(f"{p:5.1f}" for p in paper)
-    _writer.row(f"{name:<6} measured: {measured}")
-    _writer.row(f"{'':<6} paper   : {expected}")
-    spread = max(coverages) - min(coverages)
-    _writer.row(f"{'':<6} spread  : {spread:.1f} points")
+    key = f"{CIRCUITS.index(name):02d}-{name}"
+    _writer.row(f"{name:<6} measured: {measured}", key=key)
+    _writer.row(f"{'':<6} paper   : {expected}", key=key)
+    spread = record["spread"]
+    _writer.row(f"{'':<6} spread  : {spread:.1f} points", key=key)
     _writer.flush()
 
     # Technology independence: coverage varies only a few points

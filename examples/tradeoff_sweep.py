@@ -4,41 +4,71 @@
 The abstract's claim is that approximate-logic synthesis "provides
 fine-grained trade-offs between area-power overhead and CED coverage".
 This example sweeps the two main knobs — the DC threshold of type
-assignment and the stage-1 cube-drop threshold — and prints the
-resulting (area overhead, coverage) frontier for one benchmark.
+assignment and the stage-1 cube-drop threshold — as a parallel
+``repro.lab`` grid (cached in ``.lab_cache/``, manifest under
+``results/runs/``), then prints the resulting (area overhead,
+coverage) frontier for one benchmark.
+
+Workers default to ``REPRO_LAB_WORKERS`` / ``cpu_count() - 1``; pass
+``--workers serial`` to debug inline.  A killed sweep resumes from the
+cache when re-invoked with the same arguments.
 """
 
 import argparse
 
-from repro.approx import ApproxConfig
-from repro.bench import load_benchmark, tiny_benchmark
-from repro.ced import run_ced_flow
+from repro.lab import ArtifactStore, Job, JobGraph, LabRunner
+from repro.lab.tasks import ced_flow_task, load_circuit
+
+DC_THRESHOLDS = (0.05, 0.25, 0.5, 0.75)
+DROP_THRESHOLDS = (0.01, 0.1, 0.3)
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="cmb")
     parser.add_argument("--words", type=int, default=2)
+    parser.add_argument("--workers", default=None,
+                        help="worker count or 'serial' (default: "
+                             "REPRO_LAB_WORKERS env, cpu_count()-1)")
+    parser.add_argument("--no-cache", action="store_true")
     args = parser.parse_args()
 
-    net = tiny_benchmark() if args.benchmark == "tiny" \
-        else load_benchmark(args.benchmark)
+    net = load_circuit(args.benchmark)
     print(f"Circuit {net.name}: {net.num_nodes} nodes, "
           f"{len(net.outputs)} outputs\n")
+
+    graph = JobGraph(root_seed=2008)
+    for dc_threshold in DC_THRESHOLDS:
+        for drop_threshold in DROP_THRESHOLDS:
+            name = (f"{args.benchmark}/dc{dc_threshold:g}"
+                    f"/drop{drop_threshold:g}")
+            graph.add(Job(name, ced_flow_task, params={
+                "circuit": args.benchmark,
+                "words": args.words,
+                "config": {
+                    "dc_threshold": dc_threshold,
+                    "cube_drop_threshold": drop_threshold,
+                },
+            }))
+    runner = LabRunner(
+        workers=args.workers,
+        cache=None if args.no_cache else ArtifactStore(),
+        manifest_extra={"command": "tradeoff_sweep",
+                        "benchmark": args.benchmark})
+    run = runner.run(graph, run_id=f"tradeoff-{args.benchmark}")
+
     header = (f"{'dc_thr':>7} {'drop_thr':>9} {'area%':>7} "
               f"{'power%':>7} {'approx%':>8} {'cov%':>6} {'max%':>6}")
+    print()
     print(header)
     print("-" * len(header))
 
     points = []
-    for dc_threshold in (0.05, 0.25, 0.5, 0.75):
-        for drop_threshold in (0.01, 0.1, 0.3):
-            config = ApproxConfig(dc_threshold=dc_threshold,
-                                  cube_drop_threshold=drop_threshold)
-            flow = run_ced_flow(net, config=config,
-                                reliability_words=args.words,
-                                coverage_words=args.words)
-            s = flow.summary()
+    for dc_threshold in DC_THRESHOLDS:
+        for drop_threshold in DROP_THRESHOLDS:
+            name = (f"{args.benchmark}/dc{dc_threshold:g}"
+                    f"/drop{drop_threshold:g}")
+            s = run.value(name)["summary"]
             points.append((dc_threshold, drop_threshold, s))
             print(f"{dc_threshold:>7.2f} {drop_threshold:>9.2f} "
                   f"{s['area_overhead_pct']:>7.1f} "
@@ -58,6 +88,7 @@ def main() -> None:
         print(f"  {s['area_overhead_pct']:6.1f}% -> "
               f"{s['ced_coverage_pct']:5.1f}%   "
               f"(dc_thr={dc}, drop_thr={drop})")
+    print(f"\nmanifest: {run.manifest_path}")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import dataclasses
+import json
 
 from repro.approx import (ApproxConfig, ApproxResult,
                           approximation_percentages,
@@ -42,18 +43,58 @@ class CedFlowResult:
     metrics: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> dict[str, float]:
-        """The Table 1/2 row for this run."""
+        """The Table 1/2 row for this run (native JSON-safe types)."""
         return {
-            "gates": self.original_mapped.gate_count,
-            "area_overhead_pct": self.metrics["area_overhead_pct"],
-            "power_overhead_pct": self.metrics["power_overhead_pct"],
-            "approximation_pct": self.approximation_pct,
-            "max_ced_coverage_pct": 100 * self.reliability
-            .max_ced_coverage,
-            "ced_coverage_pct": self.coverage.coverage,
-            "delay_change_pct": self.metrics["delay_change_pct"],
-            "shared_gates": self.assembly.shared_gates,
+            "gates": int(self.original_mapped.gate_count),
+            "area_overhead_pct":
+                float(self.metrics["area_overhead_pct"]),
+            "power_overhead_pct":
+                float(self.metrics["power_overhead_pct"]),
+            "approximation_pct": float(self.approximation_pct),
+            "max_ced_coverage_pct": float(
+                100 * self.reliability.max_ced_coverage),
+            "ced_coverage_pct": float(self.coverage.coverage),
+            "delay_change_pct":
+                float(self.metrics["delay_change_pct"]),
+            "shared_gates": int(self.assembly.shared_gates),
         }
+
+    def to_dict(self) -> dict:
+        """Machine-readable record of the run.
+
+        Everything the tables and run manifests need, as plain JSON
+        types — the summary row, the full metrics dict, per-output
+        approximation directions, checking provenance, and the raw
+        fault-campaign counters.
+        """
+        return {
+            "circuit": self.original.name,
+            "nodes": int(self.original.num_nodes),
+            "inputs": len(self.original.inputs),
+            "outputs": len(self.original.outputs),
+            "summary": self.summary(),
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+            "directions": {po: int(d) for po, d
+                           in self.assembly.directions.items()},
+            "check_method": self.approx_result.check_method,
+            "all_correct": bool(self.approx_result.all_correct),
+            "repair_rounds": int(self.approx_result.repair_rounds),
+            "checker_pairs": len(self.assembly.checker_pairs),
+            "coverage": {
+                "runs": int(self.coverage.runs),
+                "error_runs": int(self.coverage.error_runs),
+                "detected_error_runs":
+                    int(self.coverage.detected_error_runs),
+                "detected_runs": int(self.coverage.detected_runs),
+                "false_alarms": int(self.coverage.false_alarms),
+                "golden_invalid": int(self.coverage.golden_invalid),
+            },
+        }
+
+    def summary_json(self, **dumps_kwargs) -> str:
+        """``summary()`` as a JSON document (round-trips losslessly)."""
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.summary(), **dumps_kwargs)
 
 
 def _synthesize_with_floor(network: Network, directions: dict[str, int],

@@ -5,8 +5,12 @@ Subcommands:
 * ``info``  — parse a BLIF file and print structure/statistics;
 * ``synth`` — synthesize an approximate logic circuit and write it as
   BLIF (directions from reliability analysis or forced);
-* ``ced``   — run the full CED flow and print the evaluation report;
-* ``gen``   — export a suite benchmark (MCNC stand-in) as BLIF.
+* ``ced``   — run the full CED flow and print the evaluation report
+  (``--json`` for a machine-readable record);
+* ``gen``   — export a suite benchmark (MCNC stand-in) as BLIF;
+* ``sweep`` — drive a (circuit x config) grid of CED flows through
+  ``repro.lab``: parallel workers, content-addressed caching (killed
+  runs resume), and a structured run manifest.
 
 Usage: ``python -m repro.cli <subcommand> --help``.
 """
@@ -14,6 +18,7 @@ Usage: ``python -m repro.cli <subcommand> --help``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.approx import (ApproxConfig, approximation_percentages,
@@ -97,6 +102,11 @@ def cmd_ced(args: argparse.Namespace) -> int:
                         reliability_words=args.words,
                         coverage_words=args.words,
                         directions=directions, seed=args.seed)
+    if args.json:
+        print(json.dumps(flow.to_dict(), indent=2, sort_keys=True))
+        if args.out:
+            write_blif(flow.approx_result.approx, args.out)
+        return 0
     summary = flow.summary()
     print(f"circuit               : {network.name} "
           f"({int(summary['gates'])} mapped gates)")
@@ -118,6 +128,101 @@ def cmd_ced(args: argparse.Namespace) -> int:
         write_blif(flow.approx_result.approx, args.out)
         print(f"check symbol generator written to {args.out}")
     return 0
+
+
+def _parse_floats(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (circuit x config) grid through the lab subsystem."""
+    from repro.lab import ArtifactStore, Job, JobGraph, LabRunner, \
+        derive_seed
+    from repro.lab.tasks import ced_flow_task
+
+    circuits = [c.strip() for c in args.circuits.split(",")
+                if c.strip()]
+    if not circuits:
+        raise SystemExit("sweep: --circuits must name at least one "
+                         "circuit")
+    dc_list = _parse_floats(args.dc_thresholds)
+    drop_list = _parse_floats(args.drop_thresholds)
+    single_config = len(dc_list) == 1 and len(drop_list) == 1
+
+    graph = JobGraph(root_seed=args.seed)
+    for circuit in circuits:
+        for dc in dc_list:
+            for drop in drop_list:
+                name = circuit if single_config else \
+                    f"{circuit}/dc{dc:g}/drop{drop:g}"
+                seed = derive_seed(args.seed, name) \
+                    if args.per_job_seeds else args.seed
+                graph.add(Job(
+                    name, ced_flow_task,
+                    params={
+                        "circuit": circuit,
+                        "table": args.table,
+                        "words": args.words,
+                        "seed": seed,
+                        "share_logic": bool(args.share_logic),
+                        "config": {"dc_threshold": dc,
+                                   "cube_drop_threshold": drop,
+                                   "seed": seed},
+                    },
+                    timeout=args.timeout, retries=args.retries))
+
+    cache = None if args.no_cache else ArtifactStore(args.cache_dir)
+    quiet = args.json or args.quiet
+    runner = LabRunner(
+        workers=args.workers, cache=cache,
+        results_dir=args.results_dir,
+        log=None if quiet else (lambda line: print(
+            line, file=sys.stderr, flush=True)),
+        manifest_extra={"command": "sweep", "circuits": circuits,
+                        "argv": list(sys.argv[1:])})
+    run = runner.run(graph, run_id=args.run_id)
+
+    if args.json:
+        doc = {
+            "run_id": run.run_id,
+            "manifest": str(run.manifest_path),
+            "wall_time_s": run.wall_time_s,
+            "counts": run.counts(),
+            "jobs": {
+                name: {
+                    "status": result.status,
+                    "summary": (result.value or {}).get("summary")
+                    if result.ok else None,
+                    "error": result.error,
+                }
+                for name, result in sorted(run.results.items())
+            },
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        header = (f"{'job':<24} {'gates':>6} {'area%':>7} "
+                  f"{'power%':>7} {'approx%':>8} {'cov%':>6} "
+                  f"{'max%':>6}  status")
+        print(header)
+        print("-" * len(header))
+        for name, result in sorted(run.results.items()):
+            if result.ok:
+                s = result.value["summary"]
+                print(f"{name:<24} {int(s['gates']):>6} "
+                      f"{s['area_overhead_pct']:>7.1f} "
+                      f"{s['power_overhead_pct']:>7.1f} "
+                      f"{s['approximation_pct']:>8.1f} "
+                      f"{s['ced_coverage_pct']:>6.1f} "
+                      f"{s['max_ced_coverage_pct']:>6.1f}  "
+                      f"{result.status}")
+            else:
+                reason = (result.error or "").splitlines()[0][:40] \
+                    if result.error else ""
+                print(f"{name:<24} {'-':>6} {'-':>7} {'-':>7} "
+                      f"{'-':>8} {'-':>6} {'-':>6}  "
+                      f"{result.status} {reason}")
+        print(f"\nmanifest: {run.manifest_path}")
+    return 0 if run.ok else 1
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -158,8 +263,56 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto")
     p_ced.add_argument("--share-logic", action="store_true")
     p_ced.add_argument("--words", type=int, default=4)
+    p_ced.add_argument("--json", action="store_true",
+                       help="emit the machine-readable flow record "
+                            "instead of the text report")
     _add_config_flags(p_ced)
     p_ced.set_defaults(func=cmd_ced)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a (circuit x config) grid via repro.lab")
+    p_sweep.add_argument(
+        "--circuits", required=True,
+        help="comma-separated suite names (cmb, cordic, ..., or tiny)")
+    p_sweep.add_argument("--table", type=int, default=2,
+                         choices=(1, 2))
+    p_sweep.add_argument("--words", type=int, default=2,
+                         help="64-vector words for the fault campaigns")
+    p_sweep.add_argument("--dc-thresholds", default="0.25",
+                         help="comma-separated dc_threshold values")
+    p_sweep.add_argument("--drop-thresholds", default="0.02",
+                         help="comma-separated cube_drop_threshold "
+                              "values")
+    p_sweep.add_argument("--share-logic", action="store_true")
+    p_sweep.add_argument("--seed", type=int, default=2008,
+                         help="root seed of the run")
+    p_sweep.add_argument(
+        "--per-job-seeds", action="store_true",
+        help="derive a deterministic per-job seed from the root seed "
+             "instead of reusing it verbatim")
+    p_sweep.add_argument(
+        "--workers", default=None,
+        help="worker count, or 'serial' (default: REPRO_LAB_WORKERS "
+             "env, else cpu_count()-1)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+    p_sweep.add_argument("--retries", type=int, default=0,
+                         help="retry budget per job")
+    p_sweep.add_argument("--run-id", default=None,
+                         help="manifest directory name (default: "
+                              "timestamped)")
+    p_sweep.add_argument("--results-dir", default="results",
+                         help="manifests land under "
+                              "<results-dir>/runs/<run-id>/")
+    p_sweep.add_argument("--cache-dir", default=".lab_cache")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the artifact cache")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="emit machine-readable results")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-job progress lines")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_gen = sub.add_parser("gen", help="export a suite benchmark")
     p_gen.add_argument("--name", required=True,

@@ -1,0 +1,32 @@
+"""repro.lab — parallel experiment orchestration.
+
+The paper's tables are embarrassingly parallel (circuit x config)
+grids of ``run_ced_flow`` invocations.  This subsystem runs such grids
+on a process pool with deterministic per-job seeds, a content-addressed
+artifact cache (``.lab_cache/``) that makes killed runs resumable, and
+structured run manifests under ``results/runs/<run_id>/``.
+
+Task functions live in :mod:`repro.lab.tasks` (imported lazily — it
+pulls in the whole flow stack).
+"""
+
+from .cache import (MISS, ArtifactStore, cache_key,  # noqa: F401
+                    code_fingerprint)
+from .executor import (WORKERS_ENV, JobResult, JobTimeout,  # noqa: F401
+                       LabRun, LabRunner, resolve_workers, run_jobs)
+from .job import (Job, JobGraph, canonical_params,  # noqa: F401
+                  derive_seed)
+from .manifest import (JOB_STATUSES,  # noqa: F401
+                       MANIFEST_SCHEMA_VERSION, build_manifest,
+                       load_manifest, new_run_id, validate_manifest,
+                       write_manifest)
+
+__all__ = [
+    "Job", "JobGraph", "derive_seed", "canonical_params",
+    "ArtifactStore", "MISS", "cache_key", "code_fingerprint",
+    "JobResult", "JobTimeout", "LabRun", "LabRunner", "run_jobs",
+    "resolve_workers", "WORKERS_ENV",
+    "MANIFEST_SCHEMA_VERSION", "JOB_STATUSES", "build_manifest",
+    "load_manifest", "new_run_id", "validate_manifest",
+    "write_manifest",
+]

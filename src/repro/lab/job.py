@@ -1,0 +1,161 @@
+"""The job model of the experiment-orchestration subsystem.
+
+A :class:`Job` wraps any picklable module-level callable — a
+``run_ced_flow`` invocation, a reliability analysis, one point of a
+sweep — together with explicit, JSON-serializable parameters, an
+optional list of dependencies, and scheduling attributes (timeout,
+retry budget).  A :class:`JobGraph` collects jobs, validates the DAG,
+and derives a deterministic per-job seed from the graph's root seed so
+results are bit-identical regardless of worker count or completion
+order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Job", "JobGraph", "derive_seed", "canonical_params"]
+
+
+def derive_seed(root_seed: int, job_name: str) -> int:
+    """Deterministic per-job seed: a stable hash of (root seed, name).
+
+    Independent of scheduling, worker count, and Python's randomized
+    ``hash()``; distinct job names get (almost surely) distinct seeds.
+    """
+    digest = hashlib.sha256(
+        f"{root_seed}\x1f{job_name}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % (2 ** 31 - 1)
+
+
+def canonical_params(params: dict[str, Any]) -> str:
+    """Canonical JSON encoding of a job's parameters.
+
+    Raises ``TypeError`` when a parameter is not JSON-serializable:
+    content-addressed caching and manifests both require plain-data
+    params (circuit *names*, thresholds, word counts — not live
+    ``Network`` objects).
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class Job:
+    """One schedulable unit of work.
+
+    ``fn`` must be picklable by reference (a module-level function) so
+    it can cross the process boundary; it is called as ``fn(**params)``.
+    When ``pass_deps`` is set it additionally receives
+    ``dep_results={dep_name: value}``.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    params: dict[str, Any] = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+    timeout: float | None = None
+    retries: int = 0
+    pass_deps: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        self.deps = tuple(self.deps)
+        canonical_params(self.params)  # fail fast on bad params
+
+
+class JobGraph:
+    """A named DAG of jobs with a shared root seed."""
+
+    def __init__(self, jobs: "list[Job] | tuple[Job, ...]" = (),
+                 root_seed: int = 2008):
+        self.root_seed = root_seed
+        self._jobs: dict[str, Job] = {}
+        for job in jobs:
+            self.add(job)
+
+    # -- construction ----------------------------------------------------
+    def add(self, job: Job) -> Job:
+        if job.name in self._jobs:
+            raise ValueError(f"duplicate job name {job.name!r}")
+        self._jobs[job.name] = job
+        return job
+
+    def job(self, name: str) -> Job:
+        return self._jobs[name]
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._jobs
+
+    def seed_for(self, name: str) -> int:
+        """The deterministic seed assigned to job ``name``."""
+        if name not in self._jobs:
+            raise KeyError(name)
+        return derive_seed(self.root_seed, name)
+
+    # -- validation / ordering -------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on unknown dependencies or cycles."""
+        for job in self._jobs.values():
+            for dep in job.deps:
+                if dep not in self._jobs:
+                    raise ValueError(
+                        f"job {job.name!r} depends on unknown job "
+                        f"{dep!r}")
+        self.topological_order()
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; ties broken by name for determinism."""
+        indegree = {name: 0 for name in self._jobs}
+        dependents: dict[str, list[str]] = {n: [] for n in self._jobs}
+        for job in self._jobs.values():
+            for dep in job.deps:
+                if dep in indegree:
+                    indegree[job.name] += 1
+                    dependents[dep].append(job.name)
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            freed = []
+            for child in dependents[name]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    freed.append(child)
+            if freed:
+                ready = sorted(ready + freed)
+        if len(order) != len(self._jobs):
+            cyclic = sorted(set(self._jobs) - set(order))
+            raise ValueError(f"dependency cycle involving {cyclic}")
+        return order
+
+    def dependents_of(self, name: str) -> list[str]:
+        """Transitive dependents of ``name`` (jobs it unblocks)."""
+        direct: dict[str, list[str]] = {n: [] for n in self._jobs}
+        for job in self._jobs.values():
+            for dep in job.deps:
+                if dep in direct:
+                    direct[dep].append(job.name)
+        seen: set[str] = set()
+        stack = list(direct.get(name, ()))
+        while stack:
+            child = stack.pop()
+            if child in seen:
+                continue
+            seen.add(child)
+            stack.extend(direct[child])
+        return sorted(seen)

@@ -1,0 +1,120 @@
+"""Structured run manifests and progress telemetry.
+
+Every orchestrated run writes ``results/runs/<run_id>/manifest.json``
+recording, per job: parameters, derived seed, status, attempt count,
+wall time, peak RSS (when the platform exposes it), cache key, and
+artifact digest.  The manifest replaces ad-hoc append-only text files
+as the machine-readable record of an experiment, and
+:func:`validate_manifest` keeps its schema honest in tests and CI.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["MANIFEST_SCHEMA_VERSION", "new_run_id", "write_manifest",
+           "load_manifest", "validate_manifest", "JOB_STATUSES"]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Terminal job states.  ``ok``/``cached`` are successes; ``failed``
+#: exhausted its retry budget; ``skipped`` had a failed dependency.
+JOB_STATUSES = ("ok", "cached", "failed", "skipped")
+
+_REQUIRED_RUN_KEYS = ("schema_version", "run_id", "created",
+                      "root_seed", "workers", "wall_time_s", "counts",
+                      "jobs")
+_REQUIRED_JOB_KEYS = ("params", "seed", "status", "attempts",
+                      "wall_time_s")
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """A sortable, collision-resistant run identifier."""
+    stamp = datetime.datetime.now(datetime.timezone.utc)
+    return (f"{prefix}-{stamp.strftime('%Y%m%dT%H%M%S')}"
+            f"-{os.getpid()}")
+
+
+def write_manifest(run_dir: "str | Path", doc: dict[str, Any]) -> Path:
+    """Atomically write ``manifest.json`` under ``run_dir``."""
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = run_dir / "manifest.json"
+    tmp = run_dir / f".manifest.{os.getpid()}.tmp"
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path: "str | Path") -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def build_manifest(*, run_id: str, root_seed: int, workers: Any,
+                   wall_time_s: float,
+                   jobs: dict[str, dict[str, Any]],
+                   extra: dict[str, Any] | None = None
+                   ) -> dict[str, Any]:
+    """Assemble a schema-conformant manifest document."""
+    counts = {status: 0 for status in JOB_STATUSES}
+    for entry in jobs.values():
+        status = entry.get("status", "failed")
+        counts[status] = counts.get(status, 0) + 1
+    doc = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "run_id": run_id,
+        "created": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(),
+        "root_seed": root_seed,
+        "workers": workers,
+        "wall_time_s": round(wall_time_s, 6),
+        "counts": counts,
+        "jobs": jobs,
+    }
+    if extra:
+        for key, value in extra.items():
+            doc.setdefault(key, value)
+    return doc
+
+
+def validate_manifest(doc: dict[str, Any]) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["manifest is not an object"]
+    for key in _REQUIRED_RUN_KEYS:
+        if key not in doc:
+            errors.append(f"missing run key {key!r}")
+    if doc.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {doc.get('schema_version')!r} != "
+            f"{MANIFEST_SCHEMA_VERSION}")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict):
+        errors.append("jobs is not an object")
+        return errors
+    for name, entry in jobs.items():
+        if not isinstance(entry, dict):
+            errors.append(f"job {name!r} entry is not an object")
+            continue
+        for key in _REQUIRED_JOB_KEYS:
+            if key not in entry:
+                errors.append(f"job {name!r} missing key {key!r}")
+        status = entry.get("status")
+        if status not in JOB_STATUSES:
+            errors.append(f"job {name!r} has bad status {status!r}")
+        if status == "failed" and not entry.get("error"):
+            errors.append(f"failed job {name!r} records no error")
+    counts = doc.get("counts")
+    if isinstance(counts, dict) and isinstance(jobs, dict):
+        if sum(counts.get(s, 0) for s in JOB_STATUSES) != len(jobs):
+            errors.append("counts do not sum to the number of jobs")
+    try:
+        json.dumps(doc)
+    except TypeError as exc:
+        errors.append(f"manifest is not JSON-serializable: {exc}")
+    return errors

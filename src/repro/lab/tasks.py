@@ -1,0 +1,152 @@
+"""Picklable task functions for orchestrated experiments.
+
+Every benchmark table, ablation grid, and CLI sweep point is expressed
+as a module-level function of plain parameters returning plain JSON
+data, so jobs can cross the process boundary, land in the
+content-addressed cache, and appear verbatim in run manifests.  Keep
+task bodies byte-for-byte faithful to the original serial drivers:
+the lab must change *how* experiments are scheduled, never *what*
+they compute.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.approx import (ApproxConfig, NodeType, exact_select,
+                          odc_select, synthesize_approximation)
+from repro.bench import (figure1_network, figure1_selections,
+                         load_benchmark, random_network,
+                         tiny_benchmark)
+from repro.ced import (build_ced, build_parity_ced,
+                       build_partial_duplication, evaluate_ced,
+                       run_ced_flow)
+from repro.reliability import analyze_reliability
+from repro.sim import switching_activity
+from repro.synth import TABLE3_SCRIPTS, quick_map
+
+__all__ = ["load_circuit", "ced_flow_task", "table2_schemes_task",
+           "table3_task", "scalability_task", "figure1_task"]
+
+
+def load_circuit(circuit: str, table: int = 2):
+    """Resolve a circuit name; ``tiny`` is the fast smoke circuit."""
+    if circuit == "tiny":
+        return tiny_benchmark()
+    return load_benchmark(circuit, table=table)
+
+
+def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
+                  seed: int = 2008, share_logic: bool = False,
+                  config: "dict[str, Any] | None" = None,
+                  directions: "dict[str, int] | None" = None,
+                  min_approx_pct: float = 25.0) -> dict[str, Any]:
+    """One complete CED flow run -> machine-readable record.
+
+    ``config`` is a dict of :class:`~repro.approx.ApproxConfig`
+    keyword overrides (kept as plain data so the job is hashable for
+    the artifact cache).
+    """
+    net = load_circuit(circuit, table)
+    cfg = ApproxConfig(**config) if config else None
+    if directions is not None:
+        directions = {po: int(d) for po, d in directions.items()}
+    flow = run_ced_flow(net, config=cfg, share_logic=share_logic,
+                        reliability_words=words, coverage_words=words,
+                        seed=seed, directions=directions,
+                        min_approx_pct=min_approx_pct)
+    return flow.to_dict()
+
+
+def table2_schemes_task(circuit: str, words: int) -> dict[str, Any]:
+    """All four Table 2 schemes on one circuit (paper Sec 4)."""
+    net = load_circuit(circuit)
+    plain = run_ced_flow(net, reliability_words=words,
+                         coverage_words=words)
+    shared = run_ced_flow(net, share_logic=True,
+                          reliability_words=words,
+                          coverage_words=words)
+    original = plain.original_mapped
+
+    budget = max(plain.summary()["area_overhead_pct"], 5.0)
+    pdup = build_partial_duplication(original, budget, n_words=words)
+    pdup_cov = evaluate_ced(pdup, n_words=words, seed=11)
+    pdup_gates = sum(1 for g in pdup.netlist.gates
+                     if g.startswith("dup_"))
+
+    parity = build_parity_ced(original, net)
+    parity_cov = evaluate_ced(parity, n_words=words, seed=11)
+    parity_gates = sum(1 for g in parity.netlist.gates
+                       if g.startswith("pp_"))
+    base_power = switching_activity(original, n_words=8)
+    parity_power = switching_activity(parity.netlist, n_words=8)
+
+    return {
+        "plain": plain.to_dict(),
+        "shared": shared.to_dict(),
+        "pdup_area": float(100 * pdup_gates / original.gate_count),
+        "pdup_cov": float(pdup_cov.coverage),
+        "parity_area": float(100 * parity_gates
+                             / original.gate_count),
+        "parity_power": float(100 * (parity_power - base_power)
+                              / base_power),
+        "parity_cov": float(parity_cov.coverage),
+    }
+
+
+def table3_task(circuit: str, words: int) -> dict[str, Any]:
+    """CED coverage of one approximation across five mappings."""
+    net = load_circuit(circuit)
+    reliability = analyze_reliability(quick_map(net), n_words=words)
+    approx = synthesize_approximation(net, reliability.approximations)
+    coverages = []
+    for script in TABLE3_SCRIPTS:
+        original = script.run(net)
+        approx_mapped = script.run(approx.approx)
+        assembly = build_ced(original, approx_mapped,
+                             reliability.approximations)
+        result = evaluate_ced(assembly, n_words=words, seed=31)
+        coverages.append(float(result.coverage))
+    return {
+        "coverages": coverages,
+        "spread": float(max(coverages) - min(coverages)),
+    }
+
+
+def scalability_task(n_nodes: int) -> dict[str, Any]:
+    """Time approximate synthesis on a generated n-node network."""
+    net = random_network(4242 + n_nodes, n_nodes, 48, 12,
+                         name=f"scale{n_nodes}")
+    reliability = analyze_reliability(quick_map(net), n_words=1)
+    # Simulation checking: the scaling claim is about the synthesis
+    # algorithm, not about BDD construction.
+    config = ApproxConfig(check="sim", sim_check_words=16)
+    start = time.perf_counter()
+    result = synthesize_approximation(net, reliability.approximations,
+                                      config)
+    elapsed = time.perf_counter() - start
+    return {
+        "nodes": int(net.num_nodes),
+        "elapsed_s": float(elapsed),
+        "repair_rounds": int(result.repair_rounds),
+    }
+
+
+def figure1_task() -> dict[str, Any]:
+    """The Figure 1 cube-selection outcomes and exact-vs-ODC facts."""
+    selections = figure1_selections()
+    net = figure1_network()
+    sop = net.nodes["n5"].cover
+    types = [NodeType.ONE, NodeType.DC, NodeType.DC]
+    exact = exact_select(sop, types)
+    odc = odc_select(sop, types)
+    return {
+        "solution1": selections["solution1"].to_strings(),
+        "solution2": sorted(selections["solution2"].to_strings()),
+        "odc": selections["odc"].to_strings(),
+        "exact_implies_odc": bool(exact.implies(odc)),
+        "odc_implies_exact": bool(odc.implies(exact)),
+        "exact_minterms": int(exact.count_minterms()),
+        "odc_minterms": int(odc.count_minterms()),
+    }

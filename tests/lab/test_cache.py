@@ -1,0 +1,79 @@
+"""Content-addressed artifact store: keys, round-trips, corruption."""
+
+from repro.lab import (MISS, ArtifactStore, Job, cache_key,
+                       code_fingerprint)
+
+from .helpers import add_seeded, square
+
+
+class TestCacheKey:
+    def test_param_order_irrelevant(self):
+        j1 = Job("j", add_seeded, {"x": 1, "seed": 5})
+        j2 = Job("j", add_seeded, {"seed": 5, "x": 1})
+        assert cache_key(j1) == cache_key(j2)
+
+    def test_params_change_key(self):
+        assert cache_key(Job("j", square, {"x": 1})) != \
+            cache_key(Job("j", square, {"x": 2}))
+
+    def test_name_change_key(self):
+        assert cache_key(Job("a", square, {"x": 1})) != \
+            cache_key(Job("b", square, {"x": 1}))
+
+    def test_function_change_key(self):
+        assert cache_key(Job("j", square, {"x": 1})) != \
+            cache_key(Job("j", add_seeded, {"x": 1}))
+
+    def test_dep_digests_change_key(self):
+        job = Job("j", square, {"x": 1}, deps=("d",), pass_deps=True)
+        base = cache_key(job, {"d": "digest-1"})
+        assert base != cache_key(job, {"d": "digest-2"})
+        # Non-consuming jobs ignore dependency digests entirely.
+        plain = Job("j", square, {"x": 1}, deps=("d",))
+        assert cache_key(plain, {"d": "digest-1"}) == \
+            cache_key(plain, {"d": "digest-2"})
+
+    def test_fingerprint_is_stable(self):
+        assert code_fingerprint(square) == code_fingerprint(square)
+        assert code_fingerprint(square) != code_fingerprint(add_seeded)
+
+
+class TestArtifactStore:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        key = cache_key(Job("j", square, {"x": 3}))
+        assert not store.has(key)
+        assert store.get(key) is MISS
+        digest = store.put(key, {"answer": 9}, meta={"job": "j"})
+        assert store.has(key)
+        assert store.get(key) == {"answer": 9}
+        assert store.digest(key) == digest
+        meta = store.meta(key)
+        assert meta["job"] == "j"
+        assert meta["artifact_digest"] == digest
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        key = cache_key(Job("j", square, {"x": 3}))
+        store.put(key, list(range(100)))
+        leftovers = [p for p in (tmp_path / "cache").rglob("*")
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        key = cache_key(Job("j", square, {"x": 3}))
+        store.put(key, "value")
+        # Truncate the pickle: a killed writer can never cause this
+        # (writes are atomic), but disk corruption can.
+        path = store._paths(key)[0]
+        path.write_bytes(path.read_bytes()[:3])
+        assert store.get(key) is MISS
+
+    def test_evict(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        key = cache_key(Job("j", square, {"x": 3}))
+        store.put(key, "value")
+        store.evict(key)
+        assert not store.has(key)
+        assert store.get(key) is MISS

@@ -1,0 +1,192 @@
+"""Executor semantics: determinism, caching/resume, retry, timeout."""
+
+import pytest
+
+from repro.lab import (ArtifactStore, Job, JobGraph, LabRunner,
+                       resolve_workers, run_jobs)
+
+from .helpers import (always_fail, combine, fail_until, spin, square,
+                      tiny_flow, touch_and_square)
+
+
+def quiet_runner(**kwargs):
+    kwargs.setdefault("log", None)
+    kwargs.setdefault("results_dir", None)
+    kwargs.setdefault("cache", None)
+    return LabRunner(**kwargs)
+
+
+class TestResolveWorkers:
+    def test_explicit_serial(self):
+        assert resolve_workers("serial") == "serial"
+
+    def test_zero_and_one_map_to_serial(self):
+        assert resolve_workers(0) == "serial"
+        assert resolve_workers(1) == "serial"
+        assert resolve_workers("1") == "serial"
+
+    def test_integer_string(self):
+        assert resolve_workers("4") == 4
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LAB_WORKERS", "3")
+        assert resolve_workers() == 3
+        monkeypatch.setenv("REPRO_LAB_WORKERS", "serial")
+        assert resolve_workers() == "serial"
+
+    def test_default_is_cpu_count_minus_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LAB_WORKERS", raising=False)
+        workers = resolve_workers()
+        assert workers == "serial" or workers >= 2
+
+
+class TestDeterminism:
+    GRID = [("sq/3", {"x": 3}), ("sq/5", {"x": 5}), ("sq/9", {"x": 9})]
+
+    def _run(self, workers):
+        jobs = [Job(name, square, dict(params))
+                for name, params in self.GRID]
+        run = quiet_runner(workers=workers).run(JobGraph(jobs))
+        assert run.ok
+        return {n: r.value for n, r in sorted(run.results.items())}
+
+    def test_serial_vs_pool_identical(self):
+        assert self._run("serial") == self._run(4)
+
+    def test_ced_flow_identical_across_worker_counts(self):
+        def grid(workers):
+            jobs = [Job(f"tiny/w{w}", tiny_flow,
+                        {"words": w, "seed": 2008}) for w in (1, 2)]
+            run = quiet_runner(workers=workers).run(JobGraph(jobs))
+            assert run.ok
+            return {n: r.value["summary"]
+                    for n, r in run.results.items()}
+
+        serial = grid("serial")
+        parallel = grid(4)
+        # Bit-identical summaries regardless of scheduling.
+        assert serial == parallel
+
+
+class TestCacheAndResume:
+    def test_second_run_hits_cache_without_recompute(self, tmp_path):
+        cache = ArtifactStore(tmp_path / "cache")
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        jobs = [Job(f"t/{x}", touch_and_square,
+                    {"x": x, "marker_dir": str(marker_dir)})
+                for x in (2, 3)]
+        first = quiet_runner(workers="serial", cache=cache).run(
+            JobGraph(jobs))
+        assert first.counts() == {"ok": 2}
+        second = quiet_runner(workers="serial", cache=cache).run(
+            JobGraph(jobs))
+        assert second.counts() == {"cached": 2}
+        assert second.values() == first.values()
+        # The task bodies ran exactly once per job.
+        for x in (2, 3):
+            assert (marker_dir / f"ran-{x}").read_text() == "1"
+
+    def test_resume_after_partial_run(self, tmp_path):
+        """A killed run's finished jobs are skipped on re-invocation."""
+        cache = ArtifactStore(tmp_path / "cache")
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+
+        def job(x):
+            return Job(f"t/{x}", touch_and_square,
+                       {"x": x, "marker_dir": str(marker_dir)})
+
+        # "Killed" run: only half the grid completed before the kill.
+        partial = quiet_runner(workers="serial", cache=cache).run(
+            JobGraph([job(1), job(2)]))
+        assert partial.ok
+        # Re-invocation with the full grid resumes from the cache.
+        full = quiet_runner(workers=2, cache=cache).run(
+            JobGraph([job(1), job(2), job(3), job(4)]))
+        statuses = {n: r.status for n, r in full.results.items()}
+        assert statuses == {"t/1": "cached", "t/2": "cached",
+                            "t/3": "ok", "t/4": "ok"}
+        for x in (1, 2, 3, 4):
+            assert (marker_dir / f"ran-{x}").read_text() == "1"
+
+    def test_param_change_misses_cache(self, tmp_path):
+        cache = ArtifactStore(tmp_path / "cache")
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        runner = quiet_runner(workers="serial", cache=cache)
+        runner.run(JobGraph([
+            Job("t", touch_and_square,
+                {"x": 5, "marker_dir": str(marker_dir)})]))
+        rerun = runner.run(JobGraph([
+            Job("t", touch_and_square,
+                {"x": 6, "marker_dir": str(marker_dir)})]))
+        assert rerun.counts() == {"ok": 1}
+
+
+class TestFailureHandling:
+    @pytest.mark.parametrize("workers", ["serial", 2])
+    def test_retry_then_succeed(self, tmp_path, workers):
+        marker_dir = tmp_path / f"m-{workers}"
+        marker_dir.mkdir()
+        run = quiet_runner(workers=workers).run(JobGraph([
+            Job("flaky", fail_until,
+                {"marker_dir": str(marker_dir), "succeed_at": 2},
+                retries=3)]))
+        result = run.results["flaky"]
+        assert result.status == "ok"
+        assert result.attempts == 2
+        assert result.value == "succeeded on attempt 2"
+
+    @pytest.mark.parametrize("workers", ["serial", 2])
+    def test_retry_then_fail_surfaces_error(self, workers):
+        run = quiet_runner(workers=workers).run(JobGraph([
+            Job("doomed", always_fail, retries=1),
+            Job("bystander", square, {"x": 4}),
+            Job("downstream", square, {"x": 5}, deps=("doomed",)),
+        ]))
+        doomed = run.results["doomed"]
+        assert doomed.status == "failed"
+        assert doomed.attempts == 2
+        assert "ValueError" in doomed.error
+        assert "always fails" in doomed.error
+        # Partial failure: independents complete, dependents skip.
+        assert run.results["bystander"].status == "ok"
+        assert run.results["downstream"].status == "skipped"
+        assert not run.ok
+        with pytest.raises(RuntimeError, match="always fails"):
+            run.value("doomed")
+
+    def test_timeout_fails_the_job(self):
+        run = quiet_runner(workers="serial").run(JobGraph([
+            Job("slow", spin, {"seconds": 30.0}, timeout=0.2)]))
+        result = run.results["slow"]
+        assert result.status == "failed"
+        assert "timed out" in result.error
+        assert result.wall_time_s < 5.0
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        cache = ArtifactStore(tmp_path / "cache")
+        runner = quiet_runner(workers="serial", cache=cache)
+        first = runner.run(JobGraph([Job("doomed", always_fail)]))
+        assert first.results["doomed"].status == "failed"
+        second = runner.run(JobGraph([Job("doomed", always_fail)]))
+        assert second.results["doomed"].status == "failed"
+
+
+class TestDependencies:
+    @pytest.mark.parametrize("workers", ["serial", 2])
+    def test_dep_results_are_passed(self, workers):
+        run = quiet_runner(workers=workers).run(JobGraph([
+            Job("a", square, {"x": 2}),
+            Job("b", square, {"x": 3}),
+            Job("sum", combine, {"scale": 10}, deps=("a", "b"),
+                pass_deps=True),
+        ]))
+        assert run.ok
+        assert run.value("sum") == 10 * (4 + 9)
+
+    def test_run_jobs_convenience(self):
+        run = run_jobs([Job("a", square, {"x": 7})], workers="serial",
+                       cache=None, results_dir=None, log=None)
+        assert run.value("a") == 49

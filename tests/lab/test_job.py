@@ -1,0 +1,88 @@
+"""Job model: graph validation, ordering, and seed derivation."""
+
+import pytest
+
+from repro.lab import (Job, JobGraph, canonical_params, derive_seed)
+
+from .helpers import square
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2008, "a/b") == derive_seed(2008, "a/b")
+
+    def test_distinct_names_distinct_seeds(self):
+        seeds = {derive_seed(2008, f"job{i}") for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "job") != derive_seed(2, "job")
+
+    def test_in_numpy_seed_range(self):
+        for i in range(50):
+            seed = derive_seed(7, f"j{i}")
+            assert 0 <= seed < 2 ** 31 - 1
+
+
+class TestCanonicalParams:
+    def test_order_independent(self):
+        assert canonical_params({"a": 1, "b": 2.5}) == \
+            canonical_params({"b": 2.5, "a": 1})
+
+    def test_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            canonical_params({"net": object()})
+
+    def test_job_rejects_non_json_params(self):
+        with pytest.raises(TypeError):
+            Job("bad", square, params={"x": {1, 2}})
+
+
+class TestJobGraph:
+    def test_duplicate_name_rejected(self):
+        graph = JobGraph([Job("a", square, {"x": 1})])
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add(Job("a", square, {"x": 2}))
+
+    def test_unknown_dep_rejected(self):
+        graph = JobGraph([Job("a", square, {"x": 1},
+                              deps=("missing",))])
+        with pytest.raises(ValueError, match="unknown"):
+            graph.validate()
+
+    def test_cycle_rejected(self):
+        graph = JobGraph([
+            Job("a", square, {"x": 1}, deps=("b",)),
+            Job("b", square, {"x": 2}, deps=("a",)),
+        ])
+        with pytest.raises(ValueError, match="cycle"):
+            graph.validate()
+
+    def test_topological_order_respects_deps(self):
+        graph = JobGraph([
+            Job("c", square, {"x": 3}, deps=("a", "b")),
+            Job("b", square, {"x": 2}, deps=("a",)),
+            Job("a", square, {"x": 1}),
+            Job("d", square, {"x": 4}),
+        ])
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+        assert sorted(order) == ["a", "b", "c", "d"]
+        # Deterministic tie-break by name.
+        assert order == graph.topological_order()
+
+    def test_dependents_of_is_transitive(self):
+        graph = JobGraph([
+            Job("a", square, {"x": 1}),
+            Job("b", square, {"x": 2}, deps=("a",)),
+            Job("c", square, {"x": 3}, deps=("b",)),
+            Job("d", square, {"x": 4}),
+        ])
+        assert graph.dependents_of("a") == ["b", "c"]
+        assert graph.dependents_of("d") == []
+
+    def test_seed_for_matches_derive_seed(self):
+        graph = JobGraph([Job("a", square, {"x": 1})], root_seed=99)
+        assert graph.seed_for("a") == derive_seed(99, "a")
+        with pytest.raises(KeyError):
+            graph.seed_for("nope")

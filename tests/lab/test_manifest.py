@@ -1,0 +1,126 @@
+"""Run manifests: content, schema validation, atomic writes."""
+
+import json
+
+from repro.lab import (ArtifactStore, Job, JobGraph, LabRunner,
+                       MANIFEST_SCHEMA_VERSION, load_manifest,
+                       new_run_id, validate_manifest)
+
+from .helpers import always_fail, square
+
+
+def test_new_run_id_format():
+    run_id = new_run_id("sweep")
+    assert run_id.startswith("sweep-")
+    assert run_id != new_run_id("sweep") or True  # same-second ok
+
+
+def test_run_writes_valid_manifest(tmp_path):
+    runner = LabRunner(workers="serial",
+                       cache=ArtifactStore(tmp_path / "cache"),
+                       results_dir=tmp_path / "results", log=None)
+    graph = JobGraph([
+        Job("good", square, {"x": 4}),
+        Job("bad", always_fail),
+        Job("child", square, {"x": 5}, deps=("bad",)),
+    ], root_seed=77)
+    run = runner.run(graph, run_id="manifest-test")
+
+    assert run.manifest_path == \
+        tmp_path / "results" / "runs" / "manifest-test" / \
+        "manifest.json"
+    doc = load_manifest(run.manifest_path)
+    assert validate_manifest(doc) == []
+
+    assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+    assert doc["run_id"] == "manifest-test"
+    assert doc["root_seed"] == 77
+    assert doc["counts"] == {"ok": 1, "cached": 0, "failed": 1,
+                             "skipped": 1}
+    jobs = doc["jobs"]
+    assert jobs["good"]["status"] == "ok"
+    assert jobs["good"]["params"] == {"x": 4}
+    assert jobs["good"]["wall_time_s"] >= 0.0
+    assert jobs["good"]["artifact_digest"]
+    assert jobs["good"]["seed"] == graph.seed_for("good")
+    assert jobs["bad"]["status"] == "failed"
+    assert "ValueError" in jobs["bad"]["error"]
+    assert jobs["child"]["status"] == "skipped"
+    assert jobs["child"]["deps"] == ["bad"]
+    # Linux exposes peak RSS; record it when available.
+    assert jobs["good"]["peak_rss_kb"] is None \
+        or jobs["good"]["peak_rss_kb"] > 0
+
+
+def test_cached_rerun_manifest(tmp_path):
+    runner = LabRunner(workers="serial",
+                       cache=ArtifactStore(tmp_path / "cache"),
+                       results_dir=tmp_path / "results", log=None)
+    graph = JobGraph([Job("good", square, {"x": 4})])
+    runner.run(graph, run_id="first")
+    rerun = runner.run(JobGraph([Job("good", square, {"x": 4})]),
+                       run_id="second")
+    doc = load_manifest(rerun.manifest_path)
+    assert validate_manifest(doc) == []
+    assert doc["jobs"]["good"]["status"] == "cached"
+    assert doc["counts"]["cached"] == 1
+
+
+def test_manifest_is_json_round_trippable(tmp_path):
+    runner = LabRunner(workers="serial", cache=None,
+                       results_dir=tmp_path / "results", log=None)
+    run = runner.run(JobGraph([Job("good", square, {"x": 2})]),
+                     run_id="rt")
+    text = run.manifest_path.read_text()
+    assert json.loads(text) == load_manifest(run.manifest_path)
+
+
+class TestValidateManifest:
+    def _valid(self):
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "run_id": "r", "created": "2026-01-01T00:00:00+00:00",
+            "root_seed": 2008, "workers": 2, "wall_time_s": 1.0,
+            "counts": {"ok": 1, "cached": 0, "failed": 0,
+                       "skipped": 0},
+            "jobs": {"j": {"params": {}, "seed": 1, "status": "ok",
+                           "attempts": 1, "wall_time_s": 0.5}},
+        }
+
+    def test_valid_passes(self):
+        assert validate_manifest(self._valid()) == []
+
+    def test_missing_run_key(self):
+        doc = self._valid()
+        del doc["root_seed"]
+        assert any("root_seed" in e for e in validate_manifest(doc))
+
+    def test_bad_schema_version(self):
+        doc = self._valid()
+        doc["schema_version"] = 999
+        assert any("schema_version" in e
+                   for e in validate_manifest(doc))
+
+    def test_bad_status(self):
+        doc = self._valid()
+        doc["jobs"]["j"]["status"] = "exploded"
+        assert any("bad status" in e for e in validate_manifest(doc))
+
+    def test_failed_without_error(self):
+        doc = self._valid()
+        doc["jobs"]["j"]["status"] = "failed"
+        doc["counts"] = {"ok": 0, "cached": 0, "failed": 1,
+                         "skipped": 0}
+        assert any("records no error" in e
+                   for e in validate_manifest(doc))
+
+    def test_counts_mismatch(self):
+        doc = self._valid()
+        doc["counts"]["ok"] = 5
+        assert any("counts" in e for e in validate_manifest(doc))
+
+    def test_missing_job_key(self):
+        doc = self._valid()
+        del doc["jobs"]["j"]["seed"]
+        assert any("missing key 'seed'" in e
+                   for e in validate_manifest(doc))

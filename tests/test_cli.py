@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -89,6 +91,104 @@ class TestCed:
         assert main(["ced", "--blif", str(blif_path), "--words", "2",
                      "--out", str(out_path)]) == 0
         assert out_path.exists()
+
+
+class TestCedJson:
+    def test_machine_readable_report(self, blif_path, capsys):
+        assert main(["ced", "--blif", str(blif_path), "--words", "2",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["circuit"] == "demo"
+        summary = doc["summary"]
+        for key in ("gates", "area_overhead_pct", "ced_coverage_pct",
+                    "max_ced_coverage_pct", "approximation_pct"):
+            assert key in summary
+        # The summary round-trips losslessly through JSON.
+        assert json.loads(json.dumps(summary)) == summary
+        assert doc["coverage"]["runs"] > 0
+        assert set(doc["directions"]) == {"y", "z"}
+
+    def test_json_matches_summary_json(self, blif_path, capsys):
+        from repro.approx import ApproxConfig
+        from repro.ced import run_ced_flow
+        assert main(["ced", "--blif", str(blif_path), "--words", "2",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        flow = run_ced_flow(read_blif(blif_path),
+                            config=ApproxConfig(seed=2008),
+                            reliability_words=2, coverage_words=2,
+                            seed=2008)
+        assert json.loads(flow.summary_json()) == doc["summary"]
+
+
+class TestSweep:
+    def _sweep(self, tmp_path, *extra):
+        return ["sweep", "--circuits", "tiny", "--words", "1",
+                "--results-dir", str(tmp_path / "results"),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--quiet", *extra]
+
+    def test_grid_runs_and_writes_manifest(self, tmp_path, capsys):
+        from repro.lab import load_manifest, validate_manifest
+        code = main(self._sweep(
+            tmp_path, "--workers", "2", "--run-id", "s1",
+            "--dc-thresholds", "0.25,0.5"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiny/dc0.25/drop0.02" in out
+        assert "manifest:" in out
+        doc = load_manifest(
+            tmp_path / "results" / "runs" / "s1" / "manifest.json")
+        assert validate_manifest(doc) == []
+        assert len(doc["jobs"]) == 2
+        assert all(j["status"] == "ok" for j in doc["jobs"].values())
+
+    def test_rerun_resumes_from_cache(self, tmp_path, capsys):
+        from repro.lab import load_manifest
+        assert main(self._sweep(tmp_path, "--workers", "serial",
+                                "--run-id", "first")) == 0
+        capsys.readouterr()
+        assert main(self._sweep(tmp_path, "--workers", "serial",
+                                "--run-id", "second")) == 0
+        capsys.readouterr()
+        doc = load_manifest(tmp_path / "results" / "runs" / "second"
+                            / "manifest.json")
+        statuses = [j["status"] for j in doc["jobs"].values()]
+        assert statuses == ["cached"]
+
+    def test_serial_and_parallel_identical(self, tmp_path, capsys):
+        summaries = {}
+        for label, workers in (("serial", "serial"), ("pool", "2")):
+            code = main(self._sweep(
+                tmp_path, "--workers", workers, "--json", "--no-cache",
+                "--run-id", label, "--dc-thresholds", "0.25,0.5"))
+            assert code == 0
+            doc = json.loads(capsys.readouterr().out)
+            summaries[label] = {name: job["summary"]
+                                for name, job in doc["jobs"].items()}
+        assert summaries["serial"] == summaries["pool"]
+
+    def test_failed_job_reported_not_fatal(self, tmp_path, capsys):
+        code = main(["sweep", "--circuits", "tiny,doesnotexist",
+                     "--words", "1", "--workers", "serial",
+                     "--results-dir", str(tmp_path / "results"),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--quiet", "--json", "--run-id", "partial"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["jobs"]["tiny"]["status"] == "ok"
+        assert doc["jobs"]["doesnotexist"]["status"] == "failed"
+        assert "KeyError" in doc["jobs"]["doesnotexist"]["error"]
+
+    def test_per_job_seeds(self, tmp_path, capsys):
+        from repro.lab import derive_seed, load_manifest
+        assert main(self._sweep(
+            tmp_path, "--workers", "serial", "--per-job-seeds",
+            "--run-id", "seeded", "--seed", "42")) == 0
+        doc = load_manifest(tmp_path / "results" / "runs" / "seeded"
+                            / "manifest.json")
+        entry = doc["jobs"]["tiny"]
+        assert entry["params"]["seed"] == derive_seed(42, "tiny")
 
 
 class TestGen:
