@@ -86,10 +86,16 @@ class ApproxConfig:
     prob_words: int = 32
     #: Seed for every random choice in the synthesis flow.
     seed: int = 2008
+    #: Opt-in static-verification guard (repro.lint) on the result:
+    #: "off" skips it, "warn" attaches the lint report to the result,
+    #: "strict" additionally raises LintError on error diagnostics.
+    lint_level: str = "off"
 
     def __post_init__(self):
         if self.check not in ("bdd", "sat", "sim", "auto"):
             raise ValueError(f"unknown check method {self.check!r}")
+        if self.lint_level not in ("off", "warn", "strict"):
+            raise ValueError(f"unknown lint level {self.lint_level!r}")
         if self.stage1 not in ("conformance", "significance", "both"):
             raise ValueError(f"unknown stage1 strategy {self.stage1!r}")
         if not 0.0 <= self.cube_drop_threshold < 1.0:

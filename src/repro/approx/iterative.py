@@ -52,6 +52,8 @@ class ApproxResult:
     repaired_nodes: dict[str, str] = field(default_factory=dict)
     dropped_cubes: int = 0
     restored_cones: list[str] = field(default_factory=list)
+    #: Static-verification report, when ApproxConfig.lint_level != "off".
+    lint: object | None = None
 
     @property
     def all_correct(self) -> bool:
@@ -118,7 +120,7 @@ def synthesize_approximation(network: Network,
 
     correctness = {po: checker.po_correct(po) for po in network.outputs}
     _resynthesize(approx)
-    return ApproxResult(
+    result = ApproxResult(
         approx=approx,
         types=types,
         output_approximations=dict(output_approximations),
@@ -128,6 +130,13 @@ def synthesize_approximation(network: Network,
         repaired_nodes=repaired,
         dropped_cubes=dropped,
         restored_cones=restored)
+    if config.lint_level != "off":
+        # Imported lazily: repro.lint imports repro.approx at top level.
+        from repro.lint import LintError, lint_approx_result
+        result.lint = lint_approx_result(network, result)
+        if config.lint_level == "strict" and not result.lint.ok:
+            raise LintError(result.lint)
+    return result
 
 
 def _resynthesize(approx: Network) -> None:

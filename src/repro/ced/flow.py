@@ -41,6 +41,8 @@ class CedFlowResult:
     coverage: CoverageResult
     approximation_pct: float
     metrics: dict[str, float] = field(default_factory=dict)
+    #: Static-verification report (repro.lint), when requested.
+    lint: object | None = None
 
     def summary(self) -> dict[str, float]:
         """The Table 1/2 row for this run (native JSON-safe types)."""
@@ -89,6 +91,8 @@ class CedFlowResult:
                 "false_alarms": int(self.coverage.false_alarms),
                 "golden_invalid": int(self.coverage.golden_invalid),
             },
+            **({"lint": self.lint.to_dict()}
+               if self.lint is not None else {}),
         }
 
     def summary_json(self, **dumps_kwargs) -> str:
@@ -143,7 +147,9 @@ def run_ced_flow(network: Network,
                  power_words: int = 8,
                  seed: int = 2008,
                  directions: dict[str, int] | None = None,
-                 min_approx_pct: float = 25.0
+                 min_approx_pct: float = 25.0,
+                 lint_level: str = "off",
+                 certificate_dir=None
                  ) -> CedFlowResult:
     """Run the complete approximate-logic CED flow on a network.
 
@@ -156,7 +162,15 @@ def run_ced_flow(network: Network,
     a constant), synthesis is retried with progressively gentler
     settings — the practical face of the paper's fine-grained
     overhead/coverage knob.  Set to 0 to disable.
+
+    ``lint_level`` runs the static verifier (repro.lint) over the
+    finished flow: "warn" attaches the report (with implication
+    certificates) to the result, "strict" also raises LintError on
+    error diagnostics.  ``certificate_dir`` writes the certificates as
+    JSON files.
     """
+    if lint_level not in ("off", "warn", "strict"):
+        raise ValueError(f"unknown lint level {lint_level!r}")
     config = config or ApproxConfig(seed=seed)
     original_mapped = script.run(network)
     reliability = analyze_reliability(original_mapped,
@@ -205,7 +219,7 @@ def run_ced_flow(network: Network,
         "approx_gates": float(approx_mapped.gate_count),
         "overhead_gates": float(assembly.overhead_gates),
     }
-    return CedFlowResult(
+    result = CedFlowResult(
         original=network,
         original_mapped=original_mapped,
         approx_result=approx_result,
@@ -215,3 +229,10 @@ def run_ced_flow(network: Network,
         coverage=coverage,
         approximation_pct=approximation_pct,
         metrics=metrics)
+    if lint_level != "off":
+        # Imported lazily: repro.lint imports the approx layer.
+        from repro.lint import LintError, lint_flow
+        result.lint = lint_flow(result, certificate_dir=certificate_dir)
+        if lint_level == "strict" and not result.lint.ok:
+            raise LintError(result.lint)
+    return result

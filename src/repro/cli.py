@@ -7,6 +7,9 @@ Subcommands:
   BLIF (directions from reliability analysis or forced);
 * ``ced``   — run the full CED flow and print the evaluation report
   (``--json`` for a machine-readable record);
+* ``lint``  — static verification: structural lint of a circuit, or
+  (with ``--flow``) the full rule set over a CED flow run, emitting
+  per-PO implication certificates; nonzero exit on error diagnostics;
 * ``gen``   — export a suite benchmark (MCNC stand-in) as BLIF;
 * ``sweep`` — drive a (circuit x config) grid of CED flows through
   ``repro.lab``: parallel workers, content-addressed caching (killed
@@ -130,6 +133,38 @@ def cmd_ced(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_flow, lint_network
+
+    if args.blif:
+        network = read_blif(args.blif)
+        name = args.blif
+    else:
+        from repro.lab.tasks import load_circuit
+        network = load_circuit(args.circuit, args.table)
+        name = args.circuit
+    if args.flow:
+        flow = run_ced_flow(network, config=_config_from(args),
+                            reliability_words=args.words,
+                            coverage_words=args.words,
+                            power_words=args.words, seed=args.seed)
+        report = lint_flow(flow, certificate_dir=args.certificates,
+                           circuit=name)
+    else:
+        report = lint_network(network, circuit=name)
+        if args.certificates:
+            print("lint: --certificates needs --flow (certificates "
+                  "attest per-PO implications)", file=sys.stderr)
+            return 2
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    failed = not report.ok or (args.strict
+                               and report.counts()["warning"] > 0)
+    return 1 if failed else 0
+
+
 def _parse_floats(text: str) -> list[float]:
     return [float(part) for part in text.split(",") if part.strip()]
 
@@ -168,6 +203,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         "config": {"dc_threshold": dc,
                                    "cube_drop_threshold": drop,
                                    "seed": seed},
+                        "lint_level": "warn" if args.lint else "off",
                     },
                     timeout=args.timeout, retries=args.retries))
 
@@ -285,6 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated cube_drop_threshold "
                               "values")
     p_sweep.add_argument("--share-logic", action="store_true")
+    p_sweep.add_argument(
+        "--lint", action="store_true",
+        help="run the static verifier on every flow and record its "
+             "diagnostics in the run manifest")
     p_sweep.add_argument("--seed", type=int, default=2008,
                          help="root seed of the run")
     p_sweep.add_argument(
@@ -313,6 +353,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-job progress lines")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_lint = sub.add_parser(
+        "lint", help="static verification of a circuit or CED flow")
+    where = p_lint.add_mutually_exclusive_group(required=True)
+    where.add_argument("--blif", help="lint a BLIF file")
+    where.add_argument("--circuit",
+                       help="lint a suite benchmark (cmb, ..., tiny)")
+    p_lint.add_argument("--table", type=int, default=2, choices=(1, 2))
+    p_lint.add_argument(
+        "--flow", action="store_true",
+        help="run the CED flow and apply the full rule set "
+             "(approximation semantics, per-PO implication proofs, "
+             "CED assembly); default is structural lint only")
+    p_lint.add_argument("--words", type=int, default=1,
+                        help="64-vector words for the flow run")
+    p_lint.add_argument("--certificates", metavar="DIR",
+                        help="write implication certificates here "
+                             "(needs --flow)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures too")
+    _add_config_flags(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_gen = sub.add_parser("gen", help="export a suite benchmark")
     p_gen.add_argument("--name", required=True,

@@ -456,6 +456,11 @@ class LabRunner:
                 "artifact_digest": result.artifact_digest,
                 "error": result.error,
             }
+            # Surface static-verification results next to the job so
+            # manifest readers need not unpack the cached artifact.
+            if isinstance(result.value, dict) \
+                    and isinstance(result.value.get("lint"), dict):
+                entries[name]["diagnostics"] = result.value["lint"]
         doc = build_manifest(
             run_id=run.run_id, root_seed=graph.root_seed,
             workers=run.workers, wall_time_s=run.wall_time_s,

@@ -109,6 +109,13 @@ def validate_manifest(doc: dict[str, Any]) -> list[str]:
             errors.append(f"job {name!r} has bad status {status!r}")
         if status == "failed" and not entry.get("error"):
             errors.append(f"failed job {name!r} records no error")
+        diagnostics = entry.get("diagnostics")
+        if diagnostics is not None:
+            if not isinstance(diagnostics, dict) \
+                    or not isinstance(diagnostics.get("diagnostics"),
+                                      list):
+                errors.append(f"job {name!r} diagnostics entry is not "
+                              f"a lint report")
     counts = doc.get("counts")
     if isinstance(counts, dict) and isinstance(jobs, dict):
         if sum(counts.get(s, 0) for s in JOB_STATUSES) != len(jobs):

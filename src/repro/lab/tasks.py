@@ -41,12 +41,15 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
                   seed: int = 2008, share_logic: bool = False,
                   config: "dict[str, Any] | None" = None,
                   directions: "dict[str, int] | None" = None,
-                  min_approx_pct: float = 25.0) -> dict[str, Any]:
+                  min_approx_pct: float = 25.0,
+                  lint_level: str = "off") -> dict[str, Any]:
     """One complete CED flow run -> machine-readable record.
 
     ``config`` is a dict of :class:`~repro.approx.ApproxConfig`
     keyword overrides (kept as plain data so the job is hashable for
-    the artifact cache).
+    the artifact cache).  ``lint_level`` != "off" runs the static
+    verifier over the finished flow; its diagnostics land in the
+    returned record (and hence in the run manifest).
     """
     net = load_circuit(circuit, table)
     cfg = ApproxConfig(**config) if config else None
@@ -55,7 +58,8 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
     flow = run_ced_flow(net, config=cfg, share_logic=share_logic,
                         reliability_words=words, coverage_words=words,
                         seed=seed, directions=directions,
-                        min_approx_pct=min_approx_pct)
+                        min_approx_pct=min_approx_pct,
+                        lint_level=lint_level)
     return flow.to_dict()
 
 

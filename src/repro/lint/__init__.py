@@ -1,0 +1,54 @@
+"""repro.lint: certificate-emitting static verifier and circuit linter.
+
+Three rule layers over the approximation/CED flow:
+
+1. **structural** (``net.*``) — graph and SOP well-formedness of any
+   :class:`~repro.network.Network`;
+2. **approximation semantics** (``pair.*``) — the Sec 2.1 type and
+   cube-selection invariants over an original/approximate pair, plus
+   the per-PO implication of Sec 2.2 re-proved by BDD or SAT;
+3. **flow** (``flow.*``) — non-intrusiveness and checker/TRC-tree
+   well-formedness of an assembled CED circuit (Sec 3).
+
+Proved implications are emitted as self-contained, offline-checkable
+certificates (:mod:`repro.lint.certificates`).
+"""
+
+from .certificates import (CERT_SCHEMA_VERSION, build_certificate,
+                           certificate_digest, check_certificate,
+                           validate_certificate, write_certificates)
+from .diagnostics import Diagnostic, LintReport, Severity
+from .engine import (LINT_LEVELS, FlowContext, LintError, NetworkContext,
+                     PairContext, lint_approx_result, lint_assembly,
+                     lint_flow, lint_network, lint_pair)
+from .registry import LintRule, all_rules, get_rule, rule, rules_for
+from .semantics import PairSemantics, ProofResult
+
+__all__ = [
+    "CERT_SCHEMA_VERSION",
+    "Diagnostic",
+    "FlowContext",
+    "LINT_LEVELS",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "NetworkContext",
+    "PairContext",
+    "PairSemantics",
+    "ProofResult",
+    "Severity",
+    "all_rules",
+    "build_certificate",
+    "certificate_digest",
+    "check_certificate",
+    "get_rule",
+    "lint_approx_result",
+    "lint_assembly",
+    "lint_flow",
+    "lint_network",
+    "lint_pair",
+    "rule",
+    "rules_for",
+    "validate_certificate",
+    "write_certificates",
+]

@@ -1,0 +1,127 @@
+"""Diagnostic records and reports for the static verifier.
+
+A :class:`Diagnostic` is one finding of one rule: identity (rule id),
+severity, a location string precise down to the node or cube, a
+human-readable message, and an optional fix hint plus structured data.
+A :class:`LintReport` aggregates diagnostics and proof certificates and
+renders them as text or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(Enum):
+    """Severity ladder; only ERROR diagnostics fail a lint run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule."""
+
+    rule: str                 # e.g. "net.cycle"
+    severity: Severity
+    message: str
+    circuit: str = ""         # which network/netlist the finding is in
+    location: str = ""        # "node:n1", "node:n1/cube:2", "po:y", ...
+    hint: str = ""            # suggested fix, may be empty
+    data: dict | None = None  # structured extras (witness vectors, ...)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.circuit:
+            doc["circuit"] = self.circuit
+        if self.location:
+            doc["location"] = self.location
+        if self.hint:
+            doc["hint"] = self.hint
+        if self.data:
+            doc["data"] = self.data
+        return doc
+
+    def render(self) -> str:
+        place = ":".join(p for p in (self.circuit, self.location) if p)
+        head = f"{self.severity.value}[{self.rule}]"
+        text = f"{head} {place}: {self.message}" if place \
+            else f"{head} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintReport:
+    """All diagnostics (and certificates) of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    certificates: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was emitted."""
+        return not any(d.severity is Severity.ERROR
+                       for d in self.diagnostics)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    def counts(self) -> dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for d in self.diagnostics:
+            out[d.severity.value] += 1
+        return out
+
+    def by_rule(self) -> dict[str, list[Diagnostic]]:
+        grouped: dict[str, list[Diagnostic]] = {}
+        for d in self.diagnostics:
+            grouped.setdefault(d.rule, []).append(d)
+        return grouped
+
+    def extend(self, other: "LintReport") -> "LintReport":
+        self.diagnostics.extend(other.diagnostics)
+        self.certificates.extend(other.certificates)
+        return self
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.severity.rank, d.rule,
+                                     d.circuit, d.location))
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "certificates": self.certificates,
+        }
+
+    def render_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.sorted()]
+        c = self.counts()
+        lines.append(f"{c['error']} error(s), {c['warning']} warning(s), "
+                     f"{c['info']} info")
+        if self.certificates:
+            lines.append(f"{len(self.certificates)} implication "
+                         f"certificate(s) emitted")
+        return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Lint engine: contexts, entry points, and the strict-mode error.
+
+Three entry points, one per scope:
+
+* :func:`lint_network` — structural rules over one network;
+* :func:`lint_pair` — structural rules over both networks plus the
+  approximation-semantics rules (and per-PO implication proofs with
+  optional certificates);
+* :func:`lint_flow` — everything above plus the CED assembly rules,
+  over a complete :class:`~repro.ced.flow.CedFlowResult`.
+"""
+
+from __future__ import annotations
+
+from repro.network import Network
+
+from . import approxrules as _approxrules  # noqa: F401  (registers rules)
+from . import flowrules as _flowrules      # noqa: F401
+from . import structural as _structural    # noqa: F401
+from .certificates import build_certificate, write_certificates
+from .diagnostics import Diagnostic, LintReport
+from .registry import rules_for
+from .semantics import PairSemantics, ProofResult
+
+LINT_LEVELS = ("off", "warn", "strict")
+
+
+class LintError(RuntimeError):
+    """Raised by strict-mode guards when error diagnostics exist."""
+
+    def __init__(self, report: LintReport):
+        self.report = report
+        errors = report.errors()
+        rules = sorted({d.rule for d in errors})
+        super().__init__(
+            f"lint found {len(errors)} error(s) ({', '.join(rules)})")
+
+
+class NetworkContext:
+    """Context for structural rules over one network."""
+
+    def __init__(self, network: Network, circuit: str | None = None):
+        self.network = network
+        self.circuit = circuit if circuit is not None else network.name
+
+    def stuck_nodes(self) -> set[str]:
+        """Nodes on (or fed only through) a combinational cycle.
+
+        Unlike ``Network.topological_order`` this ignores undefined
+        fanins, so missing signals surface as ``net.undefined-fanin``
+        rather than masquerading as a cycle.
+        """
+        net = self.network
+        defined = set(net.nodes)
+        pending: dict[str, int] = {}
+        readers: dict[str, list[str]] = {}
+        ready: list[str] = []
+        for name, node in net.nodes.items():
+            deps = [f for f in node.fanins if f in defined]
+            pending[name] = len(deps)
+            for dep in deps:
+                readers.setdefault(dep, []).append(name)
+            if not deps:
+                ready.append(name)
+        placed = 0
+        while ready:
+            name = ready.pop()
+            placed += 1
+            for reader in readers.get(name, ()):
+                pending[reader] -= 1
+                if pending[reader] == 0:
+                    ready.append(reader)
+        if placed == len(net.nodes):
+            return set()
+        return {n for n, count in pending.items() if count > 0}
+
+
+class PairContext:
+    """Context for approximation-semantics rules over a pair."""
+
+    def __init__(self, original: Network, approx: Network,
+                 types: dict, directions: dict[str, int],
+                 claimed_method: str | None = None,
+                 claimed_correct: dict[str, bool] | None = None,
+                 circuit: str | None = None,
+                 bdd_node_budget: int = 300_000,
+                 sat_conflict_budget: int = 200_000):
+        self.original = original
+        self.approx = approx
+        self.types = types
+        self.directions = directions
+        self.claimed_method = claimed_method
+        self.claimed_correct = claimed_correct or {}
+        self.circuit = circuit if circuit is not None else original.name
+        self.bdd_node_budget = bdd_node_budget
+        self.sat_conflict_budget = sat_conflict_budget
+        self._semantics: PairSemantics | None = None
+        self._proof_cache: dict[tuple[str, int], ProofResult] = {}
+        #: (po, direction, proof) triples for certificate emission.
+        self.proofs: list[tuple[str, int, ProofResult]] = []
+
+    def semantics(self) -> PairSemantics:
+        if self._semantics is None:
+            self._semantics = PairSemantics(
+                self.original, self.approx,
+                bdd_node_budget=self.bdd_node_budget,
+                sat_conflict_budget=self.sat_conflict_budget)
+        return self._semantics
+
+    def prove(self, po: str, direction: int) -> ProofResult:
+        key = (po, direction)
+        if key not in self._proof_cache:
+            proof = self.semantics().implication(po, direction)
+            self._proof_cache[key] = proof
+            self.proofs.append((po, direction, proof))
+        return self._proof_cache[key]
+
+
+class FlowContext:
+    """Context for CED-assembly rules."""
+
+    def __init__(self, assembly, circuit: str | None = None):
+        self.assembly = assembly
+        self.circuit = circuit if circuit is not None \
+            else assembly.original.name
+
+
+def _run_scope(scope: str, ctx) -> list[Diagnostic]:
+    sink: list[Diagnostic] = []
+    for lint_rule in rules_for(scope):
+        lint_rule.run(ctx, sink)
+    return sink
+
+
+def lint_network(network: Network,
+                 circuit: str | None = None) -> LintReport:
+    """Structural lint of one network."""
+    ctx = NetworkContext(network, circuit)
+    return LintReport(diagnostics=_run_scope("network", ctx))
+
+
+def lint_pair(original: Network, approx: Network, types: dict,
+              directions: dict[str, int],
+              claimed_method: str | None = None,
+              claimed_correct: dict[str, bool] | None = None,
+              circuit: str | None = None,
+              certificates: bool = False,
+              bdd_node_budget: int = 300_000,
+              sat_conflict_budget: int = 200_000) -> LintReport:
+    """Structural + approximation-semantics lint of a pair.
+
+    ``claimed_method``/``claimed_correct`` are the synthesis run's own
+    claims (``ApproxResult.check_method``/``.correctness``); a refuted
+    implication is an error only when an exact proof was claimed.
+    With ``certificates=True`` every proved implication is recorded as
+    an offline-checkable certificate in ``report.certificates``.
+    """
+    name = circuit if circuit is not None else original.name
+    report = lint_network(original, circuit=name)
+    report.extend(lint_network(approx, circuit=f"{name}/approx"))
+    ctx = PairContext(original, approx, types, directions,
+                      claimed_method=claimed_method,
+                      claimed_correct=claimed_correct, circuit=name,
+                      bdd_node_budget=bdd_node_budget,
+                      sat_conflict_budget=sat_conflict_budget)
+    report.diagnostics.extend(_run_scope("pair", ctx))
+    if certificates:
+        for po, direction, proof in ctx.proofs:
+            if proof.holds is True and not proof.stats.get("trivial"):
+                report.certificates.append(build_certificate(
+                    original, approx, po, direction, proof))
+    return report
+
+
+def lint_approx_result(original: Network, result,
+                       **kwargs) -> LintReport:
+    """:func:`lint_pair` with the claims taken from an ApproxResult."""
+    return lint_pair(original, result.approx, result.types,
+                     result.output_approximations,
+                     claimed_method=result.check_method,
+                     claimed_correct=result.correctness, **kwargs)
+
+
+def lint_assembly(assembly, circuit: str | None = None) -> LintReport:
+    """CED-assembly rules only (non-intrusiveness, checkers, TRC)."""
+    ctx = FlowContext(assembly, circuit=circuit)
+    return LintReport(diagnostics=_run_scope("flow", ctx))
+
+
+def lint_flow(flow, certificate_dir=None, certificates: bool = True,
+              circuit: str | None = None,
+              bdd_node_budget: int = 300_000,
+              sat_conflict_budget: int = 200_000) -> LintReport:
+    """Full lint of a :class:`~repro.ced.flow.CedFlowResult`.
+
+    Runs the pair lint on the original/approximate networks (with
+    implication certificates) and the assembly rules on the CED
+    netlist.  ``certificate_dir`` additionally writes each certificate
+    as a JSON file.
+    """
+    name = circuit if circuit is not None else flow.original.name
+    report = lint_approx_result(
+        flow.original, flow.approx_result, circuit=name,
+        certificates=certificates, bdd_node_budget=bdd_node_budget,
+        sat_conflict_budget=sat_conflict_budget)
+    report.extend(lint_assembly(flow.assembly, circuit=name))
+    if certificate_dir is not None and report.certificates:
+        write_certificates(report.certificates, certificate_dir)
+    return report

@@ -1,0 +1,131 @@
+"""Flow-level lint rules over a complete CED assembly (Sec 3, Fig. 2-3).
+
+Layer 3: the properties that make the assembled circuit a valid
+non-intrusive CED scheme — the functional circuit's gates and outputs
+are untouched, every output gets a checker of the right polarity, and
+the two-rail checker tree consolidates every pair into the error
+outputs.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Severity
+from .registry import rule
+
+
+@rule("flow.direction-values", "flow", Severity.ERROR,
+      "the assembly records a 0/1 direction for every output")
+def direction_values(ctx, emit):
+    assembly = ctx.assembly
+    for po in assembly.original.outputs:
+        direction = assembly.directions.get(po)
+        if direction is None:
+            emit(f"output {po!r} has no recorded direction",
+                 location=f"po:{po}")
+        elif direction not in (0, 1):
+            emit(f"output {po!r} direction is {direction!r}, not 0/1",
+                 location=f"po:{po}")
+
+
+@rule("flow.fault-sites", "flow", Severity.ERROR,
+      "fault sites are exactly the original circuit's gates")
+def fault_sites(ctx, emit):
+    assembly = ctx.assembly
+    sites = set(assembly.fault_sites)
+    for site in sorted(sites - set(assembly.netlist.gates)):
+        emit(f"fault site {site!r} is not a gate of the CED netlist",
+             location=f"gate:{site}")
+    for gate in sorted(set(assembly.original.gates) - sites):
+        emit(f"original gate {gate!r} is not a fault site",
+             location=f"gate:{gate}",
+             hint="faults must be injectable at every original gate")
+
+
+@rule("flow.nonintrusive", "flow", Severity.ERROR,
+      "the original cone never reads approximate/checker logic")
+def nonintrusive(ctx, emit):
+    assembly = ctx.assembly
+    if assembly.shared_gates:
+        emit(f"logic sharing merged {assembly.shared_gates} gate(s); "
+             f"the scheme is intentionally intrusive here",
+             severity=Severity.INFO)
+        return
+    allowed = set(assembly.fault_sites) | set(assembly.netlist.inputs)
+    for site in assembly.fault_sites:
+        gate = assembly.netlist.gates.get(site)
+        if gate is None:
+            continue  # flow.fault-sites reports the missing gate
+        for fanin in gate.fanins:
+            if fanin not in allowed:
+                emit(f"original gate {site!r} reads {fanin!r}, which "
+                     f"is outside the original cone",
+                     location=f"gate:{site}",
+                     hint="CED logic must only observe, never drive, "
+                          "the functional circuit")
+
+
+@rule("flow.output-preserved", "flow", Severity.ERROR,
+      "functional outputs are driven by the original signals")
+def output_preserved(ctx, emit):
+    assembly = ctx.assembly
+    for po in assembly.original.outputs:
+        want = assembly.original.po_signals.get(po)
+        got = assembly.netlist.po_signals.get(po)
+        if got is None:
+            emit(f"functional output {po!r} is missing from the CED "
+                 f"netlist", location=f"po:{po}")
+        elif got != want:
+            emit(f"functional output {po!r} is driven by {got!r} "
+                 f"instead of the original signal {want!r}",
+                 location=f"po:{po}",
+                 hint="non-intrusive CED may not rewire F's outputs")
+
+
+@rule("flow.checker-missing", "flow", Severity.ERROR,
+      "every functional output has a two-rail checker pair")
+def checker_missing(ctx, emit):
+    assembly = ctx.assembly
+    for po in assembly.original.outputs:
+        pair = assembly.checker_pairs.get(po)
+        if pair is None:
+            emit(f"output {po!r} has no checker pair",
+                 location=f"po:{po}")
+            continue
+        for rail in pair:
+            if not assembly.netlist.signal_exists(rail):
+                emit(f"checker rail {rail!r} for output {po!r} is not "
+                     f"a netlist signal", location=f"po:{po}")
+
+
+@rule("flow.trc-tree", "flow", Severity.ERROR,
+      "the TRC tree consolidates every checker pair into __error0/1")
+def trc_tree(ctx, emit):
+    assembly = ctx.assembly
+    netlist = assembly.netlist
+    for i, rail in enumerate(assembly.error_pair):
+        po_name = f"__error{i}"
+        if netlist.po_signals.get(po_name) != rail:
+            emit(f"output {po_name!r} is "
+                 f"{netlist.po_signals.get(po_name)!r}, expected the "
+                 f"error rail {rail!r}", location=f"po:{po_name}")
+        if not netlist.signal_exists(rail):
+            emit(f"error rail {rail!r} is not a netlist signal",
+                 location=f"po:{po_name}")
+    # Every checker rail must feed the consolidated pair.
+    cone: set[str] = set()
+    stack = [r for r in assembly.error_pair if netlist.signal_exists(r)]
+    while stack:
+        signal = stack.pop()
+        if signal in cone:
+            continue
+        cone.add(signal)
+        gate = netlist.gates.get(signal)
+        if gate is not None:
+            stack.extend(gate.fanins)
+    for po, pair in assembly.checker_pairs.items():
+        for rail in pair:
+            if netlist.signal_exists(rail) and rail not in cone:
+                emit(f"checker rail {rail!r} (output {po!r}) does not "
+                     f"reach the error outputs",
+                     location=f"po:{po}",
+                     hint="wire every checker pair into the TRC tree")

@@ -1,0 +1,73 @@
+"""The lint-rule registry.
+
+Rules register themselves with the :func:`rule` decorator and are looked
+up by scope at run time.  A rule is a function ``fn(ctx, emit)``: it
+inspects its context object (``NetworkContext``, ``PairContext`` or
+``FlowContext``, see :mod:`repro.lint.engine`) and reports findings
+through ``emit(message, ...)``, which fills in the rule's identity and
+default severity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .diagnostics import Diagnostic, Severity
+
+SCOPES = ("network", "pair", "flow")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: identity, scope, default severity, body."""
+
+    rule_id: str
+    scope: str
+    severity: Severity
+    title: str
+    fn: Callable
+
+    def run(self, ctx, sink: list[Diagnostic]) -> None:
+        def emit(message: str, location: str = "",
+                 severity: Severity | None = None, hint: str = "",
+                 data: dict | None = None, circuit: str = "") -> None:
+            sink.append(Diagnostic(
+                rule=self.rule_id,
+                severity=severity or self.severity,
+                message=message,
+                circuit=circuit or ctx.circuit,
+                location=location,
+                hint=hint,
+                data=data))
+        self.fn(ctx, emit)
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(rule_id: str, scope: str, severity: Severity, title: str):
+    """Register a rule function under ``rule_id``."""
+    if scope not in SCOPES:
+        raise ValueError(f"unknown lint scope {scope!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        _REGISTRY[rule_id] = LintRule(rule_id, scope, severity, title, fn)
+        return fn
+
+    return decorate
+
+
+def rules_for(scope: str) -> list[LintRule]:
+    return sorted((r for r in _REGISTRY.values() if r.scope == scope),
+                  key=lambda r: r.rule_id)
+
+
+def all_rules() -> list[LintRule]:
+    return sorted(_REGISTRY.values(), key=lambda r: r.rule_id)
+
+
+def get_rule(rule_id: str) -> LintRule:
+    return _REGISTRY[rule_id]

@@ -1,0 +1,124 @@
+"""The proof engine behind flow-level lint rules.
+
+:class:`PairSemantics` re-verifies the paper's per-PO implication
+condition (Sec 2.2) independently of whatever checker the synthesis run
+used: global BDDs over the shared primary-input space first (exact, and
+the proof doubles as a BDD witness), falling back to the CDCL SAT solver
+(the implication holds iff the miter ``G & !F`` is UNSAT) when the BDD
+node budget blows up.  Every query returns a :class:`ProofResult` with
+enough provenance to build an offline-checkable certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bdd import BddOverflowError
+from repro.network import GlobalBdds, Network, dfs_input_order
+
+
+@dataclass
+class ProofResult:
+    """Outcome of one implication query.
+
+    ``holds`` is True (proved), False (refuted, ``witness`` holds a
+    violating input assignment) or None (undecided within budget).
+    """
+
+    holds: bool | None
+    method: str                     # "bdd" | "sat"
+    stats: dict = field(default_factory=dict)
+    witness: dict[str, bool] | None = None
+
+
+class PairSemantics:
+    """Implication prover for an original/approximate network pair."""
+
+    def __init__(self, original: Network, approx: Network,
+                 bdd_node_budget: int = 300_000,
+                 sat_conflict_budget: int = 200_000):
+        self.original = original
+        self.approx = approx
+        self.sat_conflict_budget = sat_conflict_budget
+        self._encoder = None
+        self._bdds = None
+        self._bdd_inputs: list[str] = []
+        try:
+            inputs = dfs_input_order(original)
+            bdds = GlobalBdds(inputs, max_nodes=bdd_node_budget)
+            bdds.add_network(original, prefix="o_")
+            bdds.add_network(approx, prefix="a_")
+            self._bdds = bdds
+            self._bdd_inputs = inputs
+        except BddOverflowError:
+            pass  # SAT takes over lazily
+
+    @property
+    def method(self) -> str:
+        return "bdd" if self._bdds is not None else "sat"
+
+    def _sat_encoder(self):
+        if self._encoder is None:
+            from repro.sat import NetworkEncoder
+            encoder = NetworkEncoder(self.original.inputs)
+            encoder.add_network(self.original, prefix="o_")
+            encoder.add_network(self.approx, prefix="a_")
+            self._encoder = encoder
+        return self._encoder
+
+    def implication(self, po: str, direction: int) -> ProofResult:
+        """Check the paper's condition for one primary output.
+
+        Direction 1 (1-approximation): ``G => F`` — the approximate
+        function implies the original.  Direction 0: ``F => G``.
+        """
+        if self.original.is_input(po):
+            # An output wired straight to a PI has an exact "cone".
+            return ProofResult(True, self.method, {"trivial": True})
+        if self._bdds is not None:
+            try:
+                return self._bdd_implication(po, direction)
+            except BddOverflowError:
+                pass  # query blow-up: fall through to SAT
+        return self._sat_implication(po, direction)
+
+    def _bdd_implication(self, po: str, direction: int) -> ProofResult:
+        bdds = self._bdds
+        mgr = bdds.manager
+        f = bdds.function("o_" + po)
+        g = bdds.function("a_" + po)
+        bad = mgr.and_(g, mgr.not_(f)) if direction == 1 \
+            else mgr.and_(f, mgr.not_(g))
+        stats = {"bdd_nodes": int(mgr.num_nodes)}
+        if bad == mgr.zero:
+            return ProofResult(True, "bdd", stats)
+        witness = self._bdd_witness(mgr.any_sat(bad))
+        return ProofResult(False, "bdd", stats, witness)
+
+    def _bdd_witness(self, minterm: int | None) -> dict[str, bool] | None:
+        if minterm is None:
+            return None
+        return {pi: bool(minterm >> i & 1)
+                for i, pi in enumerate(self._bdd_inputs)}
+
+    def _sat_implication(self, po: str, direction: int) -> ProofResult:
+        encoder = self._sat_encoder()
+        solver = encoder.solver
+        before = (solver.conflicts, solver.decisions, solver.propagations)
+        if direction == 1:
+            holds = encoder.implication_holds(
+                "a_" + po, "o_" + po, max_conflicts=self.sat_conflict_budget)
+        else:
+            holds = encoder.implication_holds(
+                "o_" + po, "a_" + po, max_conflicts=self.sat_conflict_budget)
+        stats = {
+            "conflicts": solver.conflicts - before[0],
+            "decisions": solver.decisions - before[1],
+            "propagations": solver.propagations - before[2],
+        }
+        witness = None
+        if holds is False:
+            pair = ("a_" + po, "o_" + po) if direction == 1 \
+                else ("o_" + po, "a_" + po)
+            witness = encoder.counterexample(*pair)
+        return ProofResult(holds, "sat", stats, witness)

@@ -1,0 +1,150 @@
+"""Structural lint rules over a single :class:`~repro.network.Network`.
+
+These are the layer-1 checks: graph well-formedness (acyclicity,
+resolvable references), SOP well-formedness (cube width vs fanin arity,
+duplicate/contained cubes), and hygiene (dangling nodes, unused inputs).
+They assume nothing about approximation — any network can be linted.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Severity
+from .registry import rule
+
+
+@rule("net.undefined-fanin", "network", Severity.ERROR,
+      "every fanin resolves to a node or primary input")
+def undefined_fanin(ctx, emit):
+    net = ctx.network
+    for name, node in net.nodes.items():
+        for fanin in node.fanins:
+            if not net.signal_exists(fanin):
+                emit(f"node {name!r} reads undefined signal {fanin!r}",
+                     location=f"node:{name}",
+                     hint="define the signal or drop the fanin")
+
+
+@rule("net.cycle", "network", Severity.ERROR,
+      "the network is acyclic")
+def cycle(ctx, emit):
+    stuck = ctx.stuck_nodes()
+    if stuck:
+        emit(f"combinational cycle through {sorted(stuck)[:5]}",
+             location=f"node:{sorted(stuck)[0]}",
+             hint="break the loop; combinational networks must be DAGs")
+
+
+@rule("net.undefined-output", "network", Severity.ERROR,
+      "every primary output references a defined signal")
+def undefined_output(ctx, emit):
+    net = ctx.network
+    for po in net.outputs:
+        if not net.signal_exists(po):
+            emit(f"output {po!r} references no node or input",
+                 location=f"output:{po}")
+
+
+@rule("net.duplicate-output", "network", Severity.WARNING,
+      "primary output names are unique")
+def duplicate_output(ctx, emit):
+    seen = set()
+    for po in ctx.network.outputs:
+        if po in seen:
+            emit(f"output {po!r} is listed more than once",
+                 location=f"output:{po}")
+        seen.add(po)
+
+
+@rule("net.cube-width", "network", Severity.ERROR,
+      "cover width matches the fanin count")
+def cube_width(ctx, emit):
+    for name, node in ctx.network.nodes.items():
+        if node.cover.n != len(node.fanins):
+            emit(f"node {name!r}: cover over {node.cover.n} variables "
+                 f"but {len(node.fanins)} fanins",
+                 location=f"node:{name}")
+            continue
+        for i, cube in enumerate(node.cover.cubes):
+            if cube.n != node.cover.n:
+                emit(f"node {name!r}: cube {i} has width {cube.n}, "
+                     f"cover has {node.cover.n}",
+                     location=f"node:{name}/cube:{i}")
+
+
+@rule("net.duplicate-fanin", "network", Severity.ERROR,
+      "fanin lists have no repeated signals")
+def duplicate_fanin(ctx, emit):
+    for name, node in ctx.network.nodes.items():
+        if len(set(node.fanins)) != len(node.fanins):
+            dupes = sorted({f for f in node.fanins
+                            if node.fanins.count(f) > 1})
+            emit(f"node {name!r} lists fanin(s) {dupes} more than once",
+                 location=f"node:{name}",
+                 hint="collapse repeated fanins into one column")
+
+
+@rule("net.duplicate-cube", "network", Severity.WARNING,
+      "covers contain no repeated cubes")
+def duplicate_cube(ctx, emit):
+    for name, node in ctx.network.nodes.items():
+        seen: dict[tuple[int, int], int] = {}
+        for i, cube in enumerate(node.cover.cubes):
+            key = (cube.ones, cube.zeros)
+            if key in seen:
+                emit(f"node {name!r}: cube {i} "
+                     f"({cube.to_string() or 'const'}) repeats cube "
+                     f"{seen[key]}",
+                     location=f"node:{name}/cube:{i}",
+                     hint="run minimize() on the cover")
+            else:
+                seen[key] = i
+
+
+@rule("net.contained-cube", "network", Severity.WARNING,
+      "no cube is contained in another (redundant SOP)")
+def contained_cube(ctx, emit):
+    for name, node in ctx.network.nodes.items():
+        cubes = node.cover.cubes
+        for i, small in enumerate(cubes):
+            for j, big in enumerate(cubes):
+                if i == j:
+                    continue
+                if (big.ones, big.zeros) == (small.ones, small.zeros):
+                    continue  # exact duplicates: net.duplicate-cube
+                if big.contains(small):
+                    emit(f"node {name!r}: cube {i} "
+                         f"({small.to_string()}) is contained in cube "
+                         f"{j} ({big.to_string()})",
+                         location=f"node:{name}/cube:{i}",
+                         hint="remove the contained cube")
+                    break
+
+
+@rule("net.dangling-node", "network", Severity.WARNING,
+      "every node reaches a primary output")
+def dangling_node(ctx, emit):
+    net = ctx.network
+    live = net.transitive_fanin([po for po in net.outputs
+                                 if net.signal_exists(po)])
+    for name in net.nodes:
+        if name not in live:
+            emit(f"node {name!r} drives no primary output",
+                 location=f"node:{name}",
+                 hint="sweep() removes dead logic")
+
+
+@rule("net.unused-input", "network", Severity.INFO,
+      "every primary input is read")
+def unused_input(ctx, emit):
+    net = ctx.network
+    read = {f for node in net.nodes.values() for f in node.fanins}
+    for pi in net.inputs:
+        if pi not in read and pi not in net.outputs:
+            emit(f"input {pi!r} is never read", location=f"input:{pi}")
+
+
+@rule("net.no-outputs", "network", Severity.WARNING,
+      "the network declares at least one primary output")
+def no_outputs(ctx, emit):
+    if not ctx.network.outputs:
+        emit("network has no primary outputs")

@@ -38,11 +38,15 @@ class Network:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        """Drop cached derived state after any structural mutation."""
+        self._topo_cache = None
+
     def add_input(self, name: str) -> str:
         if name in self.nodes or name in self.inputs:
             raise NetworkError(f"signal {name!r} already defined")
         self.inputs.append(name)
-        self._topo_cache = None
+        self._invalidate()
         return name
 
     def add_node(self, name: str, fanins: list[str], cover: Cover) -> str:
@@ -54,7 +58,7 @@ class Network:
                     f"node {name!r}: fanin {fanin!r} not defined yet "
                     "(add nodes in topological order)")
         self.nodes[name] = Node(name, fanins, cover)
-        self._topo_cache = None
+        self._invalidate()
         return name
 
     def add_const(self, name: str, value: bool) -> str:
@@ -65,6 +69,9 @@ class Network:
         if name not in self.nodes and name not in self.inputs:
             raise NetworkError(f"output references unknown signal {name!r}")
         self.outputs.append(name)
+        # Topological order doesn't depend on the output list, but
+        # invalidate anyway so future caches keyed on outputs stay safe.
+        self._invalidate()
 
     def replace_cover(self, name: str, cover: Cover) -> None:
         """Replace a node's local function, keeping its fanin list."""
@@ -84,12 +91,12 @@ class Network:
                 raise NetworkError(f"fanin {fanin!r} not defined")
         old = self.nodes[name]
         self.nodes[name] = Node(name, fanins, cover)
-        self._topo_cache = None
+        self._invalidate()
         try:
             self.topological_order()
         except NetworkError:
             self.nodes[name] = old
-            self._topo_cache = None
+            self._invalidate()
             raise
 
     def remove_node(self, name: str) -> None:
@@ -99,7 +106,7 @@ class Network:
             if other.name != name and name in other.fanins:
                 raise NetworkError(f"node {name!r} still has fanouts")
         del self.nodes[name]
-        self._topo_cache = None
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,28 @@
+"""Shared helpers for the lint test suite."""
+
+from repro.cubes import Cover, Cube
+from repro.network import Network
+
+
+def fired(report, rule_id):
+    """Diagnostics of one rule, in report order."""
+    return [d for d in report.diagnostics if d.rule == rule_id]
+
+
+def and2() -> Cover:
+    return Cover(2, [Cube.from_string("11")])
+
+
+def buf() -> Cover:
+    return Cover(1, [Cube.from_string("1")])
+
+
+def chain() -> Network:
+    """a, b -> n1 = AND -> n2 = BUF -> output n2."""
+    net = Network("chain")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("n1", ["a", "b"], and2())
+    net.add_node("n2", ["n1"], buf())
+    net.add_output("n2")
+    return net

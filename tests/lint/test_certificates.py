@@ -1,0 +1,96 @@
+"""Certificate build / validate / tamper / offline-recheck tests."""
+
+import json
+
+import pytest
+
+from repro.cubes import Cover
+from repro.lint import (PairSemantics, ProofResult, build_certificate,
+                        certificate_digest, check_certificate,
+                        validate_certificate, write_certificates)
+from repro.lint.certificates import certificate_filename
+from repro.network import Network
+
+
+def _net(cover_rows, name="cert"):
+    net = Network(name)
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("f", ["a", "b"], Cover.from_strings(cover_rows))
+    net.add_output("f")
+    return net
+
+
+@pytest.fixture
+def cert():
+    # approx = AND implies original = OR: a proved 1-approximation.
+    original, approx = _net(["1-", "-1"]), _net(["11"])
+    proof = PairSemantics(original, approx).implication("f", 1)
+    assert proof.holds is True
+    return build_certificate(original, approx, "f", 1, proof)
+
+
+def test_certificate_is_schema_valid_and_rechecks(cert):
+    assert validate_certificate(cert) == []
+    assert check_certificate(cert) == []
+    assert cert["method"] in ("bdd", "sat")
+    assert cert["inputs"] == ["a", "b"]
+    assert ".model" in cert["original_blif"]
+
+
+def test_build_refuses_unproved():
+    proof = ProofResult(False, "bdd", {}, {"a": True, "b": False})
+    with pytest.raises(ValueError, match="proved"):
+        build_certificate(_net(["11"]), _net(["1-"]), "f", 1, proof)
+    with pytest.raises(ValueError, match="proved"):
+        build_certificate(_net(["11"]), _net(["11"]), "f", 1,
+                          ProofResult(None, "sat"))
+
+
+def test_tampered_digest_is_detected(cert):
+    cert["direction"] = 0
+    problems = validate_certificate(cert)
+    assert any("digest mismatch" in p for p in problems)
+
+
+def test_resigned_false_claim_fails_recheck(cert):
+    # Flip the claim and re-sign: the schema passes, the re-proof must
+    # catch the lie (OR does not imply AND).
+    cert["direction"] = 0
+    cert["digest"] = certificate_digest(cert)
+    assert validate_certificate(cert) == []
+    problems = check_certificate(cert)
+    assert any("does NOT hold" in p for p in problems)
+
+
+def test_missing_and_mistyped_keys(cert):
+    broken = dict(cert)
+    del broken["original_blif"]
+    assert any("original_blif" in p for p in validate_certificate(broken))
+    broken = dict(cert)
+    broken["direction"] = "1"
+    assert any("not int" in p for p in validate_certificate(broken))
+    assert validate_certificate("not a dict") \
+        == ["certificate is not a JSON object"]
+
+
+def test_corrupt_embedded_blif_fails_recheck(cert):
+    cert["original_blif"] = ".model broken\n.names x y\n"
+    cert["digest"] = certificate_digest(cert)
+    problems = check_certificate(cert)
+    assert len(problems) == 1
+    assert "does not parse" in problems[0]
+
+
+def test_filename_is_sanitized():
+    assert certificate_filename(
+        {"circuit": "my circuit", "po": "out[3]", "direction": 1}) \
+        == "my_circuit__out_3___d1.cert.json"
+
+
+def test_write_certificates_round_trip(cert, tmp_path):
+    paths = write_certificates([cert], tmp_path)
+    assert len(paths) == 1
+    loaded = json.loads(paths[0].read_text())
+    assert loaded == cert
+    assert check_certificate(loaded) == []

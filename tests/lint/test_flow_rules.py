@@ -1,0 +1,148 @@
+"""One firing mutation per CED-assembly (flow.*) rule.
+
+A single tiny flow is built once; every test mutates a fresh deep copy
+of its assembly and asserts exactly the intended rule fires.
+"""
+
+import pytest
+
+from repro.bench import tiny_benchmark
+from repro.ced import CedAssembly, clone_netlist, run_ced_flow
+from repro.lint import Severity, lint_assembly
+
+from .helpers import fired
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return run_ced_flow(tiny_benchmark(), reliability_words=1,
+                        coverage_words=1, power_words=1, seed=7)
+
+
+def fresh(flow):
+    a = flow.assembly
+    return CedAssembly(
+        netlist=clone_netlist(a.netlist),
+        original=a.original,
+        error_pair=a.error_pair,
+        fault_sites=list(a.fault_sites),
+        directions=dict(a.directions),
+        checker_pairs=dict(a.checker_pairs),
+        shared_gates=a.shared_gates)
+
+
+def test_real_assembly_is_clean(flow):
+    report = lint_assembly(flow.assembly)
+    assert report.ok
+    assert report.diagnostics == []
+
+
+def test_direction_values_missing(flow):
+    asm = fresh(flow)
+    po = next(iter(asm.directions))
+    del asm.directions[po]
+    diags = fired(lint_assembly(asm), "flow.direction-values")
+    assert len(diags) == 1
+    assert "no recorded direction" in diags[0].message
+
+
+def test_direction_values_bad(flow):
+    asm = fresh(flow)
+    po = next(iter(asm.directions))
+    asm.directions[po] = 3
+    diags = fired(lint_assembly(asm), "flow.direction-values")
+    assert len(diags) == 1
+    assert "not 0/1" in diags[0].message
+
+
+def test_fault_sites_phantom(flow):
+    asm = fresh(flow)
+    asm.fault_sites.append("ghost_gate")
+    diags = fired(lint_assembly(asm), "flow.fault-sites")
+    assert len(diags) == 1
+    assert "ghost_gate" in diags[0].message
+
+
+def test_fault_sites_uncovered_gate(flow):
+    asm = fresh(flow)
+    dropped = asm.fault_sites.pop()
+    diags = fired(lint_assembly(asm), "flow.fault-sites")
+    assert len(diags) == 1
+    assert dropped in diags[0].message
+
+
+def test_nonintrusive(flow):
+    asm = fresh(flow)
+    apx_signal = next(s for s in asm.netlist.gates
+                      if s.startswith("apx_"))
+    victim = next(s for s in asm.fault_sites
+                  if asm.netlist.gates[s].fanins)
+    asm.netlist.gates[victim].fanins[0] = apx_signal
+    diags = fired(lint_assembly(asm), "flow.nonintrusive")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert victim in diags[0].message and apx_signal in diags[0].message
+
+
+def test_nonintrusive_sharing_downgrades_to_info(flow):
+    asm = fresh(flow)
+    asm.shared_gates = 2
+    diags = fired(lint_assembly(asm), "flow.nonintrusive")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.INFO
+
+
+def test_output_preserved_rewired(flow):
+    asm = fresh(flow)
+    po = asm.original.outputs[0]
+    asm.netlist.po_signals[po] = asm.error_pair[0]
+    diags = fired(lint_assembly(asm), "flow.output-preserved")
+    assert len(diags) == 1
+    assert "instead of the original signal" in diags[0].message
+
+
+def test_output_preserved_missing(flow):
+    asm = fresh(flow)
+    po = asm.original.outputs[0]
+    del asm.netlist.po_signals[po]
+    diags = fired(lint_assembly(asm), "flow.output-preserved")
+    assert len(diags) == 1
+    assert "missing" in diags[0].message
+
+
+def test_checker_missing(flow):
+    asm = fresh(flow)
+    po = asm.original.outputs[0]
+    del asm.checker_pairs[po]
+    diags = fired(lint_assembly(asm), "flow.checker-missing")
+    assert len(diags) == 1
+    assert diags[0].location == f"po:{po}"
+
+
+def test_checker_rail_not_a_signal(flow):
+    asm = fresh(flow)
+    po = asm.original.outputs[0]
+    asm.checker_pairs[po] = ("nope0", "nope1")
+    diags = fired(lint_assembly(asm), "flow.checker-missing")
+    assert len(diags) == 2
+
+
+def test_trc_tree_wrong_error_output(flow):
+    asm = fresh(flow)
+    asm.netlist.po_signals["__error0"] = asm.netlist.inputs[0]
+    diags = fired(lint_assembly(asm), "flow.trc-tree")
+    assert len(diags) == 1
+    assert "__error0" in diags[0].message
+
+
+def test_trc_tree_orphan_checker_rail(flow):
+    asm = fresh(flow)
+    po = asm.original.outputs[0]
+    cell = next(iter(asm.netlist.gates.values())).cell
+    orphan = asm.netlist.add_gate(
+        asm.netlist.fresh_name("orphan"), cell.name,
+        [asm.netlist.inputs[0]] * cell.num_inputs)
+    asm.checker_pairs[po] = (orphan, orphan)
+    diags = fired(lint_assembly(asm), "flow.trc-tree")
+    assert len(diags) == 2
+    assert all("does not reach" in d.message for d in diags)

@@ -1,0 +1,135 @@
+"""One firing mutation per structural (net.*) lint rule."""
+
+from repro.cubes import Cover, Cube
+from repro.lint import Severity, lint_network
+from repro.network import Network, Node
+
+from .helpers import and2, buf, chain, fired
+
+
+def test_clean_network_has_no_diagnostics():
+    report = lint_network(chain())
+    assert report.ok
+    assert report.diagnostics == []
+
+
+def test_undefined_fanin():
+    net = chain()
+    # Bypass add_node validation: wire n2 to a signal nobody defines.
+    net.nodes["n2"] = Node("n2", ["ghost"], buf())
+    report = lint_network(net)
+    diags = fired(report, "net.undefined-fanin")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "ghost" in diags[0].message
+    assert diags[0].location == "node:n2"
+    # The broken reference must NOT also masquerade as a cycle.
+    assert fired(report, "net.cycle") == []
+
+
+def test_cycle():
+    net = chain()
+    net.nodes["n1"] = Node("n1", ["n2", "b"], and2())
+    report = lint_network(net)
+    diags = fired(report, "net.cycle")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "n1" in diags[0].message and "n2" in diags[0].message
+
+
+def test_undefined_output():
+    net = chain()
+    net.outputs.append("ghost")
+    diags = fired(lint_network(net), "net.undefined-output")
+    assert len(diags) == 1
+    assert diags[0].location == "output:ghost"
+
+
+def test_duplicate_output():
+    net = chain()
+    net.outputs.append("n2")
+    diags = fired(lint_network(net), "net.duplicate-output")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.WARNING
+
+
+def test_cube_width_cover_vs_fanins():
+    net = chain()
+    net.nodes["n1"].cover = buf()  # 1-var cover on a 2-fanin node
+    diags = fired(lint_network(net), "net.cube-width")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "2 fanins" in diags[0].message
+
+
+def test_cube_width_cube_vs_cover():
+    net = chain()
+    # Cover() validates widths, so smuggle the bad cube in directly.
+    net.nodes["n1"].cover.cubes.append(Cube.from_string("1"))
+    diags = fired(lint_network(net), "net.cube-width")
+    assert len(diags) == 1
+    assert diags[0].location == "node:n1/cube:1"
+
+
+def test_duplicate_fanin():
+    net = chain()
+    net.nodes["n1"].fanins = ["a", "a"]  # Node.__init__ would reject
+    diags = fired(lint_network(net), "net.duplicate-fanin")
+    assert len(diags) == 1
+    assert "'a'" in diags[0].message
+
+
+def test_duplicate_cube():
+    net = chain()
+    net.nodes["n1"].cover = Cover.from_strings(["11", "11"])
+    diags = fired(lint_network(net), "net.duplicate-cube")
+    assert len(diags) == 1
+    assert diags[0].location == "node:n1/cube:1"
+    # The exact duplicate is not double-reported as containment.
+    assert fired(lint_network(net), "net.contained-cube") == []
+
+
+def test_contained_cube():
+    net = chain()
+    net.nodes["n1"].cover = Cover.from_strings(["1-", "11"])
+    diags = fired(lint_network(net), "net.contained-cube")
+    assert len(diags) == 1
+    assert "11" in diags[0].message and "1-" in diags[0].message
+
+
+def test_dangling_node():
+    net = chain()
+    net.add_node("n3", ["a"], buf())
+    diags = fired(lint_network(net), "net.dangling-node")
+    assert len(diags) == 1
+    assert diags[0].location == "node:n3"
+
+
+def test_unused_input():
+    net = chain()
+    net.add_input("c")
+    diags = fired(lint_network(net), "net.unused-input")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.INFO
+    assert diags[0].location == "input:c"
+
+
+def test_no_outputs():
+    net = Network("empty")
+    net.add_input("a")
+    net.add_node("n1", ["a"], buf())
+    report = lint_network(net)
+    assert len(fired(report, "net.no-outputs")) == 1
+
+
+def test_report_renderers_mention_rule_and_counts():
+    net = chain()
+    net.outputs.append("ghost")
+    report = lint_network(net)
+    text = report.render_text()
+    assert "net.undefined-output" in text
+    assert "1 error(s)" in text
+    doc = report.to_dict()
+    assert doc["ok"] is False
+    assert any(d["rule"] == "net.undefined-output"
+               for d in doc["diagnostics"])

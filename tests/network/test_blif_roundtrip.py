@@ -1,0 +1,113 @@
+"""BLIF round-trips over every bundled benchmark, plus malformed input.
+
+Round-trip criterion: parse(write(net)) is *isomorphic* to net — same
+inputs, outputs, node names, fanin lists, and the same set of cubes per
+node (cube order may differ; it never does today, but the test should
+not depend on that).
+"""
+
+import pytest
+
+from repro.bench.suite import (TABLE1_CONE_SPECS, TABLE2_SPECS,
+                               load_benchmark, tiny_benchmark)
+from repro.network import Network, NetworkError
+from repro.network.blif import BlifError, parse_blif, write_blif
+
+
+def assert_isomorphic(a: Network, b: Network) -> None:
+    assert a.inputs == b.inputs
+    assert a.outputs == b.outputs
+    assert set(a.nodes) == set(b.nodes)
+    for name, node in a.nodes.items():
+        other = b.nodes[name]
+        assert node.fanins == other.fanins, name
+        assert node.cover.n == other.cover.n, name
+        mine = {(c.ones, c.zeros) for c in node.cover.cubes}
+        theirs = {(c.ones, c.zeros) for c in other.cover.cubes}
+        assert mine == theirs, name
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(TABLE2_SPECS))
+    def test_table2_benchmarks(self, name):
+        net = load_benchmark(name, table=2)
+        assert_isomorphic(net, parse_blif(write_blif(net)))
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_CONE_SPECS))
+    def test_table1_cones(self, name):
+        net = load_benchmark(name, table=1)
+        assert_isomorphic(net, parse_blif(write_blif(net)))
+
+    def test_tiny(self):
+        net = tiny_benchmark()
+        assert_isomorphic(net, parse_blif(write_blif(net)))
+
+    def test_double_round_trip(self):
+        net = tiny_benchmark()
+        again = parse_blif(write_blif(parse_blif(write_blif(net))))
+        assert_isomorphic(net, again)
+
+    def test_forward_references_parse(self):
+        net = parse_blif(
+            ".model fwd\n.inputs a b\n.outputs y\n"
+            ".names m y\n1 1\n"        # y reads m, defined below
+            ".names a b m\n11 1\n.end\n")
+        assert net.topological_order() == ["m", "y"]
+        assert net.evaluate_outputs({"a": True, "b": True}) == {"y": True}
+
+
+MALFORMED = [
+    (".model x\n.inputs a\n.outputs y\n.names a y\n1\n.end\n",
+     "line 5"),                             # row narrower than fanins
+    (".model x\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n",
+     "row width 2"),                        # row wider than fanins
+    (".model x\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n",
+     "invalid SOP row character"),
+    (".model x\n.inputs a\n.outputs y\n.names a y\n1 x\n.end\n",
+     "value must be 0 or 1"),
+    (".model x\n.inputs a\n.outputs y\n1 1\n.end\n",
+     "outside a .names block"),
+    (".model x\n.inputs a a\n.outputs y\n.names a y\n1 1\n.end\n",
+     "already declared at line 2"),
+    (".model x\n.inputs a\n.outputs y\n.names a\n.names b a\n.end\n",
+     "redefines the primary input"),
+    (".model x\n.inputs a\n.outputs y\n.names a y\n1 1\n"
+     ".names a y\n0 1\n.end\n",
+     "already defined at line 4"),
+    (".model x\n.inputs a\n.outputs y\n.names a a y\n11 1\n.end\n",
+     "repeats a fanin"),
+    (".model x\n.inputs a\n.outputs y\n.names\n.end\n",
+     "at least an output"),
+    (".model x\n.inputs a\n.outputs y\n.names q y\n1 1\n.end\n",
+     "fanin 'q' is never defined"),
+    (".model x\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n",
+     "mixes on-set and off-set"),
+    (".model x\n.inputs a\n.outputs y z\n.names a y\n1 1\n.end\n",
+     "output 'z' never defined"),
+    (".model x\n.inputs a\n.outputs y\n.latch a y\n.end\n",
+     "unsupported BLIF construct"),
+    (".model x\n.inputs a\n.outputs y\n"
+     ".names z y\n1 1\n.names y z\n1 1\n.end\n",
+     "combinational cycle"),
+]
+
+
+class TestMalformed:
+    @pytest.mark.parametrize("text,fragment", MALFORMED)
+    def test_raises_with_location(self, text, fragment):
+        with pytest.raises(BlifError) as err:
+            parse_blif(text)
+        message = str(err.value)
+        assert fragment in message, message
+        assert message.startswith("<blif>, line "), message
+
+    def test_source_name_appears_in_message(self, tmp_path):
+        from repro.network.blif import read_blif
+        path = tmp_path / "broken.blif"
+        path.write_text(".model x\n.inputs a\n.outputs y\n"
+                        ".names a y\n3 1\n.end\n")
+        with pytest.raises(BlifError, match="broken.blif, line 5"):
+            read_blif(path)
+
+    def test_blif_error_is_network_error(self):
+        assert issubclass(BlifError, NetworkError)

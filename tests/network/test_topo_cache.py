@@ -1,0 +1,75 @@
+"""Regression tests: every mutator invalidates the topo-order cache."""
+
+from repro.cubes import Cover, Cube
+from repro.network import Network
+
+
+def _and2() -> Cover:
+    return Cover(2, [Cube.from_string("11")])
+
+
+def _buf() -> Cover:
+    return Cover(1, [Cube.from_string("1")])
+
+
+def _chain() -> Network:
+    net = Network("chain")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("n1", ["a", "b"], _and2())
+    net.add_node("n2", ["n1"], _buf())
+    net.add_output("n2")
+    return net
+
+
+def test_add_node_after_topo_query():
+    net = _chain()
+    first = net.topological_order()
+    assert first == ["n1", "n2"]
+    net.add_node("n3", ["n2"], _buf())
+    assert net.topological_order() == ["n1", "n2", "n3"]
+
+
+def test_replace_node_rewires_and_reorders():
+    net = _chain()
+    net.add_node("n3", ["a"], _buf())
+    order = net.topological_order()
+    assert order.index("n1") < order.index("n2")
+    # Rewire n1 to read n3: n3 must now precede n1.
+    net.replace_node("n1", ["n3", "b"], _and2())
+    order = net.topological_order()
+    assert order.index("n3") < order.index("n1") < order.index("n2")
+
+
+def test_remove_node_after_topo_query():
+    net = _chain()
+    net.add_node("n3", ["a"], _buf())
+    assert "n3" in net.topological_order()
+    net.remove_node("n3")
+    assert net.topological_order() == ["n1", "n2"]
+
+
+def test_failed_replace_restores_cache_consistency():
+    net = _chain()
+    net.topological_order()
+    import pytest
+    from repro.network import NetworkError
+    with pytest.raises(NetworkError):
+        net.replace_node("n1", ["n2", "b"], _and2())  # would be a cycle
+    # The rollback must leave a usable (recomputed) order behind.
+    assert net.topological_order() == ["n1", "n2"]
+
+
+def test_add_input_after_topo_query():
+    net = _chain()
+    net.topological_order()
+    net.add_input("c")
+    net.add_node("n3", ["c"], _buf())
+    assert set(net.topological_order()) == {"n1", "n2", "n3"}
+
+
+def test_cached_order_is_defensive_copy():
+    net = _chain()
+    order = net.topological_order()
+    order.reverse()
+    assert net.topological_order() == ["n1", "n2"]
