@@ -1,0 +1,131 @@
+"""Flow-architecture performance harness.
+
+Times ``run_ced_flow`` on the Table 1/2 circuits twice — once with the
+shared :class:`~repro.flow.AnalysisContext` disabled (every stage
+recomputes its BDDs/simulators/probabilities, the pre-pass-manager
+behavior) and once enabled — and emits ``BENCH_flow.json`` with the
+wall-clock contrast plus the per-kind cache hit rates the enabled run
+achieved.  The enabled and disabled runs are asserted bit-identical
+(same ``summary()``), so the speedup is pure bookkeeping, not a change
+in what gets computed.
+
+Run as a script (no PYTHONPATH needed)::
+
+    python benchmarks/bench_flowperf.py            # full suite
+    python benchmarks/bench_flowperf.py --quick    # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.suite import TABLE2_SPECS, load_benchmark, tiny_benchmark
+from repro.ced.flow import run_ced_flow
+from repro.flow import AnalysisContext
+
+DEFAULT_OUT = ROOT / "BENCH_flow.json"
+
+#: Flow parameters shared by both runs (the identity-check settings).
+FLOW_KW = dict(reliability_words=2, coverage_words=2, seed=2008)
+
+
+def _load(name: str):
+    return tiny_benchmark() if name == "tiny" else load_benchmark(name)
+
+
+def _run(name: str, enabled: bool, reps: int) -> tuple[float, object]:
+    """Best-of-``reps`` wall clock (each rep is a fully fresh flow)."""
+    best, flow = None, None
+    for _ in range(max(1, reps)):
+        net = _load(name)
+        ctx = AnalysisContext(enabled=enabled)
+        t0 = time.perf_counter()
+        flow = run_ced_flow(net, ctx=ctx, **FLOW_KW)
+        t = time.perf_counter() - t0
+        best = t if best is None else min(best, t)
+    return best, flow
+
+
+def bench_circuit(name: str, reps: int) -> dict:
+    t_off, flow_off = _run(name, enabled=False, reps=reps)
+    t_on, flow_on = _run(name, enabled=True, reps=reps)
+    if flow_on.summary() != flow_off.summary():
+        raise AssertionError(
+            f"{name}: context-enabled flow diverged from the uncached "
+            f"flow — caching must be bit-identical")
+    totals = flow_on.trace.cache_totals()
+    rates = {}
+    for kind, counters in sorted(totals.items()):
+        seen = counters.get("hits", 0) + counters.get("misses", 0)
+        if seen:
+            rates[kind] = {
+                **counters,
+                "hit_rate": round(counters.get("hits", 0) / seen, 3)}
+    return {
+        "gates": int(flow_on.original_mapped.gate_count),
+        "uncached_seconds": round(t_off, 3),
+        "cached_seconds": round(t_on, 3),
+        "speedup": round(t_off / t_on, 2),
+        "cache": rates,
+        "pass_seconds": {
+            rec.name: round(rec.wall_time_s, 3)
+            for rec in flow_on.trace.passes},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small circuits only (CI smoke run)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--circuits", nargs="*", default=None,
+                        help="explicit circuit list (default: suite)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per measurement (best-of)")
+    args = parser.parse_args(argv)
+
+    if args.circuits:
+        names = args.circuits
+    elif args.quick:
+        names = ["tiny", "cmb", "cordic"]
+    else:
+        names = ["tiny"] + sorted(
+            TABLE2_SPECS, key=lambda n: TABLE2_SPECS[n].target_gates)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "quick": bool(args.quick),
+            "reps": int(args.reps),
+            "flow_kw": dict(FLOW_KW),
+        },
+        "circuits": {},
+    }
+    for name in names:
+        entry = bench_circuit(name, args.reps)
+        report["circuits"][name] = entry
+        bdds = entry["cache"].get("global_bdds", {})
+        print(f"{name:8s} {entry['gates']:5d} gates  "
+              f"{entry['uncached_seconds']:8.2f}s -> "
+              f"{entry['cached_seconds']:7.2f}s  "
+              f"x{entry['speedup']:.2f}  "
+              f"bdd hits {bdds.get('hits', 0)}/{bdds.get('hits', 0) + bdds.get('misses', 0)}")
+
+    args.out.write_text(json.dumps(report, indent=1, sort_keys=True)
+                        + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

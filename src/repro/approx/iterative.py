@@ -25,11 +25,11 @@ import numpy as np
 
 from repro.bdd import BddOverflowError
 from repro.cubes import Cover, minimize
-from repro.network import (GlobalBdds, Network, dfs_input_order,
-                           eliminate, propagate_constants, strash,
-                           sweep, trim_unread_fanins)
-from repro.sim import (BitSimulator, get_simulator,
-                       signal_probabilities)
+from repro.network import (Network, eliminate, propagate_constants,
+                           strash, sweep, trim_unread_fanins)
+from repro.sim import get_simulator
+
+from repro.flow import AnalysisContext
 
 from .config import ApproxConfig
 from .cube_selection import (exact_select, implement_phase, odc_select,
@@ -62,7 +62,8 @@ class ApproxResult:
 
 def synthesize_approximation(network: Network,
                              output_approximations: dict[str, int],
-                             config: ApproxConfig | None = None
+                             config: ApproxConfig | None = None,
+                             ctx: AnalysisContext | None = None
                              ) -> ApproxResult:
     """Synthesize an approximate logic circuit for ``network``.
 
@@ -70,17 +71,22 @@ def synthesize_approximation(network: Network,
     approximation direction (0-approximation detects 0->1 errors at that
     output, 1-approximation detects 1->0 errors).  The returned network
     shares the primary-input names and output names of the original.
+
+    ``ctx`` shares analysis state (global BDDs, probabilities) across
+    calls and flow stages; results are bit-identical with or without it
+    (BDD canonicity — see :mod:`repro.flow.analysis`).
     """
     config = config or ApproxConfig()
-    probs = signal_probabilities(network, n_words=config.prob_words,
-                                 seed=config.seed)
+    ctx = ctx if ctx is not None else AnalysisContext()
+    probs = ctx.probabilities(network, n_words=config.prob_words,
+                              seed=config.seed)
     types = assign_types(network, output_approximations, config, probs)
 
     approx = network.copy("approx")
     dropped = _reduce_all_sops(approx, types, probs, config)
 
     checker = _make_checker(network, approx, output_approximations,
-                            types, config)
+                            types, config, ctx)
     repaired: dict[str, str] = {}
     repair_stage: dict[str, int] = {}
     restored: list[str] = []
@@ -288,6 +294,7 @@ def _restore_cone(network: Network, approx: Network, po: str) -> None:
         return
     cone = network.transitive_fanin([po])
     node_type = type(next(iter(network.nodes.values())))
+    touched = []
     for name in network.topological_order():
         if name in cone:
             node = network.nodes[name]
@@ -296,7 +303,9 @@ def _restore_cone(network: Network, approx: Network, po: str) -> None:
             # replace_node acyclicity re-check is skipped.
             approx.nodes[name] = node_type(name, list(node.fanins),
                                            node.cover.copy())
-    approx._topo_cache = None
+            touched.append(name)
+    if touched:
+        approx._invalidate(touched=touched)
 
 
 # ----------------------------------------------------------------------
@@ -339,22 +348,27 @@ class _Checker:
 
 
 class _BddChecker(_Checker):
-    """Exact implication checks on global BDDs of both networks."""
+    """Exact implication checks on global BDDs of both networks.
+
+    The pair BDDs come from the shared :class:`AnalysisContext`: the
+    original's functions are built once per flow and each repair-round
+    refresh recomputes only the cones the repairs touched.  Canonicity
+    makes every implication verdict identical to a fresh rebuild.
+    """
 
     method = "bdd"
 
     def __init__(self, network, approx, output_approximations, types,
-                 budget: int | None):
+                 budget: int | None,
+                 ctx: AnalysisContext | None = None):
         super().__init__(network, approx, output_approximations, types)
         self.budget = budget
-        self._orig_cache: dict[str, bool] = {}
+        self.ctx = ctx if ctx is not None else AnalysisContext()
         self.refresh()
 
     def refresh(self) -> None:
-        self.bdds = GlobalBdds(dfs_input_order(self.network),
-                               max_nodes=self.budget)
-        self.bdds.add_network(self.network, prefix="o_")
-        self.bdds.add_network(self.approx, prefix="a_")
+        self.bdds = self.ctx.pair_bdds(self.network, self.approx,
+                                       self.budget)
         self._cache: dict[str, bool] = {}
 
     def _implication_holds(self, name: str, direction: int) -> bool:
@@ -428,7 +442,7 @@ class _SimChecker(_Checker):
         self.refresh()
 
     def refresh(self) -> None:
-        approx_sim = BitSimulator(self.approx)
+        approx_sim = get_simulator(self.approx)
         # Input rows must align with the original's input ordering.
         reorder = [self.network.inputs.index(pi)
                    for pi in approx_sim.input_names]
@@ -476,7 +490,8 @@ def _safe_refresh(checker: "_Checker", network: Network, approx: Network,
 def _make_checker(network: Network, approx: Network,
                   output_approximations: dict[str, int],
                   types: dict[str, NodeType],
-                  config: ApproxConfig) -> _Checker:
+                  config: ApproxConfig,
+                  ctx: AnalysisContext | None = None) -> _Checker:
     if config.check == "sim":
         return _SimChecker(network, approx, output_approximations, types,
                            config.sim_check_words, config.seed)
@@ -485,7 +500,7 @@ def _make_checker(network: Network, approx: Network,
                            types)
     try:
         return _BddChecker(network, approx, output_approximations, types,
-                           config.bdd_node_budget)
+                           config.bdd_node_budget, ctx)
     except BddOverflowError:
         if config.check == "bdd":
             raise

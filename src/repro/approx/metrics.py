@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bdd import BddOverflowError
+from repro.flow import AnalysisContext
 from repro.network import GlobalBdds, Network, dfs_input_order
 from repro.sim import get_simulator, popcount, switching_activity
 from repro.synth.netlist import MappedNetlist
@@ -25,19 +26,21 @@ def approximation_percentage(original: Network, approx: Network,
                              method: str = "auto",
                              bdd_node_budget: int = 500_000,
                              n_words: int = 256,
-                             seed: int = 2008) -> float:
+                             seed: int = 2008,
+                             ctx: AnalysisContext | None = None) -> float:
     """Approximation percentage of one output, in percent.
 
     For a 1-approximation G of F: ``100 * |G & F| / |F|``; for a
     0-approximation: ``100 * |!G & !F| / |!F|``.  Inputs are uniform
     (the paper's assumption).  ``method`` is "bdd", "sim", or "auto".
+    ``ctx`` reuses a shared pair-BDD manager (bit-identical results).
     """
     if method not in ("bdd", "sim", "auto"):
         raise ValueError(f"unknown method {method!r}")
     if method in ("bdd", "auto"):
         try:
             return _approx_pct_bdd(original, approx, output, direction,
-                                   bdd_node_budget)
+                                   bdd_node_budget, ctx)
         except BddOverflowError:
             if method == "bdd":
                 raise
@@ -45,10 +48,18 @@ def approximation_percentage(original: Network, approx: Network,
                            seed)
 
 
-def _approx_pct_bdd(original, approx, output, direction, budget) -> float:
+def _pair_bdds(original, approx, budget, ctx):
+    if ctx is not None:
+        return ctx.pair_bdds(original, approx, budget)
     bdds = GlobalBdds(dfs_input_order(original), max_nodes=budget)
     bdds.add_network(original, prefix="o_")
     bdds.add_network(approx, prefix="a_")
+    return bdds
+
+
+def _approx_pct_bdd(original, approx, output, direction, budget,
+                    ctx=None) -> float:
+    bdds = _pair_bdds(original, approx, budget, ctx)
     mgr = bdds.manager
     prefix_o = "" if original.is_input(output) else "o_"
     prefix_a = "" if approx.is_input(output) else "a_"
@@ -84,18 +95,19 @@ def approximation_percentages(original: Network, approx: Network,
                               method: str = "auto",
                               bdd_node_budget: int = 500_000,
                               n_words: int = 256,
-                              seed: int = 2008) -> dict[str, float]:
+                              seed: int = 2008,
+                              ctx: AnalysisContext | None = None
+                              ) -> dict[str, float]:
     """Approximation percentage of every output, sharing one manager.
 
     Far cheaper than calling :func:`approximation_percentage` per
     output: the global BDDs (or the simulation run) are built once.
+    With ``ctx``, the manager is additionally shared with the synthesis
+    checker and lint prover across the whole flow.
     """
     if method in ("bdd", "auto"):
         try:
-            bdds = GlobalBdds(dfs_input_order(original),
-                              max_nodes=bdd_node_budget)
-            bdds.add_network(original, prefix="o_")
-            bdds.add_network(approx, prefix="a_")
+            bdds = _pair_bdds(original, approx, bdd_node_budget, ctx)
             mgr = bdds.manager
             result = {}
             for po, direction in directions.items():

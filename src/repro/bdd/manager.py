@@ -75,6 +75,39 @@ class BddManager:
     def is_terminal(self, f: int) -> bool:
         return f <= 1
 
+    def mark(self) -> tuple[int, int, int, int]:
+        """Opaque snapshot of the node store for :meth:`rollback`.
+
+        Every structure in the manager is append-only (the node arrays
+        grow, the unique table and operation cache only gain entries),
+        so a mark is just the current lengths.
+        """
+        return (len(self._var), len(self._unique),
+                len(self._ite_cache), self._num_vars)
+
+    def rollback(self, mark: tuple[int, int, int, int]) -> None:
+        """Restore the exact node-store state captured by ``mark``.
+
+        Truncates the node arrays and pops the entries inserted since
+        the mark (dicts preserve insertion order and are never deleted
+        from, so ``popitem`` removes exactly the post-mark additions).
+        Afterwards the manager is bit-identical to its state at
+        :meth:`mark` time: subsequent operations allocate the same node
+        ids and hit/miss the caches the same way a manager that never
+        advanced past the mark would.
+        """
+        n_nodes, n_unique, n_ite, n_vars = mark
+        if len(self._var) < n_nodes or self._num_vars != n_vars:
+            raise ValueError("mark does not describe a prior state "
+                             "of this manager")
+        del self._var[n_nodes:]
+        del self._lo[n_nodes:]
+        del self._hi[n_nodes:]
+        while len(self._unique) > n_unique:
+            self._unique.popitem()
+        while len(self._ite_cache) > n_ite:
+            self._ite_cache.popitem()
+
     def _mk(self, var: int, lo: int, hi: int) -> int:
         if lo == hi:
             return lo

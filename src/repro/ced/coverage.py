@@ -56,14 +56,18 @@ def evaluate_ced(assembly: CedAssembly, n_words: int = 8,
                  seed: int = 2008,
                  faults: list[Fault] | None = None,
                  vector_mode: str = "shared",
-                 batch_size: int = DEFAULT_BATCH) -> CoverageResult:
+                 batch_size: int = DEFAULT_BATCH,
+                 ctx=None) -> CoverageResult:
     """Fault-simulate a CED assembly and measure coverage.
 
     Faults default to all single stuck-at faults on the original
     circuit's gates (the paper's model); checker and check-symbol
     faults are excluded from coverage accounting, as in the paper.
+    ``ctx`` (an :class:`~repro.flow.AnalysisContext`) shares the
+    compiled simulator with the rest of the flow.
     """
-    sim = get_simulator(assembly.netlist)
+    sim = (ctx.simulator if ctx is not None
+           else get_simulator)(assembly.netlist)
     if faults is None:
         faults = [Fault(site, v) for site in assembly.fault_sites
                   for v in (0, 1)]

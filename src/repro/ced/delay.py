@@ -28,15 +28,16 @@ def evaluate_delay_fault_ced(assembly: CedAssembly, n_words: int = 8,
                              seed: int = 2008,
                              faults: list[TransitionFault] | None = None,
                              vector_mode: str = "shared",
-                             batch_size: int = DEFAULT_BATCH
-                             ) -> CoverageResult:
+                             batch_size: int = DEFAULT_BATCH,
+                             ctx=None) -> CoverageResult:
     """Fault-simulate transition faults and measure CED coverage.
 
     ``vector_mode="shared"`` draws one golden vector *pair* for the
     whole campaign and batches fault evaluation on the compiled tape;
     ``"per-fault"`` draws a fresh pair per fault (the seed scheme).
     """
-    sim = get_simulator(assembly.netlist)
+    sim = (ctx.simulator if ctx is not None
+           else get_simulator)(assembly.netlist)
     if faults is None:
         faults = transition_fault_list(assembly.netlist,
                                        signals=assembly.fault_sites)

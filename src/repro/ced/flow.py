@@ -1,15 +1,25 @@
 """The end-to-end CED flow (paper Fig. 2 + Sec 3).
 
-``run_ced_flow`` chains every stage: quick synthesis and mapping,
+``run_ced_flow`` runs every stage — quick synthesis and mapping,
 reliability analysis (approximation directions), approximate logic
 synthesis, mapping of the check symbol generator, checker assembly, and
-fault-injection evaluation.  It returns everything the paper's tables
-report — area/power overhead, CED coverage (achieved and maximum),
-approximation percentage, and delays.
+fault-injection evaluation — as named passes on the
+:class:`~repro.flow.PassManager`.  The passes share one
+:class:`~repro.flow.AnalysisContext`, so the global BDDs the synthesis
+checker builds are reused by the approximation-percentage metric and
+the lint re-prover instead of being rebuilt per stage; every pass
+leaves wall time and cache counters in the result's
+:class:`~repro.flow.FlowTrace`, and — when a checkpoint directory is
+given — persists its outputs so a killed run resumes mid-pipeline.
+
+It returns everything the paper's tables report — area/power overhead,
+CED coverage (achieved and maximum), approximation percentage, and
+delays — bit-identical to the pre-pass-manager monolith.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import dataclasses
@@ -18,9 +28,10 @@ import json
 from repro.approx import (ApproxConfig, ApproxResult,
                           approximation_percentages,
                           synthesize_approximation)
-from repro.network import Network
+from repro.flow import (AnalysisContext, FlowContext, FlowTrace, Pass,
+                        PassManager, PassRecord, flow_token)
+from repro.network import Network, write_blif
 from repro.reliability import ReliabilityReport, analyze_reliability
-from repro.sim import switching_activity
 from repro.synth import SynthesisScript, QUICK_SCRIPT
 from repro.synth.netlist import MappedNetlist
 
@@ -43,6 +54,8 @@ class CedFlowResult:
     metrics: dict[str, float] = field(default_factory=dict)
     #: Static-verification report (repro.lint), when requested.
     lint: object | None = None
+    #: Per-pass instrumentation of the run (wall time, cache counters).
+    trace: FlowTrace | None = None
 
     def summary(self) -> dict[str, float]:
         """The Table 1/2 row for this run (native JSON-safe types)."""
@@ -66,8 +79,8 @@ class CedFlowResult:
 
         Everything the tables and run manifests need, as plain JSON
         types — the summary row, the full metrics dict, per-output
-        approximation directions, checking provenance, and the raw
-        fault-campaign counters.
+        approximation directions, checking provenance, the raw
+        fault-campaign counters, and the per-pass flow trace.
         """
         return {
             "circuit": self.original.name,
@@ -91,6 +104,8 @@ class CedFlowResult:
                 "false_alarms": int(self.coverage.false_alarms),
                 "golden_invalid": int(self.coverage.golden_invalid),
             },
+            **({"trace": self.trace.to_dict()}
+               if self.trace is not None else {}),
             **({"lint": self.lint.to_dict()}
                if self.lint is not None else {}),
         }
@@ -102,7 +117,9 @@ class CedFlowResult:
 
 
 def _synthesize_with_floor(network: Network, directions: dict[str, int],
-                           config: ApproxConfig, min_approx_pct: float
+                           config: ApproxConfig, min_approx_pct: float,
+                           ctx: AnalysisContext | None = None,
+                           record: PassRecord | None = None
                            ) -> tuple[ApproxResult, dict[str, float]]:
     """Synthesize, retrying with gentler configs below the quality floor.
 
@@ -123,18 +140,244 @@ def _synthesize_with_floor(network: Network, directions: dict[str, int],
             ladder[-1], conservative_ex=True, collapse_dc=False))
     best: tuple[ApproxResult, dict[str, float]] | None = None
     best_floor = -1.0
+    attempts = 0
     for attempt in ladder:
-        result = synthesize_approximation(network, directions, attempt)
+        attempts += 1
+        result = synthesize_approximation(network, directions, attempt,
+                                          ctx=ctx)
         pct = approximation_percentages(
             network, result.approx, directions,
-            bdd_node_budget=attempt.bdd_node_budget)
+            bdd_node_budget=attempt.bdd_node_budget, ctx=ctx)
         floor = min(pct.values(), default=100.0)
         if floor > best_floor:
             best, best_floor = (result, pct), floor
         if floor >= min_approx_pct:
             break
     assert best is not None
+    if record is not None:
+        record.stats.update({
+            "ladder_attempts": attempts,
+            "repair_rounds": best[0].repair_rounds,
+            "check_method": best[0].check_method,
+            "dropped_cubes": best[0].dropped_cubes,
+            "restored_cones": len(best[0].restored_cones),
+        })
     return best
+
+
+# ----------------------------------------------------------------------
+# The CED pipeline as passes
+# ----------------------------------------------------------------------
+class MapOriginalPass(Pass):
+    """Technology-map the original network (the circuit under CED)."""
+
+    name = "map-original"
+    provides = ("original_mapped",)
+    checkpoint = ("original_mapped",)
+
+    def __init__(self, script: SynthesisScript):
+        self.script = script
+
+    def run(self, ctx: FlowContext, record: PassRecord) -> dict:
+        mapped = self.script.run(ctx.network)
+        record.stats["gates"] = mapped.gate_count
+        return {"original_mapped": mapped}
+
+
+class ReliabilityPass(Pass):
+    """Error-direction profile -> approximation direction per PO."""
+
+    name = "reliability"
+    requires = ("original_mapped",)
+    provides = ("reliability", "directions")
+    checkpoint = ("reliability", "directions")
+
+    def __init__(self, n_words: int, seed: int,
+                 directions: dict[str, int] | None):
+        self.n_words = n_words
+        self.seed = seed
+        self.directions = directions
+
+    def run(self, ctx: FlowContext, record: PassRecord) -> dict:
+        reliability = analyze_reliability(
+            ctx["original_mapped"], n_words=self.n_words,
+            seed=self.seed, ctx=ctx.analysis)
+        directions = self.directions if self.directions is not None \
+            else reliability.approximations
+        record.stats.update({"runs": reliability.runs,
+                             "error_runs": reliability.error_runs})
+        return {"reliability": reliability, "directions": directions}
+
+
+class SynthesizeApproxPass(Pass):
+    """Approximate synthesis with the quality-floor retry ladder."""
+
+    name = "synthesize"
+    requires = ("directions",)
+    provides = ("approx_result", "per_output_pct", "approximation_pct")
+    checkpoint = ("approx_result", "per_output_pct",
+                  "approximation_pct")
+
+    def __init__(self, config: ApproxConfig, min_approx_pct: float):
+        self.config = config
+        self.min_approx_pct = min_approx_pct
+
+    def run(self, ctx: FlowContext, record: PassRecord) -> dict:
+        approx_result, per_output_pct = _synthesize_with_floor(
+            ctx.network, ctx["directions"], self.config,
+            self.min_approx_pct, ctx=ctx.analysis, record=record)
+        approximation_pct = (sum(per_output_pct.values())
+                             / len(per_output_pct)) if per_output_pct \
+            else 100.0
+        return {"approx_result": approx_result,
+                "per_output_pct": per_output_pct,
+                "approximation_pct": approximation_pct}
+
+
+class MapApproxPass(Pass):
+    """Technology-map the approximate check symbol generator."""
+
+    name = "map-approx"
+    requires = ("approx_result",)
+    provides = ("approx_mapped",)
+    checkpoint = ("approx_mapped",)
+
+    def __init__(self, script: SynthesisScript):
+        self.script = script
+
+    def run(self, ctx: FlowContext, record: PassRecord) -> dict:
+        mapped = self.script.run(ctx["approx_result"].approx)
+        record.stats["gates"] = mapped.gate_count
+        return {"approx_mapped": mapped}
+
+
+class AssembleCedPass(Pass):
+    """Wire checkers and the two-rail checker tree (non-intrusive)."""
+
+    name = "assemble"
+    requires = ("original_mapped", "approx_mapped", "directions")
+    provides = ("assembly",)
+    checkpoint = ("assembly",)
+
+    def __init__(self, share_logic: bool, share_loss_budget: float):
+        self.share_logic = share_logic
+        self.share_loss_budget = share_loss_budget
+
+    def run(self, ctx: FlowContext, record: PassRecord) -> dict:
+        assembly = build_ced(ctx["original_mapped"],
+                             ctx["approx_mapped"], ctx["directions"],
+                             share_logic=self.share_logic,
+                             share_loss_budget=self.share_loss_budget)
+        record.stats.update({
+            "shared_gates": assembly.shared_gates,
+            "checker_pairs": len(assembly.checker_pairs),
+        })
+        return {"assembly": assembly}
+
+
+class CoveragePass(Pass):
+    """Stuck-at fault-injection campaign against the CED assembly."""
+
+    name = "coverage"
+    requires = ("assembly",)
+    provides = ("coverage",)
+    checkpoint = ("coverage",)
+
+    def __init__(self, n_words: int, seed: int):
+        self.n_words = n_words
+        self.seed = seed
+
+    def run(self, ctx: FlowContext, record: PassRecord) -> dict:
+        coverage = evaluate_ced(ctx["assembly"], n_words=self.n_words,
+                                seed=self.seed, ctx=ctx.analysis)
+        record.stats.update({
+            "runs": coverage.runs,
+            "error_runs": coverage.error_runs,
+            "detected_error_runs": coverage.detected_error_runs,
+        })
+        return {"coverage": coverage}
+
+
+class MetricsPass(Pass):
+    """Area/power/delay overheads (the Table 1/2 accounting)."""
+
+    name = "metrics"
+    requires = ("original_mapped", "approx_mapped", "assembly")
+    provides = ("metrics",)
+    checkpoint = ("metrics",)
+
+    def __init__(self, n_words: int, seed: int):
+        self.n_words = n_words
+        self.seed = seed
+
+    def run(self, ctx: FlowContext, record: PassRecord) -> dict:
+        original_mapped = ctx["original_mapped"]
+        approx_mapped = ctx["approx_mapped"]
+        assembly = ctx["assembly"]
+        switching = ctx.analysis.switching
+        base_power = switching(original_mapped, n_words=self.n_words,
+                               seed=self.seed)
+        approx_power = switching(approx_mapped, n_words=self.n_words,
+                                 seed=self.seed)
+        total_power = switching(assembly.netlist, n_words=self.n_words,
+                                seed=self.seed)
+        base_delay = original_mapped.delay()
+        approx_delay = approx_mapped.delay()
+        shared = assembly.shared_gates
+        metrics = {
+            # The paper's accounting: the check symbol generator only
+            # (the checkers/TRC tree are conventional CED plumbing,
+            # identical across schemes, and excluded — see DESIGN.md).
+            "area_overhead_pct": 100.0
+            * (approx_mapped.gate_count - shared)
+            / max(original_mapped.gate_count, 1),
+            "power_overhead_pct": 100.0 * approx_power
+            / max(base_power, 1e-9),
+            "area_overhead_with_checkers_pct": 100.0
+            * assembly.overhead_gates
+            / max(original_mapped.gate_count, 1),
+            "power_overhead_with_checkers_pct": 100.0
+            * (total_power - base_power) / max(base_power, 1e-9),
+            "delay_change_pct": 100.0 * (approx_delay - base_delay)
+            / max(base_delay, 1e-9),
+            "original_delay": base_delay,
+            "approx_delay": approx_delay,
+            "original_gates": float(original_mapped.gate_count),
+            "approx_gates": float(approx_mapped.gate_count),
+            "overhead_gates": float(assembly.overhead_gates),
+        }
+        return {"metrics": metrics}
+
+
+def ced_flow_passes(config: ApproxConfig,
+                    script: SynthesisScript,
+                    share_logic: bool, share_loss_budget: float,
+                    reliability_words: int, coverage_words: int,
+                    power_words: int, seed: int,
+                    directions: dict[str, int] | None,
+                    min_approx_pct: float) -> list[Pass]:
+    """The standard CED pipeline, in dependency order."""
+    return [
+        MapOriginalPass(script),
+        ReliabilityPass(reliability_words, seed, directions),
+        SynthesizeApproxPass(config, min_approx_pct),
+        MapApproxPass(script),
+        AssembleCedPass(share_logic, share_loss_budget),
+        CoveragePass(coverage_words, seed + 7),
+        MetricsPass(power_words, seed),
+    ]
+
+
+def _checkpoint_setup(network: Network, checkpoint_dir,
+                      params: dict) -> tuple[object | None, str | None]:
+    """Open the content-addressed store and derive the flow token."""
+    if checkpoint_dir is None:
+        return None, None
+    # Imported lazily: repro.lab imports the ced layer.
+    from repro.lab.cache import ArtifactStore
+    store = ArtifactStore(checkpoint_dir)
+    token = flow_token(write_blif(network), params)
+    return store, token
 
 
 def run_ced_flow(network: Network,
@@ -149,7 +392,9 @@ def run_ced_flow(network: Network,
                  directions: dict[str, int] | None = None,
                  min_approx_pct: float = 25.0,
                  lint_level: str = "off",
-                 certificate_dir=None
+                 certificate_dir=None,
+                 ctx: AnalysisContext | None = None,
+                 checkpoint_dir=None
                  ) -> CedFlowResult:
     """Run the complete approximate-logic CED flow on a network.
 
@@ -168,71 +413,62 @@ def run_ced_flow(network: Network,
     certificates) to the result, "strict" also raises LintError on
     error diagnostics.  ``certificate_dir`` writes the certificates as
     JSON files.
+
+    ``ctx`` supplies a shared :class:`~repro.flow.AnalysisContext`
+    (one is created per run otherwise); ``checkpoint_dir`` persists
+    each pass's outputs to a content-addressed store there, so an
+    identical re-run — including one that was killed mid-pipeline —
+    resumes after the last completed pass.
     """
     if lint_level not in ("off", "warn", "strict"):
         raise ValueError(f"unknown lint level {lint_level!r}")
     config = config or ApproxConfig(seed=seed)
-    original_mapped = script.run(network)
-    reliability = analyze_reliability(original_mapped,
-                                      n_words=reliability_words,
-                                      seed=seed)
-    if directions is None:
-        directions = reliability.approximations
-    approx_result, per_output_pct = _synthesize_with_floor(
-        network, directions, config, min_approx_pct)
-    approximation_pct = (sum(per_output_pct.values())
-                         / len(per_output_pct)) if per_output_pct \
-        else 100.0
-    approx_mapped = script.run(approx_result.approx)
-    assembly = build_ced(original_mapped, approx_mapped, directions,
-                         share_logic=share_logic,
-                         share_loss_budget=share_loss_budget)
-    coverage = evaluate_ced(assembly, n_words=coverage_words,
-                            seed=seed + 7)
-
-    base_power = switching_activity(original_mapped, n_words=power_words,
-                                    seed=seed)
-    approx_power = switching_activity(approx_mapped, n_words=power_words,
-                                      seed=seed)
-    total_power = switching_activity(assembly.netlist,
-                                     n_words=power_words, seed=seed)
-    base_delay = original_mapped.delay()
-    approx_delay = approx_mapped.delay()
-    shared = assembly.shared_gates
-    metrics = {
-        # The paper's accounting: the check symbol generator only (the
-        # checkers/TRC tree are conventional CED plumbing, identical
-        # across schemes, and excluded — see DESIGN.md).
-        "area_overhead_pct": 100.0 * (approx_mapped.gate_count - shared)
-        / max(original_mapped.gate_count, 1),
-        "power_overhead_pct": 100.0 * approx_power
-        / max(base_power, 1e-9),
-        "area_overhead_with_checkers_pct": 100.0
-        * assembly.overhead_gates / max(original_mapped.gate_count, 1),
-        "power_overhead_with_checkers_pct": 100.0
-        * (total_power - base_power) / max(base_power, 1e-9),
-        "delay_change_pct": 100.0 * (approx_delay - base_delay)
-        / max(base_delay, 1e-9),
-        "original_delay": base_delay,
-        "approx_delay": approx_delay,
-        "original_gates": float(original_mapped.gate_count),
-        "approx_gates": float(approx_mapped.gate_count),
-        "overhead_gates": float(assembly.overhead_gates),
+    analysis = ctx if ctx is not None else AnalysisContext()
+    params = {
+        "script": script.name,
+        "config": dataclasses.asdict(config),
+        "share_logic": share_logic,
+        "share_loss_budget": share_loss_budget,
+        "reliability_words": reliability_words,
+        "coverage_words": coverage_words,
+        "power_words": power_words,
+        "seed": seed,
+        "directions": directions,
+        "min_approx_pct": min_approx_pct,
     }
+    store, token = _checkpoint_setup(network, checkpoint_dir, params)
+    passes = ced_flow_passes(config, script, share_logic,
+                             share_loss_budget, reliability_words,
+                             coverage_words, power_words, seed,
+                             directions, min_approx_pct)
+    flow_ctx = FlowContext(network, params=params, analysis=analysis)
+    PassManager(passes, store=store, token=token).run(flow_ctx)
+
     result = CedFlowResult(
         original=network,
-        original_mapped=original_mapped,
-        approx_result=approx_result,
-        approx_mapped=approx_mapped,
-        assembly=assembly,
-        reliability=reliability,
-        coverage=coverage,
-        approximation_pct=approximation_pct,
-        metrics=metrics)
+        original_mapped=flow_ctx["original_mapped"],
+        approx_result=flow_ctx["approx_result"],
+        approx_mapped=flow_ctx["approx_mapped"],
+        assembly=flow_ctx["assembly"],
+        reliability=flow_ctx["reliability"],
+        coverage=flow_ctx["coverage"],
+        approximation_pct=flow_ctx["approximation_pct"],
+        metrics=flow_ctx["metrics"],
+        trace=flow_ctx.trace)
     if lint_level != "off":
-        # Imported lazily: repro.lint imports the approx layer.
+        # Imported lazily: repro.lint imports the approx layer.  Lint
+        # runs outside the manager (it consumes the assembled result)
+        # but is traced like any pass, reusing the shared pair BDDs.
         from repro.lint import LintError, lint_flow
-        result.lint = lint_flow(result, certificate_dir=certificate_dir)
+        record = PassRecord(name="lint")
+        before = analysis.snapshot()
+        start = time.perf_counter()
+        result.lint = lint_flow(result, certificate_dir=certificate_dir,
+                                ctx=analysis)
+        record.wall_time_s = time.perf_counter() - start
+        record.cache = AnalysisContext.delta(before, analysis.snapshot())
+        record.stats["diagnostics"] = len(result.lint.diagnostics)
+        flow_ctx.trace.add(record)
         if lint_level == "strict" and not result.lint.ok:
             raise LintError(result.lint)
     return result

@@ -100,14 +100,16 @@ def evaluate_masking(masked: MaskedCircuit, n_words: int = 8,
                      seed: int = 2008,
                      faults: list[Fault] | None = None,
                      vector_mode: str = "shared",
-                     batch_size: int = DEFAULT_BATCH) -> MaskingResult:
+                     batch_size: int = DEFAULT_BATCH,
+                     ctx=None) -> MaskingResult:
     """Fault-inject the masked circuit and compare error rates.
 
     A *raw* error run has some unmasked output wrong; a *masked* error
     run has some masked output wrong.  Masking must never increase the
     error count (asserted via the construction; measured here).
     """
-    sim = get_simulator(masked.netlist)
+    sim = (ctx.simulator if ctx is not None
+           else get_simulator)(masked.netlist)
     if faults is None:
         faults = [Fault(site, v) for site in masked.fault_sites
                   for v in (0, 1)]

@@ -104,7 +104,8 @@ def cmd_ced(args: argparse.Namespace) -> int:
                         share_logic=args.share_logic,
                         reliability_words=args.words,
                         coverage_words=args.words,
-                        directions=directions, seed=args.seed)
+                        directions=directions, seed=args.seed,
+                        checkpoint_dir=args.checkpoint_dir)
     if args.json:
         print(json.dumps(flow.to_dict(), indent=2, sort_keys=True))
         if args.out:
@@ -127,6 +128,17 @@ def cmd_ced(args: argparse.Namespace) -> int:
     if args.share_logic:
         print(f"shared gates          : "
               f"{int(summary['shared_gates'])}")
+    if args.trace and flow.trace is not None:
+        print()
+        print("pass          status    time     cache (hits/misses)")
+        for rec in flow.trace.passes:
+            kinds = " ".join(
+                f"{kind}={c.get('hits', 0)}/{c.get('misses', 0)}"
+                for kind, c in sorted(rec.cache.items()))
+            print(f"{rec.name:13} {rec.status:8} "
+                  f"{rec.wall_time_s:6.2f}s  {kinds}")
+        print(f"{'total':13} {'':8} "
+              f"{flow.trace.total_wall_time_s:6.2f}s")
     if args.out:
         write_blif(flow.approx_result.approx, args.out)
         print(f"check symbol generator written to {args.out}")
@@ -185,6 +197,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     single_config = len(dc_list) == 1 and len(drop_list) == 1
 
     graph = JobGraph(root_seed=args.seed)
+    # With the artifact cache on, flows also checkpoint per pass into
+    # the same store, so a killed sweep resumes mid-pipeline.
+    checkpoint_dir = None if args.no_cache else args.cache_dir
     for circuit in circuits:
         for dc in dc_list:
             for drop in drop_list:
@@ -204,6 +219,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                    "cube_drop_threshold": drop,
                                    "seed": seed},
                         "lint_level": "warn" if args.lint else "off",
+                        "checkpoint_dir": checkpoint_dir,
                     },
                     timeout=args.timeout, retries=args.retries))
 
@@ -299,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto")
     p_ced.add_argument("--share-logic", action="store_true")
     p_ced.add_argument("--words", type=int, default=4)
+    p_ced.add_argument("--trace", action="store_true",
+                       help="print per-pass wall times and cache "
+                            "hit/miss counters after the report")
+    p_ced.add_argument("--checkpoint-dir", default=None,
+                       help="persist per-pass checkpoints to this "
+                            "content-addressed store so an identical "
+                            "re-run resumes mid-pipeline")
     p_ced.add_argument("--json", action="store_true",
                        help="emit the machine-readable flow record "
                             "instead of the text report")

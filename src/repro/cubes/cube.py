@@ -40,6 +40,11 @@ class Cube:
     def __setattr__(self, name, value):
         raise AttributeError("Cube is immutable")
 
+    def __reduce__(self):
+        # Default pickling restores slots via __setattr__, which the
+        # immutability guard blocks; rebuild through __init__ instead.
+        return (Cube, (self.n, self.ones, self.zeros))
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------

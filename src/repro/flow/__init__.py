@@ -1,0 +1,28 @@
+"""Pass-manager flow architecture.
+
+The generic backbone the CED pipeline (and future workloads) runs on:
+
+* :class:`AnalysisContext` — mutation-version-keyed memo of expensive
+  analyses (global BDDs, simulator tapes, probabilities, switching);
+* :class:`Pass` / :class:`PassManager` / :class:`FlowContext` — named
+  passes with declared dependencies, per-pass instrumentation, and
+  content-addressed checkpoints for mid-pipeline resume;
+* :class:`FlowTrace` / :func:`validate_trace` — the structured trace
+  carried by results, CLI output, and lab run manifests.
+
+The concrete CED passes live in :mod:`repro.ced.flow`; this package
+deliberately knows nothing about them (no import cycles).
+"""
+
+from .analysis import CACHE_KINDS, AnalysisContext
+from .passes import (CHECKPOINT_SCHEMA, FlowContext, FlowError, Pass,
+                     PassManager, flow_token, pass_fingerprint)
+from .trace import (PASS_STATUSES, TRACE_SCHEMA, FlowTrace, PassRecord,
+                    validate_trace)
+
+__all__ = [
+    "AnalysisContext", "CACHE_KINDS", "CHECKPOINT_SCHEMA",
+    "FlowContext", "FlowError", "FlowTrace", "Pass", "PassManager",
+    "PassRecord", "PASS_STATUSES", "TRACE_SCHEMA", "flow_token",
+    "pass_fingerprint", "validate_trace",
+]

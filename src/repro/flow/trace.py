@@ -1,0 +1,152 @@
+"""Structured per-pass instrumentation for flow runs.
+
+Every pass executed by a :class:`~repro.flow.passes.PassManager` leaves
+one :class:`PassRecord` in a :class:`FlowTrace`: wall time, the
+analysis-cache hit/miss counters attributable to the pass, and
+pass-specific stats (repair rounds, BDD node counts, campaign sizes).
+Traces ride along in ``CedFlowResult.to_dict()``, ``repro.cli ced
+--trace`` output, and lab run manifests; :func:`validate_trace` is the
+schema check CI runs against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Bump when the trace document layout changes incompatibly.
+TRACE_SCHEMA = 1
+
+#: Pass outcome values.  ``ok`` means the pass body ran; ``resumed``
+#: means its outputs were restored from a checkpoint store.
+PASS_STATUSES = ("ok", "resumed")
+
+
+@dataclass
+class PassRecord:
+    """Instrumentation of one executed (or resumed) pass."""
+
+    name: str
+    status: str = "ok"
+    wall_time_s: float = 0.0
+    #: Cache activity by artifact kind, e.g.
+    #: ``{"global_bdds": {"hits": 2, "misses": 1}}``.
+    cache: dict = field(default_factory=dict)
+    #: Pass-specific counters (repair rounds, bdd_nodes, runs, ...).
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.get("hits", 0) for c in self.cache.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(c.get("misses", 0) for c in self.cache.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "wall_time_s": float(self.wall_time_s),
+            "cache": {kind: {k: int(v) for k, v in counters.items()}
+                      for kind, counters in self.cache.items()},
+            "stats": _jsonify(self.stats),
+        }
+
+
+@dataclass
+class FlowTrace:
+    """The ordered pass records of one flow run."""
+
+    passes: list = field(default_factory=list)
+
+    def add(self, record: PassRecord) -> PassRecord:
+        self.passes.append(record)
+        return record
+
+    def record(self, name: str) -> PassRecord | None:
+        for rec in self.passes:
+            if rec.name == name:
+                return rec
+        return None
+
+    @property
+    def total_wall_time_s(self) -> float:
+        return sum(rec.wall_time_s for rec in self.passes)
+
+    def cache_totals(self) -> dict:
+        """Hit/miss counters summed over every pass, by kind."""
+        totals: dict = {}
+        for rec in self.passes:
+            for kind, counters in rec.cache.items():
+                slot = totals.setdefault(kind, {"hits": 0, "misses": 0})
+                for key, value in counters.items():
+                    slot[key] = slot.get(key, 0) + int(value)
+        return totals
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": TRACE_SCHEMA,
+            "total_wall_time_s": float(self.total_wall_time_s),
+            "passes": [rec.to_dict() for rec in self.passes],
+        }
+
+
+def _jsonify(value):
+    """Coerce stats payloads to plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    try:                         # numpy scalars
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+def validate_trace(doc) -> list[str]:
+    """Validate a trace document; returns a list of problems (empty=ok)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace is {type(doc).__name__}, expected dict"]
+    if doc.get("schema") != TRACE_SCHEMA:
+        errors.append(f"trace schema is {doc.get('schema')!r}, "
+                      f"expected {TRACE_SCHEMA}")
+    passes = doc.get("passes")
+    if not isinstance(passes, list) or not passes:
+        errors.append("trace has no passes")
+        return errors
+    if not isinstance(doc.get("total_wall_time_s"), (int, float)):
+        errors.append("total_wall_time_s missing or non-numeric")
+    for i, rec in enumerate(passes):
+        where = f"passes[{i}]"
+        if not isinstance(rec, dict):
+            errors.append(f"{where} is not a dict")
+            continue
+        name = rec.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where} has no name")
+        else:
+            where = f"pass {name!r}"
+        if rec.get("status") not in PASS_STATUSES:
+            errors.append(f"{where}: bad status {rec.get('status')!r}")
+        wall = rec.get("wall_time_s")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            errors.append(f"{where}: bad wall_time_s {wall!r}")
+        cache = rec.get("cache")
+        if not isinstance(cache, dict):
+            errors.append(f"{where}: cache is not a dict")
+        else:
+            for kind, counters in cache.items():
+                if not isinstance(counters, dict) or not all(
+                        isinstance(v, int) and v >= 0
+                        for v in counters.values()):
+                    errors.append(f"{where}: bad cache entry {kind!r}")
+        if not isinstance(rec.get("stats"), dict):
+            errors.append(f"{where}: stats is not a dict")
+    return errors

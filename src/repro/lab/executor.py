@@ -461,6 +461,11 @@ class LabRunner:
             if isinstance(result.value, dict) \
                     and isinstance(result.value.get("lint"), dict):
                 entries[name]["diagnostics"] = result.value["lint"]
+            # Likewise the per-pass flow trace (wall times, cache
+            # hit/miss counters, resume status).
+            if isinstance(result.value, dict) \
+                    and isinstance(result.value.get("trace"), dict):
+                entries[name]["trace"] = result.value["trace"]
         doc = build_manifest(
             run_id=run.run_id, root_seed=graph.root_seed,
             workers=run.workers, wall_time_s=run.wall_time_s,

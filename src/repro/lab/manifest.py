@@ -16,6 +16,8 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.flow import validate_trace
+
 __all__ = ["MANIFEST_SCHEMA_VERSION", "new_run_id", "write_manifest",
            "load_manifest", "validate_manifest", "JOB_STATUSES"]
 
@@ -116,6 +118,10 @@ def validate_manifest(doc: dict[str, Any]) -> list[str]:
                                       list):
                 errors.append(f"job {name!r} diagnostics entry is not "
                               f"a lint report")
+        trace = entry.get("trace")
+        if trace is not None:
+            for problem in validate_trace(trace):
+                errors.append(f"job {name!r} trace: {problem}")
     counts = doc.get("counts")
     if isinstance(counts, dict) and isinstance(jobs, dict):
         if sum(counts.get(s, 0) for s in JOB_STATUSES) != len(jobs):

@@ -42,7 +42,8 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
                   config: "dict[str, Any] | None" = None,
                   directions: "dict[str, int] | None" = None,
                   min_approx_pct: float = 25.0,
-                  lint_level: str = "off") -> dict[str, Any]:
+                  lint_level: str = "off",
+                  checkpoint_dir: "str | None" = None) -> dict[str, Any]:
     """One complete CED flow run -> machine-readable record.
 
     ``config`` is a dict of :class:`~repro.approx.ApproxConfig`
@@ -50,6 +51,9 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
     the artifact cache).  ``lint_level`` != "off" runs the static
     verifier over the finished flow; its diagnostics land in the
     returned record (and hence in the run manifest).
+    ``checkpoint_dir`` persists per-pass checkpoints to that
+    content-addressed store, so a killed sweep re-run resumes each
+    flow after its last completed pass instead of from scratch.
     """
     net = load_circuit(circuit, table)
     cfg = ApproxConfig(**config) if config else None
@@ -59,7 +63,8 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
                         reliability_words=words, coverage_words=words,
                         seed=seed, directions=directions,
                         min_approx_pct=min_approx_pct,
-                        lint_level=lint_level)
+                        lint_level=lint_level,
+                        checkpoint_dir=checkpoint_dir)
     return flow.to_dict()
 
 

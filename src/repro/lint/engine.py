@@ -84,7 +84,8 @@ class PairContext:
                  claimed_correct: dict[str, bool] | None = None,
                  circuit: str | None = None,
                  bdd_node_budget: int = 300_000,
-                 sat_conflict_budget: int = 200_000):
+                 sat_conflict_budget: int = 200_000,
+                 ctx=None):
         self.original = original
         self.approx = approx
         self.types = types
@@ -94,6 +95,7 @@ class PairContext:
         self.circuit = circuit if circuit is not None else original.name
         self.bdd_node_budget = bdd_node_budget
         self.sat_conflict_budget = sat_conflict_budget
+        self.ctx = ctx
         self._semantics: PairSemantics | None = None
         self._proof_cache: dict[tuple[str, int], ProofResult] = {}
         #: (po, direction, proof) triples for certificate emission.
@@ -104,7 +106,8 @@ class PairContext:
             self._semantics = PairSemantics(
                 self.original, self.approx,
                 bdd_node_budget=self.bdd_node_budget,
-                sat_conflict_budget=self.sat_conflict_budget)
+                sat_conflict_budget=self.sat_conflict_budget,
+                ctx=self.ctx)
         return self._semantics
 
     def prove(self, po: str, direction: int) -> ProofResult:
@@ -146,7 +149,8 @@ def lint_pair(original: Network, approx: Network, types: dict,
               circuit: str | None = None,
               certificates: bool = False,
               bdd_node_budget: int = 300_000,
-              sat_conflict_budget: int = 200_000) -> LintReport:
+              sat_conflict_budget: int = 200_000,
+              ctx=None) -> LintReport:
     """Structural + approximation-semantics lint of a pair.
 
     ``claimed_method``/``claimed_correct`` are the synthesis run's own
@@ -158,14 +162,15 @@ def lint_pair(original: Network, approx: Network, types: dict,
     name = circuit if circuit is not None else original.name
     report = lint_network(original, circuit=name)
     report.extend(lint_network(approx, circuit=f"{name}/approx"))
-    ctx = PairContext(original, approx, types, directions,
-                      claimed_method=claimed_method,
-                      claimed_correct=claimed_correct, circuit=name,
-                      bdd_node_budget=bdd_node_budget,
-                      sat_conflict_budget=sat_conflict_budget)
-    report.diagnostics.extend(_run_scope("pair", ctx))
+    pair_ctx = PairContext(original, approx, types, directions,
+                           claimed_method=claimed_method,
+                           claimed_correct=claimed_correct, circuit=name,
+                           bdd_node_budget=bdd_node_budget,
+                           sat_conflict_budget=sat_conflict_budget,
+                           ctx=ctx)
+    report.diagnostics.extend(_run_scope("pair", pair_ctx))
     if certificates:
-        for po, direction, proof in ctx.proofs:
+        for po, direction, proof in pair_ctx.proofs:
             if proof.holds is True and not proof.stats.get("trivial"):
                 report.certificates.append(build_certificate(
                     original, approx, po, direction, proof))
@@ -190,7 +195,8 @@ def lint_assembly(assembly, circuit: str | None = None) -> LintReport:
 def lint_flow(flow, certificate_dir=None, certificates: bool = True,
               circuit: str | None = None,
               bdd_node_budget: int = 300_000,
-              sat_conflict_budget: int = 200_000) -> LintReport:
+              sat_conflict_budget: int = 200_000,
+              ctx=None) -> LintReport:
     """Full lint of a :class:`~repro.ced.flow.CedFlowResult`.
 
     Runs the pair lint on the original/approximate networks (with
@@ -202,7 +208,7 @@ def lint_flow(flow, certificate_dir=None, certificates: bool = True,
     report = lint_approx_result(
         flow.original, flow.approx_result, circuit=name,
         certificates=certificates, bdd_node_budget=bdd_node_budget,
-        sat_conflict_budget=sat_conflict_budget)
+        sat_conflict_budget=sat_conflict_budget, ctx=ctx)
     report.extend(lint_assembly(flow.assembly, circuit=name))
     if certificate_dir is not None and report.certificates:
         write_certificates(report.certificates, certificate_dir)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bdd import BddOverflowError
+from repro.flow import AnalysisContext
 from repro.network import GlobalBdds, Network, dfs_input_order
 
 
@@ -36,7 +37,8 @@ class PairSemantics:
 
     def __init__(self, original: Network, approx: Network,
                  bdd_node_budget: int = 300_000,
-                 sat_conflict_budget: int = 200_000):
+                 sat_conflict_budget: int = 200_000,
+                 ctx: AnalysisContext | None = None):
         self.original = original
         self.approx = approx
         self.sat_conflict_budget = sat_conflict_budget
@@ -44,12 +46,17 @@ class PairSemantics:
         self._bdds = None
         self._bdd_inputs: list[str] = []
         try:
-            inputs = dfs_input_order(original)
-            bdds = GlobalBdds(inputs, max_nodes=bdd_node_budget)
-            bdds.add_network(original, prefix="o_")
-            bdds.add_network(approx, prefix="a_")
+            if ctx is not None:
+                # Reuse the flow's pair manager (canonicity keeps the
+                # re-proofs identical to a from-scratch build).
+                bdds = ctx.pair_bdds(original, approx, bdd_node_budget)
+            else:
+                bdds = GlobalBdds(dfs_input_order(original),
+                                  max_nodes=bdd_node_budget)
+                bdds.add_network(original, prefix="o_")
+                bdds.add_network(approx, prefix="a_")
             self._bdds = bdds
-            self._bdd_inputs = inputs
+            self._bdd_inputs = list(bdds.inputs)
         except BddOverflowError:
             pass  # SAT takes over lazily
 

@@ -56,23 +56,63 @@ class GlobalBdds:
         for pi in network.inputs:
             if pi not in self._pi_index:
                 raise ValueError(f"network input {pi!r} not in PI space")
-        mgr = self.manager
         for name in network.topological_order():
-            node = network.nodes[name]
-            fanin_bdds = [self.functions[
-                f if f in self._pi_index else prefix + f]
-                for f in node.fanins]
-            result = mgr.zero
-            for cube in node.cover.cubes:
-                term = mgr.one
-                for i in range(cube.n):
-                    lit = cube.literal(i)
-                    if lit == "1":
-                        term = mgr.and_(term, fanin_bdds[i])
-                    elif lit == "0":
-                        term = mgr.and_(term, mgr.not_(fanin_bdds[i]))
-                result = mgr.or_(result, term)
-            self.functions[prefix + name] = result
+            self._build_node(network, name, prefix)
+
+    def _build_node(self, network: Network, name: str, prefix: str) -> None:
+        """(Re)compute one node's global function from its fanins."""
+        mgr = self.manager
+        node = network.nodes[name]
+        fanin_bdds = [self.functions[
+            f if f in self._pi_index else prefix + f]
+            for f in node.fanins]
+        result = mgr.zero
+        for cube in node.cover.cubes:
+            term = mgr.one
+            for i in range(cube.n):
+                lit = cube.literal(i)
+                if lit == "1":
+                    term = mgr.and_(term, fanin_bdds[i])
+                elif lit == "0":
+                    term = mgr.and_(term, mgr.not_(fanin_bdds[i]))
+            result = mgr.or_(result, term)
+        self.functions[prefix + name] = result
+
+    def update_network(self, network: Network, prefix: str = "",
+                       changed: "frozenset[str] | set[str]" = frozenset(),
+                       ) -> int:
+        """Incrementally refresh functions after a cone-scoped mutation.
+
+        ``changed`` are the signal names whose local cover or fanin list
+        changed since :meth:`add_network` (or the last update) ran for
+        this ``prefix``.  Only the changed nodes and their transitive
+        fanout are recomputed; BDD canonicity guarantees the refreshed
+        functions are identical to a from-scratch rebuild.  Functions of
+        deleted signals are dropped.  Returns the number of node
+        functions recomputed.
+        """
+        fanouts = network.fanouts()
+        dirty: set[str] = set()
+        stack = [s for s in changed if s not in self._pi_index]
+        while stack:
+            name = stack.pop()
+            if name in dirty:
+                continue
+            dirty.add(name)
+            stack.extend(fanouts.get(name, ()))
+        # Drop functions of signals that no longer exist (deleted nodes
+        # and anything stale under this prefix that the network lost).
+        for name in dirty:
+            if name not in network.nodes:
+                self.functions.pop(prefix + name, None)
+        rebuilt = 0
+        order = network.topological_order()
+        todo = dirty & set(order)
+        for name in order:
+            if name in todo:
+                self._build_node(network, name, prefix)
+                rebuilt += 1
+        return rebuilt
 
     def function(self, signal: str) -> int:
         return self.functions[signal]

@@ -14,6 +14,11 @@ from repro.cubes import Cover
 
 from .node import Node
 
+#: Mutations remembered for cone-scoped cache invalidation.  Once the
+#: log overflows, :meth:`Network.changed_signals` answers ``None``
+#: (unknown) and callers fall back to a full rebuild.
+MUTATION_LOG_CAP = 512
+
 
 class NetworkError(ValueError):
     """Structural problem in a network (cycles, missing signals, ...)."""
@@ -34,13 +39,57 @@ class Network:
         self.outputs: list[str] = []
         self.nodes: dict[str, Node] = {}
         self._topo_cache: list[str] | None = None
+        self._version: int = 0
+        #: (version-after-mutation, touched signal names or None) pairs
+        #: covering versions (_log_start, _version]; None = global change.
+        self._mutation_log: list[tuple[int, frozenset[str] | None]] = []
+        self._log_start: int = 0
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _invalidate(self) -> None:
-        """Drop cached derived state after any structural mutation."""
+    def _invalidate(self, touched: Iterable[str] | None = None) -> None:
+        """Drop cached derived state after any structural mutation.
+
+        Bumps the monotonic mutation :attr:`version` that derived-state
+        caches (compiled simulators, global BDDs, analysis contexts) key
+        on, and logs ``touched`` — the signal names whose local function
+        or fanin list changed — so cone-scoped caches can invalidate
+        only the affected fanout cones.  ``touched=None`` means a global
+        change (input/output lists, unknown scope).
+        """
         self._topo_cache = None
+        self._version += 1
+        entry = None if touched is None else frozenset(touched)
+        self._mutation_log.append((self._version, entry))
+        if len(self._mutation_log) > MUTATION_LOG_CAP:
+            dropped_version, _ = self._mutation_log.pop(0)
+            self._log_start = dropped_version
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every structural change."""
+        return self._version
+
+    def changed_signals(self, since_version: int) -> frozenset[str] | None:
+        """Signals touched since ``since_version``, or ``None`` if unknown.
+
+        ``None`` means a global change happened (or the mutation log no
+        longer reaches back that far) and every derived artifact must be
+        rebuilt.  An empty set means nothing changed.
+        """
+        if since_version >= self._version:
+            return frozenset()
+        if since_version < self._log_start:
+            return None
+        touched: set[str] = set()
+        for version, entry in self._mutation_log:
+            if version <= since_version:
+                continue
+            if entry is None:
+                return None
+            touched.update(entry)
+        return frozenset(touched)
 
     def add_input(self, name: str) -> str:
         if name in self.nodes or name in self.inputs:
@@ -58,7 +107,7 @@ class Network:
                     f"node {name!r}: fanin {fanin!r} not defined yet "
                     "(add nodes in topological order)")
         self.nodes[name] = Node(name, fanins, cover)
-        self._invalidate()
+        self._invalidate(touched=(name,))
         return name
 
     def add_const(self, name: str, value: bool) -> str:
@@ -80,6 +129,7 @@ class Network:
             raise NetworkError(
                 f"replacement cover for {name!r} has wrong variable count")
         node.cover = cover
+        self._invalidate(touched=(name,))
 
     def replace_node(self, name: str, fanins: list[str],
                      cover: Cover) -> None:
@@ -91,12 +141,12 @@ class Network:
                 raise NetworkError(f"fanin {fanin!r} not defined")
         old = self.nodes[name]
         self.nodes[name] = Node(name, fanins, cover)
-        self._invalidate()
+        self._invalidate(touched=(name,))
         try:
             self.topological_order()
         except NetworkError:
             self.nodes[name] = old
-            self._invalidate()
+            self._invalidate(touched=(name,))
             raise
 
     def remove_node(self, name: str) -> None:
@@ -106,7 +156,7 @@ class Network:
             if other.name != name and name in other.fanins:
                 raise NetworkError(f"node {name!r} still has fanouts")
         del self.nodes[name]
-        self._invalidate()
+        self._invalidate(touched=(name,))
 
     # ------------------------------------------------------------------
     # Queries

@@ -24,7 +24,7 @@ def sweep(network: Network) -> int:
     for name in dead:
         del network.nodes[name]
     if dead:
-        network._topo_cache = None
+        network._invalidate(touched=dead)
     return len(dead)
 
 
@@ -42,7 +42,7 @@ def propagate_constants(network: Network) -> int:
             # Rebuild as a fanin-free constant so fanouts can fold it.
             network.nodes[name] = type(node)(
                 name, [], Cover.one(0) if value else Cover.zero(0))
-            network._topo_cache = None
+            network._invalidate(touched=(name,))
             changed = True
         for name in list(network.topological_order()):
             node = network.nodes[name]
@@ -59,7 +59,7 @@ def propagate_constants(network: Network) -> int:
                 cover = _restrict_cover(cover, index, bool(value))
                 fanins.pop(index)
             network.nodes[name] = type(node)(name, fanins, cover)
-            network._topo_cache = None
+            network._invalidate(touched=(name,))
             folded += 1
             changed = True
     return folded
@@ -122,7 +122,7 @@ def eliminate(network: Network, max_support: int = 10,
             network.nodes[reader.name] = type(reader)(
                 reader.name, fanins, cover)
             del network.nodes[name]
-            network._topo_cache = None
+            network._invalidate(touched=(reader.name, name))
             dirty.add(reader.name)
             dirty.update(fanins)
             eliminated += 1
@@ -213,7 +213,7 @@ def trim_unread_fanins(network: Network) -> int:
         fanins = [node.fanins[i] for i in keep]
         network.nodes[name] = type(node)(name, fanins,
                                          Cover(len(keep), cubes))
-        network._topo_cache = None
+        network._invalidate(touched=(name,))
     return trimmed
 
 
@@ -243,13 +243,16 @@ def strash(network: Network) -> int:
         if replace:
             changed = True
             merged += len(replace)
+            touched = set(replace)
             for node in network.nodes.values():
+                if any(f in replace for f in node.fanins):
+                    touched.add(node.name)
                 node.fanins = [replace.get(f, f) for f in node.fanins]
                 _dedup_fanins(node)
             network.outputs = [replace.get(o, o) for o in network.outputs]
             for name in replace:
                 del network.nodes[name]
-            network._topo_cache = None
+            network._invalidate(touched=touched)
     return merged
 
 

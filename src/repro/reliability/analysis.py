@@ -41,7 +41,8 @@ class ReliabilityReport:
 
 def analyze_reliability(circuit, n_words: int = 8, seed: int = 2008,
                         faults=None,
-                        vector_mode: str = "shared") -> ReliabilityReport:
+                        vector_mode: str = "shared",
+                        ctx=None) -> ReliabilityReport:
     """Monte Carlo reliability analysis of a (mapped) circuit.
 
     Injects every single stuck-at fault against random vectors, tallies
@@ -59,7 +60,7 @@ def analyze_reliability(circuit, n_words: int = 8, seed: int = 2008,
                       for po, direction in directions.items()}
     max_cov = max_ced_coverage(circuit, approximations, n_words=n_words,
                                seed=seed + 1, faults=faults,
-                               vector_mode=vector_mode)
+                               vector_mode=vector_mode, ctx=ctx)
     return ReliabilityReport(
         per_output=report.per_output,
         directions=directions,
@@ -71,7 +72,8 @@ def analyze_reliability(circuit, n_words: int = 8, seed: int = 2008,
 
 def max_ced_coverage(circuit, approximations: dict[str, int],
                      n_words: int = 8, seed: int = 2008,
-                     faults=None, vector_mode: str = "shared") -> float:
+                     faults=None, vector_mode: str = "shared",
+                     ctx=None) -> float:
     """Coverage upper bound for direction-protecting CED.
 
     A run with an erroneous output is *detectable* when at least one
@@ -79,7 +81,8 @@ def max_ced_coverage(circuit, approximations: dict[str, int],
     0-approximation, 1->0 under a 1-approximation); with a perfect
     (100%) approximation those are exactly the detected runs.
     """
-    sim = get_simulator(circuit)
+    sim = (ctx.simulator if ctx is not None
+           else get_simulator)(circuit)
     if faults is None:
         faults = fault_list(circuit)
     rng = np.random.default_rng(seed)

@@ -2,7 +2,8 @@
 
 from .simulator import (WORD_BITS, BitSimulator, bit_count,
                         clear_simulator_cache, exhaustive_inputs,
-                        get_simulator, popcount, signal_probabilities)
+                        get_simulator, popcount, signal_probabilities,
+                        simulator_cache_stats)
 from .faults import Fault, fault_list
 from .faultsim import (DEFAULT_BATCH, FaultSimReport, OutputErrorStats,
                        batched, run_campaign)
@@ -15,6 +16,7 @@ __all__ = [
     "OutputErrorStats", "WORD_BITS", "batched", "bit_count",
     "clear_simulator_cache", "exhaustive_inputs", "fault_list",
     "get_simulator", "popcount", "power_overhead",
+    "simulator_cache_stats",
     "run_campaign", "run_transition_fault", "signal_probabilities",
     "switching_activity", "TransitionFault", "transition_fault_list",
     "late_value",

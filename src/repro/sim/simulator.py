@@ -420,13 +420,26 @@ class BitSimulator:
 _SIM_CACHE: "weakref.WeakKeyDictionary[object, tuple[tuple, BitSimulator]]"
 _SIM_CACHE = weakref.WeakKeyDictionary()
 
+#: Running hit/miss counters for :func:`get_simulator`, surfaced through
+#: flow traces.  ``uncacheable`` counts circuits that cannot be weakly
+#: referenced and are recompiled on every call.
+_SIM_CACHE_STATS = {"hits": 0, "misses": 0, "uncacheable": 0}
+
 
 def _cache_fingerprint(circuit) -> tuple:
-    """Cheap structural fingerprint to catch post-compile mutation."""
+    """Version + structural fingerprint to catch post-compile mutation.
+
+    Both ``Network`` and ``MappedNetlist`` expose a monotonic mutation
+    ``version``, so in-place rewrites that keep the gate/IO counts
+    unchanged still invalidate the entry.  The size counts stay in the
+    key as a belt-and-braces check for foreign circuit objects that
+    happen to expose a ``version`` attribute with other semantics.
+    """
+    version = getattr(circuit, "version", None)
     if isinstance(circuit, MappedNetlist):
-        return (len(circuit.gates), len(circuit.inputs),
+        return (version, len(circuit.gates), len(circuit.inputs),
                 len(circuit.outputs))
-    return (len(circuit.nodes), len(circuit.inputs),
+    return (version, len(circuit.nodes), len(circuit.inputs),
             len(circuit.outputs))
 
 
@@ -435,26 +448,34 @@ def get_simulator(circuit) -> BitSimulator:
 
     Every flow stage (reliability, coverage, power, masking,
     observability) simulates the same few circuits; compiling the tape
-    once per circuit object amortizes setup across the whole flow.  A
-    structural fingerprint (gate/IO counts) invalidates the entry when
-    the circuit grows or shrinks after compilation; callers that mutate
-    a circuit in place without changing its size must call
-    :func:`clear_simulator_cache`.
+    once per circuit object amortizes setup across the whole flow.
+    Entries are keyed on the circuit's mutation :attr:`version` (plus
+    gate/IO counts), so any structural mutation — including in-place
+    cover rewrites that keep the size unchanged — recompiles the tape
+    on the next lookup.
     """
     try:
         entry = _SIM_CACHE.get(circuit)
     except TypeError:            # unhashable / non-weakref-able object
+        _SIM_CACHE_STATS["uncacheable"] += 1
         return BitSimulator(circuit)
     fingerprint = _cache_fingerprint(circuit)
     if entry is not None and entry[0] == fingerprint:
+        _SIM_CACHE_STATS["hits"] += 1
         return entry[1]
+    _SIM_CACHE_STATS["misses"] += 1
     sim = BitSimulator(circuit)
     _SIM_CACHE[circuit] = (fingerprint, sim)
     return sim
 
 
+def simulator_cache_stats() -> dict[str, int]:
+    """A snapshot of the :func:`get_simulator` hit/miss counters."""
+    return dict(_SIM_CACHE_STATS)
+
+
 def clear_simulator_cache() -> None:
-    """Drop all cached compiled simulators."""
+    """Drop all cached compiled simulators (counters are kept)."""
     _SIM_CACHE.clear()
 
 

@@ -46,6 +46,16 @@ class MappedNetlist:
         self.po_signals: dict[str, str] = {}
         self.outputs: list[str] = []  # logical output names, ordered
         self._topo_cache: list[str] | None = None
+        self._version: int = 0
+
+    def _invalidate(self) -> None:
+        self._topo_cache = None
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every structural change."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -54,7 +64,7 @@ class MappedNetlist:
         if self.signal_exists(name):
             raise NetworkError(f"signal {name!r} already defined")
         self.inputs.append(name)
-        self._topo_cache = None
+        self._invalidate()
         return name
 
     def add_gate(self, name: str, cell: str, fanins: list[str]) -> str:
@@ -64,7 +74,7 @@ class MappedNetlist:
             if not self.signal_exists(fanin):
                 raise NetworkError(f"gate {name!r}: unknown fanin {fanin!r}")
         self.gates[name] = MappedGate(name, self.library.get(cell), fanins)
-        self._topo_cache = None
+        self._invalidate()
         return name
 
     def fresh_name(self, stem: str) -> str:
@@ -82,6 +92,7 @@ class MappedNetlist:
         if po_name not in self.po_signals:
             self.outputs.append(po_name)
         self.po_signals[po_name] = signal
+        self._invalidate()
 
     def signal_exists(self, name: str) -> bool:
         return name in self.gates or name in self.inputs
@@ -154,7 +165,7 @@ class MappedNetlist:
         for name in dead:
             del self.gates[name]
         if dead:
-            self._topo_cache = None
+            self._invalidate()
         return len(dead)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,100 @@
+"""CED flow as a pass pipeline: trace schema, bit-identity of the
+shared AnalysisContext, and checkpointed resume."""
+
+import pytest
+
+from repro.bench import tiny_benchmark
+from repro.ced import run_ced_flow
+from repro.flow import AnalysisContext, validate_trace
+
+PASS_NAMES = ("map-original", "reliability", "synthesize",
+              "map-approx", "assemble", "coverage", "metrics")
+
+
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return run_ced_flow(tiny_benchmark(seed=31))
+
+    def test_trace_present_and_valid(self, flow):
+        doc = flow.to_dict()["trace"]
+        assert validate_trace(doc) == []
+
+    def test_expected_passes_in_order(self, flow):
+        names = [r.name for r in flow.trace.passes]
+        assert tuple(names[:len(PASS_NAMES)]) == PASS_NAMES
+
+    def test_cache_sharing_shows_up_in_trace(self, flow):
+        # Downstream stages must reuse the pair BDDs, not rebuild them.
+        totals = flow.trace.cache_totals()
+        assert totals.get("global_bdds", {}).get("hits", 0) > 0
+
+
+def test_context_is_bit_identical_to_uncached():
+    net = tiny_benchmark(seed=42)
+    cached = run_ced_flow(net.copy(), ctx=AnalysisContext(enabled=True))
+    fresh = run_ced_flow(net.copy(), ctx=AnalysisContext(enabled=False))
+    assert cached.summary() == fresh.summary()
+    for field in ("types", "output_approximations", "correctness",
+                  "repair_rounds", "repaired_nodes", "dropped_cubes"):
+        assert getattr(cached.approx_result, field) == \
+            getattr(fresh.approx_result, field)
+    from repro.network.blif import write_blif
+    assert write_blif(cached.approx_result.approx) == \
+        write_blif(fresh.approx_result.approx)
+
+
+def test_lint_rides_the_shared_context():
+    net = tiny_benchmark(seed=42)
+    ctx = AnalysisContext()
+    flow = run_ced_flow(net, ctx=ctx, lint_level="warn")
+    assert flow.lint is not None
+    lint = flow.trace.record("lint")
+    assert lint is not None
+    assert lint.cache.get("global_bdds", {}).get("hits", 0) > 0
+
+
+class TestCheckpointResume:
+    def test_warm_rerun_resumes_every_pass(self, tmp_path):
+        net = tiny_benchmark(seed=31)
+        cold = run_ced_flow(net.copy(), checkpoint_dir=tmp_path)
+        warm = run_ced_flow(net.copy(), checkpoint_dir=tmp_path)
+        assert all(r.status == "ok" for r in cold.trace.passes
+                   if r.name in PASS_NAMES)
+        statuses = {r.name: r.status for r in warm.trace.passes}
+        assert all(statuses[n] == "resumed" for n in PASS_NAMES)
+        assert warm.summary() == cold.summary()
+
+    def test_killed_flow_resumes_mid_pipeline(self, tmp_path, monkeypatch):
+        # Kill the flow inside the coverage pass; the re-run must
+        # restore everything up to the kill point from the store.
+        import repro.ced.flow as flow_mod
+
+        net = tiny_benchmark(seed=31)
+        real = flow_mod.evaluate_ced
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(flow_mod, "evaluate_ced", boom)
+        with pytest.raises(KeyboardInterrupt):
+            run_ced_flow(net.copy(), checkpoint_dir=tmp_path)
+        monkeypatch.setattr(flow_mod, "evaluate_ced", real)
+
+        resumed = run_ced_flow(net.copy(), checkpoint_dir=tmp_path)
+        statuses = {r.name: r.status for r in resumed.trace.passes}
+        for name in ("map-original", "reliability", "synthesize",
+                     "map-approx", "assemble"):
+            assert statuses[name] == "resumed"
+        assert statuses["coverage"] == "ok"
+        # Result matches a never-killed run end to end.
+        reference = run_ced_flow(tiny_benchmark(seed=31))
+        assert resumed.summary() == reference.summary()
+
+    def test_different_params_do_not_share_checkpoints(self, tmp_path):
+        net = tiny_benchmark(seed=31)
+        run_ced_flow(net.copy(), checkpoint_dir=tmp_path)
+        other = run_ced_flow(net.copy(), checkpoint_dir=tmp_path,
+                             coverage_words=8)
+        statuses = {r.name: r.status for r in other.trace.passes}
+        assert statuses["coverage"] == "ok"

@@ -1,0 +1,89 @@
+"""FlowTrace/PassRecord serialization and the validate_trace schema."""
+
+from repro.flow import FlowTrace, PassRecord, validate_trace
+from repro.flow.trace import TRACE_SCHEMA
+
+
+def _trace() -> FlowTrace:
+    trace = FlowTrace()
+    trace.add(PassRecord(
+        name="map-original", wall_time_s=0.25,
+        cache={"global_bdds": {"hits": 2, "misses": 1}},
+        stats={"gates": 50}))
+    trace.add(PassRecord(name="metrics", status="resumed",
+                         cache={"checkpoint": {"hits": 1, "misses": 0}}))
+    return trace
+
+
+def test_round_trip_is_valid():
+    doc = _trace().to_dict()
+    assert validate_trace(doc) == []
+    assert doc["schema"] == TRACE_SCHEMA
+    assert doc["total_wall_time_s"] == 0.25
+    assert [p["name"] for p in doc["passes"]] == \
+        ["map-original", "metrics"]
+
+
+def test_cache_totals_and_hit_properties():
+    trace = _trace()
+    assert trace.cache_totals() == {
+        "global_bdds": {"hits": 2, "misses": 1},
+        "checkpoint": {"hits": 1, "misses": 0}}
+    rec = trace.record("map-original")
+    assert rec.cache_hits == 2
+    assert rec.cache_misses == 1
+    assert trace.record("nonexistent") is None
+
+
+def test_stats_are_jsonified():
+    import numpy as np
+    rec = PassRecord(name="p", stats={
+        "count": np.int64(3), "ratio": np.float64(0.5),
+        "nested": {"vals": (1, 2)}, "flag": True, "none": None})
+    stats = rec.to_dict()["stats"]
+    assert stats == {"count": 3, "ratio": 0.5,
+                     "nested": {"vals": [1, 2]},
+                     "flag": True, "none": None}
+    assert type(stats["count"]) is int
+    assert type(stats["ratio"]) is float
+
+
+def test_non_dict_document_rejected():
+    assert validate_trace([1, 2]) != []
+    assert validate_trace(None) != []
+
+
+def test_wrong_schema_version_rejected():
+    doc = _trace().to_dict()
+    doc["schema"] = TRACE_SCHEMA + 1
+    assert any("schema" in e for e in validate_trace(doc))
+
+
+def test_empty_passes_rejected():
+    doc = _trace().to_dict()
+    doc["passes"] = []
+    assert any("no passes" in e for e in validate_trace(doc))
+
+
+def test_bad_status_rejected():
+    doc = _trace().to_dict()
+    doc["passes"][0]["status"] = "skipped"
+    assert any("bad status" in e for e in validate_trace(doc))
+
+
+def test_negative_wall_time_rejected():
+    doc = _trace().to_dict()
+    doc["passes"][0]["wall_time_s"] = -1.0
+    assert any("wall_time_s" in e for e in validate_trace(doc))
+
+
+def test_non_integer_cache_counter_rejected():
+    doc = _trace().to_dict()
+    doc["passes"][0]["cache"]["global_bdds"]["hits"] = "two"
+    assert any("cache entry" in e for e in validate_trace(doc))
+
+
+def test_nameless_pass_rejected():
+    doc = _trace().to_dict()
+    doc["passes"][1]["name"] = ""
+    assert any("no name" in e for e in validate_trace(doc))

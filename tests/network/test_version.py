@@ -1,0 +1,178 @@
+"""Mutation-version tests: every structural mutator bumps ``version``
+and ``changed_signals`` reports sound (never stale) cone information."""
+
+from repro.cubes import Cover, Cube
+from repro.network import Network
+from repro.network.network import MUTATION_LOG_CAP
+from repro.network.transform import (eliminate, propagate_constants,
+                                     strash, sweep, trim_unread_fanins)
+from repro.synth import QUICK_SCRIPT
+
+
+def _and2() -> Cover:
+    return Cover(2, [Cube.from_string("11")])
+
+
+def _or2() -> Cover:
+    return Cover(2, [Cube.from_string("1-"), Cube.from_string("-1")])
+
+
+def _buf() -> Cover:
+    return Cover(1, [Cube.from_string("1")])
+
+
+def _net() -> Network:
+    net = Network("v")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("n1", ["a", "b"], _and2())
+    net.add_node("n2", ["n1"], _buf())
+    net.add_output("n2")
+    return net
+
+
+# ----------------------------------------------------------------------
+# Every structural mutator bumps the version
+# ----------------------------------------------------------------------
+def test_add_input_bumps_version():
+    net = _net()
+    v = net.version
+    net.add_input("c")
+    assert net.version > v
+
+
+def test_add_output_bumps_version():
+    net = _net()
+    v = net.version
+    net.add_output("n1")
+    assert net.version > v
+
+
+def test_add_node_bumps_version():
+    net = _net()
+    v = net.version
+    net.add_node("n3", ["a"], _buf())
+    assert net.version > v
+
+
+def test_replace_cover_bumps_version():
+    net = _net()
+    v = net.version
+    net.replace_cover("n1", _or2())
+    assert net.version > v
+
+
+def test_replace_node_bumps_version():
+    net = _net()
+    v = net.version
+    net.replace_node("n2", ["a"], _buf())
+    assert net.version > v
+
+
+def test_remove_node_bumps_version():
+    net = _net()
+    net.add_node("dead", ["a"], _buf())
+    v = net.version
+    net.remove_node("dead")
+    assert net.version > v
+
+
+def test_transform_mutators_bump_version():
+    # Each in-place transform that changes the network must be visible
+    # through the version, or downstream caches would serve stale data.
+    net = _net()
+    net.add_node("dead", ["a"], _buf())
+    v = net.version
+    assert sweep(net) == 1
+    assert net.version > v
+
+    net = _net()
+    net.add_input("c")
+    net.add_node("k0", ["c"], Cover(1, []))        # constant 0
+    net.add_node("n3", ["n1", "k0"], _or2())
+    net.add_output("n3")
+    v = net.version
+    assert propagate_constants(net) > 0
+    assert net.version > v
+
+    net = _net()
+    v = net.version
+    # n1 has a single reader (the buffer n2) and is not an output:
+    # eliminate collapses it, so the version must move.
+    assert eliminate(net) > 0
+    assert net.version > v
+
+    net = _net()
+    # Duplicate structure for strash to merge.
+    net.add_node("n1b", ["a", "b"], _and2())
+    net.add_node("n2b", ["n1b"], _buf())
+    net.add_output("n2b")
+    v = net.version
+    assert strash(net) > 0
+    assert net.version > v
+
+
+def test_trim_unread_fanins_bumps_version():
+    net = Network("t")
+    net.add_input("a")
+    net.add_input("b")
+    # n reads b but its cover never uses column 1.
+    net.add_node("n", ["a", "b"], Cover(2, [Cube.from_string("1-")]))
+    net.add_output("n")
+    v = net.version
+    assert trim_unread_fanins(net) == 1
+    assert net.version > v
+
+
+def test_mapped_netlist_mutators_bump_version():
+    netlist = QUICK_SCRIPT.run(_net())
+    v = netlist.version
+    netlist.add_input("extra")
+    assert netlist.version > v
+    v = netlist.version
+    netlist.add_gate("g_extra", "INV", ["extra"])
+    assert netlist.version > v
+    v = netlist.version
+    netlist.sweep()
+    assert netlist.version > v
+
+
+# ----------------------------------------------------------------------
+# changed_signals semantics
+# ----------------------------------------------------------------------
+def test_changed_signals_up_to_date_is_empty():
+    net = _net()
+    assert net.changed_signals(net.version) == frozenset()
+
+
+def test_changed_signals_accumulates_touched_names():
+    net = _net()
+    since = net.version
+    net.replace_cover("n1", _or2())
+    net.replace_node("n2", ["a"], _buf())
+    changed = net.changed_signals(since)
+    assert changed == frozenset({"n1", "n2"})
+
+
+def test_changed_signals_none_after_global_invalidate():
+    net = _net()
+    since = net.version
+    net.add_input("c")            # global (no touched set recorded)
+    assert net.changed_signals(since) is None
+
+
+def test_changed_signals_none_when_log_truncated():
+    net = _net()
+    since = net.version
+    for i in range(MUTATION_LOG_CAP + 8):
+        cover = _or2() if i % 2 else _and2()
+        net.replace_cover("n1", cover)
+    # The log no longer reaches back to `since`: the only sound answer
+    # is "unknown", never a partial (stale) set.
+    assert net.changed_signals(since) is None
+
+
+def test_changed_signals_at_or_past_current_is_empty():
+    net = _net()
+    assert net.changed_signals(net.version) == frozenset()
+    assert net.changed_signals(net.version + 5) == frozenset()
