@@ -15,18 +15,31 @@ Pipeline:
 Exact selection at a source provably restores correctness (the paper's
 theorem), so the loop terminates; a round bound with a restore-exact
 fallback guards the simulation-checked path.
+
+Under a :class:`repro.guard.Budget`, the whole check runs as a
+*degradation ladder* (DESIGN.md §12): global BDDs first, incremental
+SAT when the BDDs overflow their capped budget, and — when SAT's
+conflict budget or the deadline runs out too — a last-resort rebuild
+using only exact per-node conformance selection, which is correct by
+construction (the paper's implication theorem) and needs no checking
+engine at all.  Each rung is recorded in the budget's
+:class:`~repro.guard.BudgetReport`; with no budget, every code path is
+bit-identical to the ungoverned flow.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.bdd import BddOverflowError
 from repro.cubes import Cover, minimize
+from repro.guard import Budget, DeadlineExceeded
 from repro.network import (Network, eliminate, propagate_constants,
                            strash, sweep, trim_unread_fanins)
+from repro.sat.solver import SatBudgetExhausted, require_decided
 from repro.sim import get_simulator
 
 from repro.flow import AnalysisContext
@@ -63,7 +76,8 @@ class ApproxResult:
 def synthesize_approximation(network: Network,
                              output_approximations: dict[str, int],
                              config: ApproxConfig | None = None,
-                             ctx: AnalysisContext | None = None
+                             ctx: AnalysisContext | None = None,
+                             budget: Budget | None = None
                              ) -> ApproxResult:
     """Synthesize an approximate logic circuit for ``network``.
 
@@ -75,9 +89,18 @@ def synthesize_approximation(network: Network,
     ``ctx`` shares analysis state (global BDDs, probabilities) across
     calls and flow stages; results are bit-identical with or without it
     (BDD canonicity — see :mod:`repro.flow.analysis`).
+
+    ``budget`` enables resource governance: the correctness check runs
+    as a degradation ladder (BDD -> SAT -> conformance-only rebuild)
+    instead of letting an engine exhaust raise, with every rung
+    recorded in ``budget.report``.  With ``budget=None`` (the default)
+    behavior is bit-identical to the ungoverned algorithm.
     """
     config = config or ApproxConfig()
     ctx = ctx if ctx is not None else AnalysisContext()
+    if budget is not None:
+        budget.start()
+        ctx.guard = budget
     probs = ctx.probabilities(network, n_words=config.prob_words,
                               seed=config.seed)
     types = assign_types(network, output_approximations, config, probs)
@@ -85,53 +108,78 @@ def synthesize_approximation(network: Network,
     approx = network.copy("approx")
     dropped = _reduce_all_sops(approx, types, probs, config)
 
-    checker = _make_checker(network, approx, output_approximations,
-                            types, config, ctx)
     repaired: dict[str, str] = {}
     repair_stage: dict[str, int] = {}
     restored: list[str] = []
     rounds = 0
-    while rounds < config.max_repair_rounds:
-        incorrect = [po for po in network.outputs
-                     if not checker.po_correct(po)]
-        if not incorrect:
-            break
-        rounds += 1
-        sources = _find_sources(network, checker, incorrect)
-        if not sources:
-            # POs disagree but no internal source is isolatable (can
-            # happen under statistical checking): restore the cones.
-            for po in incorrect:
-                _restore_cone(network, approx, po)
-                restored.append(po)
+    try:
+        if budget is not None:
+            budget.check_deadline("synthesize entry")
+        checker = _make_checker(network, approx, output_approximations,
+                                types, config, ctx, budget)
+        max_rounds = config.max_repair_rounds if budget is None \
+            else budget.repair_cap(config.max_repair_rounds)
+        while rounds < max_rounds:
+            if budget is not None:
+                budget.check_deadline("repair round")
+            incorrect = [po for po in network.outputs
+                         if not checker.po_correct(po)]
+            if not incorrect:
+                break
+            rounds += 1
+            sources = _find_sources(network, checker, incorrect)
+            if not sources:
+                # POs disagree but no internal source is isolatable (can
+                # happen under statistical checking): restore the cones.
+                for po in incorrect:
+                    _restore_cone(network, approx, po)
+                    restored.append(po)
+                checker = _safe_refresh(checker, network, approx,
+                                        output_approximations, types,
+                                        config, budget)
+                continue
+            for name in sources:
+                stage = repair_stage.get(name, 0)
+                action = _repair_node(network, approx, types, name,
+                                      stage, config)
+                repaired[name] = action
+                repair_stage[name] = stage + 1
             checker = _safe_refresh(checker, network, approx,
-                                    output_approximations, types, config)
-            continue
-        for name in sources:
-            stage = repair_stage.get(name, 0)
-            action = _repair_node(network, approx, types, name, stage,
-                                  config)
-            repaired[name] = action
-            repair_stage[name] = stage + 1
-        checker = _safe_refresh(checker, network, approx,
-                                output_approximations, types, config)
-    else:
-        # Round budget exhausted: make the remaining outputs exact.
-        for po in network.outputs:
-            if not checker.po_correct(po):
-                _restore_cone(network, approx, po)
-                restored.append(po)
-        checker = _safe_refresh(checker, network, approx,
-                                output_approximations, types, config)
+                                    output_approximations, types,
+                                    config, budget)
+        else:
+            # Round budget exhausted: make the remaining outputs exact.
+            for po in network.outputs:
+                if not checker.po_correct(po):
+                    _restore_cone(network, approx, po)
+                    restored.append(po)
+            checker = _safe_refresh(checker, network, approx,
+                                    output_approximations, types,
+                                    config, budget)
 
-    correctness = {po: checker.po_correct(po) for po in network.outputs}
-    _resynthesize(approx)
+        correctness = {po: checker.po_correct(po)
+                       for po in network.outputs}
+        check_method = checker.method
+    except (BddOverflowError, SatBudgetExhausted,
+            DeadlineExceeded) as exc:
+        if budget is None:
+            raise
+        # Last rung of the degradation ladder: rebuild from the
+        # original applying only exact per-node conformance selection —
+        # correct by construction (the paper's implication theorem), so
+        # no checking engine is needed.  Partial repairs are discarded.
+        _record_engine_failure(budget, exc)
+        approx, dropped = _conformance_fallback(network, types, probs,
+                                                config, budget)
+        correctness = {po: True for po in network.outputs}
+        check_method = "conformance"
+    _resynthesize(approx, budget)
     result = ApproxResult(
         approx=approx,
         types=types,
         output_approximations=dict(output_approximations),
         correctness=correctness,
-        check_method=checker.method,
+        check_method=check_method,
         repair_rounds=rounds,
         repaired_nodes=repaired,
         dropped_cubes=dropped,
@@ -145,26 +193,75 @@ def synthesize_approximation(network: Network,
     return result
 
 
-def _resynthesize(approx: Network) -> None:
+def _resynthesize(approx: Network, budget: Budget | None = None) -> None:
     """Function-preserving cleanup of the approximate network.
 
     Cube selection leaves constants, unread fanins, single-fanout
     chains, and redundant SOPs behind; re-optimizing them is where much
     of the paper's area saving comes from (their flow hands the
     approximate network back to the synthesis tool).
+
+    An expired ``budget`` deadline truncates the per-node minimization
+    and skips the eliminate sweep: both are optimizations, so the
+    result stays functionally identical, just less compact.
     """
+    governed = budget is not None
+    if governed and budget.expired:
+        budget.report.skip("resynthesize", "deadline expired")
     propagate_constants(approx)
     trim_unread_fanins(approx)
     sweep(approx)
     for name in approx.topological_order():
         node = approx.nodes[name]
         if node.fanins:
-            approx.replace_cover(name, minimize(node.cover))
+            approx.replace_cover(
+                name, minimize(node.cover, budget=budget))
     trim_unread_fanins(approx)
-    eliminate(approx, max_support=8, max_cubes=12)
+    if not (governed and budget.expired):
+        eliminate(approx, max_support=8, max_cubes=12)
     propagate_constants(approx)
     strash(approx)
     sweep(approx)
+
+
+def _conformance_fallback(network: Network, types: dict[str, NodeType],
+                          probs: dict[str, float], config: ApproxConfig,
+                          budget: Budget) -> tuple[Network, int]:
+    """The ladder's last rung: conformance-only re-synthesis.
+
+    Rebuilds the approximation from the original, reducing ZERO/ONE
+    nodes with exact conformance selection only and keeping EX/DC nodes
+    exact.  By the paper's implication theorem every node (hence every
+    PO) is then a correct approximation of its type by construction —
+    no BDD, SAT, or simulation check is required, so this rung cannot
+    itself exhaust an engine.
+    """
+    fallback = dataclasses.replace(config, stage1="conformance",
+                                   collapse_dc=False,
+                                   reduce_ex_nodes=False)
+    approx = network.copy("approx")
+    dropped = _reduce_all_sops(approx, types, probs, fallback)
+    budget.report.rung("conformance", "selected")
+    return approx, dropped
+
+
+def _record_engine_failure(budget: Budget, exc: Exception) -> None:
+    """Record why the checking engine gave up, without duplicating the
+    ladder events already written at the failure site."""
+    report = budget.report
+    if isinstance(exc, BddOverflowError):
+        resource, event = "bdd_nodes", ("bdd", "overflow")
+    elif isinstance(exc, SatBudgetExhausted):
+        resource, event = "sat_conflicts", ("sat", "exhausted")
+    else:
+        resource, event = "deadline", None
+        if report.engine is not None:
+            event = (report.engine, "deadline")
+    report.exhaust(resource, message=str(exc))
+    if event is not None:
+        last = report.ladder[-1] if report.ladder else None
+        if last is None or (last["engine"], last["outcome"]) != event:
+            report.rung(*event)
 
 
 # ----------------------------------------------------------------------
@@ -399,8 +496,12 @@ class _SatChecker(_Checker):
 
     method = "sat"
 
-    def __init__(self, network, approx, output_approximations, types):
+    def __init__(self, network, approx, output_approximations, types,
+                 max_conflicts: int | None = None,
+                 deadline: float | None = None):
         super().__init__(network, approx, output_approximations, types)
+        self.max_conflicts = max_conflicts
+        self.deadline = deadline
         self.refresh()
 
     def refresh(self) -> None:
@@ -415,14 +516,24 @@ class _SatChecker(_Checker):
         if cached is not None:
             return cached
         if direction == 1:   # 1-approx: G => F
-            ok = self.encoder.implication_holds("a_" + name, "o_" + name)
+            verdict = self.encoder.implication_holds(
+                "a_" + name, "o_" + name, self.max_conflicts,
+                self.deadline)
         else:                # 0-approx: F => G
-            ok = self.encoder.implication_holds("o_" + name, "a_" + name)
+            verdict = self.encoder.implication_holds(
+                "o_" + name, "a_" + name, self.max_conflicts,
+                self.deadline)
+        # Unknown (budget ran out) must not be cached or collapsed into
+        # "implication fails" — raise so the ladder degrades instead.
+        ok = require_decided(verdict, f"implication check for {name!r}")
         self._cache[name] = ok
         return ok
 
     def _equal(self, name: str) -> bool:
-        return bool(self.encoder.equivalent("o_" + name, "a_" + name))
+        return require_decided(
+            self.encoder.equivalent("o_" + name, "a_" + name,
+                                    self.max_conflicts, self.deadline),
+            f"equivalence check for {name!r}")
 
 
 class _SimChecker(_Checker):
@@ -475,23 +586,54 @@ class _SimChecker(_Checker):
 def _safe_refresh(checker: "_Checker", network: Network, approx: Network,
                   output_approximations: dict[str, int],
                   types: dict[str, NodeType],
-                  config: ApproxConfig) -> "_Checker":
-    """Refresh a checker, downgrading BDD -> simulation on overflow."""
+                  config: ApproxConfig,
+                  budget: Budget | None = None) -> "_Checker":
+    """Refresh a checker, downgrading BDD -> simulation on overflow
+    (BDD -> SAT under a governing budget)."""
     try:
         checker.refresh()
         return checker
     except BddOverflowError:
+        if budget is not None:
+            cap = budget.bdd_cap(config.bdd_node_budget)
+            budget.report.rung("bdd", "overflow", node_cap=cap,
+                               where="refresh")
+            budget.report.exhaust("bdd_nodes", cap=cap, where="refresh")
+            return _governed_sat_checker(
+                network, approx, output_approximations, types, budget)
         if config.check == "bdd":
             raise
         return _SimChecker(network, approx, output_approximations, types,
                            config.sim_check_words, config.seed)
 
 
+def _governed_sat_checker(network: Network, approx: Network,
+                          output_approximations: dict[str, int],
+                          types: dict[str, NodeType],
+                          budget: Budget) -> _SatChecker:
+    """The ladder's SAT rung.  A zero conflict cap (the deterministic
+    ``sat-exhausted`` chaos rig) skips straight past it."""
+    max_conflicts = budget.sat_cap(None)
+    if max_conflicts is not None and max_conflicts <= 0:
+        raise SatBudgetExhausted(
+            "SAT conflict budget is zero: the SAT rung cannot decide "
+            "anything")
+    checker = _SatChecker(network, approx, output_approximations,
+                          types, max_conflicts=max_conflicts,
+                          deadline=budget.deadline())
+    budget.report.rung("sat", "selected", max_conflicts=max_conflicts)
+    return checker
+
+
 def _make_checker(network: Network, approx: Network,
                   output_approximations: dict[str, int],
                   types: dict[str, NodeType],
                   config: ApproxConfig,
-                  ctx: AnalysisContext | None = None) -> _Checker:
+                  ctx: AnalysisContext | None = None,
+                  budget: Budget | None = None) -> _Checker:
+    if budget is not None:
+        return _governed_checker(network, approx, output_approximations,
+                                 types, config, ctx, budget)
     if config.check == "sim":
         return _SimChecker(network, approx, output_approximations, types,
                            config.sim_check_words, config.seed)
@@ -506,3 +648,44 @@ def _make_checker(network: Network, approx: Network,
             raise
         return _SimChecker(network, approx, output_approximations, types,
                            config.sim_check_words, config.seed)
+
+
+def _governed_checker(network: Network, approx: Network,
+                      output_approximations: dict[str, int],
+                      types: dict[str, NodeType],
+                      config: ApproxConfig,
+                      ctx: AnalysisContext | None,
+                      budget: Budget) -> _Checker:
+    """Budget-governed checker construction: the degradation ladder.
+
+    BDD first (node cap = min of config and budget), SAT on overflow,
+    and the caller's conformance fallback when SAT is exhausted too.
+    An explicit ``check="sim"`` keeps the statistical checker; an
+    explicit ``check="bdd"``/``"sat"`` still degrades down-ladder —
+    under a budget, graceful completion outranks the engine pin.
+    """
+    if config.check == "sim":
+        budget.report.rung("sim", "selected")
+        return _SimChecker(network, approx, output_approximations, types,
+                           config.sim_check_words, config.seed)
+    if "sat-exhausted" in budget.report.chaos:
+        # The chaos rig must hit the SAT rung deterministically; a BDD
+        # checker that happens to fit its cap would mask the injection.
+        budget.report.skip("bdd checker",
+                          "chaos sat-exhausted routes past the BDD rung")
+        return _governed_sat_checker(network, approx,
+                                     output_approximations, types,
+                                     budget)
+    if config.check in ("auto", "bdd"):
+        cap = budget.bdd_cap(config.bdd_node_budget)
+        try:
+            checker = _BddChecker(network, approx,
+                                  output_approximations, types, cap,
+                                  ctx)
+            budget.report.rung("bdd", "selected", node_cap=cap)
+            return checker
+        except BddOverflowError:
+            budget.report.rung("bdd", "overflow", node_cap=cap)
+            budget.report.exhaust("bdd_nodes", cap=cap)
+    return _governed_sat_checker(network, approx, output_approximations,
+                                 types, budget)

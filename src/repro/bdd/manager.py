@@ -35,6 +35,11 @@ class BddManager:
 
     def __init__(self, num_vars: int = 0, max_nodes: int | None = None):
         self.max_nodes = max_nodes
+        #: Optional :class:`repro.guard.Budget` polled during node
+        #: allocation, so a long build respects a wall-clock deadline
+        #: cooperatively (checked every 1024 allocations).
+        self.guard = None
+        self._allocs = 0
         # Parallel arrays: variable index, low child (var=0), high child.
         self._var: list[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
         self._lo: list[int] = [0, 1]
@@ -90,16 +95,23 @@ class BddManager:
 
         Truncates the node arrays and pops the entries inserted since
         the mark (dicts preserve insertion order and are never deleted
-        from, so ``popitem`` removes exactly the post-mark additions).
-        Afterwards the manager is bit-identical to its state at
-        :meth:`mark` time: subsequent operations allocate the same node
-        ids and hit/miss the caches the same way a manager that never
-        advanced past the mark would.
+        from, so ``popitem`` removes exactly the post-mark additions —
+        including every unique-table and ite-cache entry that mentions
+        a rolled-back node, since an entry can only reference nodes
+        that existed when it was inserted).  Variables declared after
+        the mark are forgotten the same way the nodes are.  Afterwards
+        the manager is bit-identical to its state at :meth:`mark` time:
+        subsequent operations allocate the same node ids and hit/miss
+        the caches the same way a manager that never advanced past the
+        mark would.
         """
         n_nodes, n_unique, n_ite, n_vars = mark
-        if len(self._var) < n_nodes or self._num_vars != n_vars:
+        if len(self._var) < n_nodes or self._num_vars < n_vars or \
+                len(self._unique) < n_unique or \
+                len(self._ite_cache) < n_ite:
             raise ValueError("mark does not describe a prior state "
                              "of this manager")
+        self._num_vars = n_vars
         del self._var[n_nodes:]
         del self._lo[n_nodes:]
         del self._hi[n_nodes:]
@@ -118,6 +130,9 @@ class BddManager:
         if self.max_nodes is not None and len(self._var) >= self.max_nodes:
             raise BddOverflowError(
                 f"BDD node budget of {self.max_nodes} exceeded")
+        self._allocs += 1
+        if self.guard is not None and not self._allocs & 1023:
+            self.guard.check_deadline("bdd allocation")
         node = len(self._var)
         self._var.append(var)
         self._lo.append(lo)

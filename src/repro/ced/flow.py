@@ -30,6 +30,7 @@ from repro.approx import (ApproxConfig, ApproxResult,
                           synthesize_approximation)
 from repro.flow import (AnalysisContext, FlowContext, FlowTrace, Pass,
                         PassManager, PassRecord, flow_token)
+from repro.guard import Budget, apply_chaos, parse_chaos
 from repro.network import Network, write_blif
 from repro.reliability import ReliabilityReport, analyze_reliability
 from repro.synth import SynthesisScript, QUICK_SCRIPT
@@ -56,6 +57,10 @@ class CedFlowResult:
     lint: object | None = None
     #: Per-pass instrumentation of the run (wall time, cache counters).
     trace: FlowTrace | None = None
+    #: Resource-governance record (plain dict,
+    #: :meth:`repro.guard.BudgetReport.to_dict`) when the run was
+    #: budget-governed.
+    budget_report: dict | None = None
 
     def summary(self) -> dict[str, float]:
         """The Table 1/2 row for this run (native JSON-safe types)."""
@@ -108,6 +113,8 @@ class CedFlowResult:
                if self.trace is not None else {}),
             **({"lint": self.lint.to_dict()}
                if self.lint is not None else {}),
+            **({"budget_report": self.budget_report}
+               if self.budget_report is not None else {}),
         }
 
     def summary_json(self, **dumps_kwargs) -> str:
@@ -119,7 +126,8 @@ class CedFlowResult:
 def _synthesize_with_floor(network: Network, directions: dict[str, int],
                            config: ApproxConfig, min_approx_pct: float,
                            ctx: AnalysisContext | None = None,
-                           record: PassRecord | None = None
+                           record: PassRecord | None = None,
+                           budget: Budget | None = None
                            ) -> tuple[ApproxResult, dict[str, float]]:
     """Synthesize, retrying with gentler configs below the quality floor.
 
@@ -144,10 +152,12 @@ def _synthesize_with_floor(network: Network, directions: dict[str, int],
     for attempt in ladder:
         attempts += 1
         result = synthesize_approximation(network, directions, attempt,
-                                          ctx=ctx)
+                                          ctx=ctx, budget=budget)
+        metric_cap = attempt.bdd_node_budget if budget is None \
+            else budget.bdd_cap(attempt.bdd_node_budget)
         pct = approximation_percentages(
             network, result.approx, directions,
-            bdd_node_budget=attempt.bdd_node_budget, ctx=ctx)
+            bdd_node_budget=metric_cap, ctx=ctx)
         floor = min(pct.values(), default=100.0)
         if floor > best_floor:
             best, best_floor = (result, pct), floor
@@ -225,7 +235,8 @@ class SynthesizeApproxPass(Pass):
     def run(self, ctx: FlowContext, record: PassRecord) -> dict:
         approx_result, per_output_pct = _synthesize_with_floor(
             ctx.network, ctx["directions"], self.config,
-            self.min_approx_pct, ctx=ctx.analysis, record=record)
+            self.min_approx_pct, ctx=ctx.analysis, record=record,
+            budget=ctx.budget)
         approximation_pct = (sum(per_output_pct.values())
                              / len(per_output_pct)) if per_output_pct \
             else 100.0
@@ -394,7 +405,9 @@ def run_ced_flow(network: Network,
                  lint_level: str = "off",
                  certificate_dir=None,
                  ctx: AnalysisContext | None = None,
-                 checkpoint_dir=None
+                 checkpoint_dir=None,
+                 budget: Budget | None = None,
+                 chaos=()
                  ) -> CedFlowResult:
     """Run the complete approximate-logic CED flow on a network.
 
@@ -419,9 +432,20 @@ def run_ced_flow(network: Network,
     each pass's outputs to a content-addressed store there, so an
     identical re-run — including one that was killed mid-pipeline —
     resumes after the last completed pass.
+
+    ``budget`` makes the run resource-governed: synthesis walks the
+    degradation ladder (BDD -> SAT -> conformance-only) instead of
+    raising on overflow/exhaustion, every pass polls the deadline, and
+    the result carries a structured ``budget_report``.  A ``deadline_s``
+    of 0 fails fast at flow entry with
+    :class:`~repro.guard.DeadlineExceeded`.  ``chaos`` injects
+    deterministic resource faults (see :mod:`repro.guard.chaos`) for
+    testing; it implies a budget.
     """
     if lint_level not in ("off", "warn", "strict"):
         raise ValueError(f"unknown lint level {lint_level!r}")
+    chaos = parse_chaos(chaos)
+    budget = apply_chaos(budget, chaos)
     config = config or ApproxConfig(seed=seed)
     analysis = ctx if ctx is not None else AnalysisContext()
     params = {
@@ -435,14 +459,31 @@ def run_ced_flow(network: Network,
         "seed": seed,
         "directions": directions,
         "min_approx_pct": min_approx_pct,
+        # Budget/chaos separate the checkpoint key space: a governed
+        # (possibly degraded) run must never be resumed from — or
+        # poison — an ungoverned run's checkpoints.
+        "budget": budget.describe() if budget is not None else None,
+        "chaos": list(chaos),
     }
+    if budget is not None:
+        budget.start()
+        # deadline_s=0 contract: fail fast with a structured error
+        # before any pass runs.
+        budget.check_deadline("flow entry")
+        analysis.guard = budget
     store, token = _checkpoint_setup(network, checkpoint_dir, params)
     passes = ced_flow_passes(config, script, share_logic,
                              share_loss_budget, reliability_words,
                              coverage_words, power_words, seed,
                              directions, min_approx_pct)
-    flow_ctx = FlowContext(network, params=params, analysis=analysis)
-    PassManager(passes, store=store, token=token).run(flow_ctx)
+    flow_ctx = FlowContext(network, params=params, analysis=analysis,
+                           budget=budget)
+    try:
+        PassManager(passes, store=store, token=token).run(flow_ctx)
+    finally:
+        # Lint (and any later consumer of the shared context) re-proves
+        # from scratch; an expired deadline must not abort it.
+        analysis.guard = None
 
     result = CedFlowResult(
         original=network,
@@ -455,6 +496,10 @@ def run_ced_flow(network: Network,
         approximation_pct=flow_ctx["approximation_pct"],
         metrics=flow_ctx["metrics"],
         trace=flow_ctx.trace)
+    if budget is not None:
+        report = budget.report.to_dict()
+        flow_ctx.trace.budget = report
+        result.budget_report = report
     if lint_level != "off":
         # Imported lazily: repro.lint imports the approx layer.  Lint
         # runs outside the manager (it consumes the assembled result)

@@ -28,9 +28,14 @@ from repro.approx import (ApproxConfig, approximation_percentages,
                           synthesize_approximation)
 from repro.bench import load_benchmark
 from repro.ced import run_ced_flow
+from repro.guard import Budget, BudgetExceeded
 from repro.network import read_blif, write_blif
 from repro.reliability import analyze_reliability
 from repro.synth import quick_map
+
+#: Exit status of a run that exceeded its resource budget in a way the
+#: degradation ladder could not absorb (e.g. --budget-deadline 0).
+EXIT_BUDGET_EXCEEDED = 3
 
 
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
@@ -94,18 +99,58 @@ def cmd_synth(args: argparse.Namespace) -> int:
     return 0 if result.all_correct else 1
 
 
+def _budget_from(args: argparse.Namespace) -> Budget | None:
+    values = (args.budget_deadline, args.budget_bdd_nodes,
+              args.budget_sat_conflicts, args.budget_repair_rounds)
+    if all(v is None for v in values):
+        return None
+    return Budget(deadline_s=args.budget_deadline,
+                  bdd_node_cap=args.budget_bdd_nodes,
+                  sat_conflict_cap=args.budget_sat_conflicts,
+                  repair_round_cap=args.budget_repair_rounds)
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "resource governance",
+        "cooperative budget caps; exceeding one degrades the check "
+        "down the ladder (BDD -> SAT -> conformance) and records a "
+        "budget_report instead of failing")
+    group.add_argument("--budget-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline (0 fails fast with "
+                            f"exit status {EXIT_BUDGET_EXCEEDED})")
+    group.add_argument("--budget-bdd-nodes", type=int, default=None,
+                       metavar="N", help="BDD node cap")
+    group.add_argument("--budget-sat-conflicts", type=int, default=None,
+                       metavar="N", help="SAT conflict cap")
+    group.add_argument("--budget-repair-rounds", type=int, default=None,
+                       metavar="N", help="repair iteration cap")
+    group.add_argument("--chaos", default=None, metavar="KINDS",
+                       help="comma-separated deterministic fault "
+                            "injections (bdd-overflow, sat-exhausted) "
+                            "for testing the ladder")
+
+
 def cmd_ced(args: argparse.Namespace) -> int:
     network = read_blif(args.blif)
     directions = None
     if args.direction in ("0", "1"):
         directions = {po: int(args.direction)
                       for po in network.outputs}
-    flow = run_ced_flow(network, config=_config_from(args),
-                        share_logic=args.share_logic,
-                        reliability_words=args.words,
-                        coverage_words=args.words,
-                        directions=directions, seed=args.seed,
-                        checkpoint_dir=args.checkpoint_dir)
+    try:
+        flow = run_ced_flow(network, config=_config_from(args),
+                            share_logic=args.share_logic,
+                            reliability_words=args.words,
+                            coverage_words=args.words,
+                            directions=directions, seed=args.seed,
+                            checkpoint_dir=args.checkpoint_dir,
+                            budget=_budget_from(args),
+                            chaos=args.chaos or ())
+    except BudgetExceeded as exc:
+        print(json.dumps(exc.to_dict(), indent=2, sort_keys=True),
+              file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
     if args.json:
         print(json.dumps(flow.to_dict(), indent=2, sort_keys=True))
         if args.out:
@@ -128,6 +173,12 @@ def cmd_ced(args: argparse.Namespace) -> int:
     if args.share_logic:
         print(f"shared gates          : "
               f"{int(summary['shared_gates'])}")
+    if flow.budget_report is not None:
+        report = flow.budget_report
+        ladder = " -> ".join(f"{r['engine']}:{r['outcome']}"
+                             for r in report["ladder"]) or "(none)"
+        print(f"budget                : engine={report['engine']} "
+              f"degraded={report['degraded']} ladder={ladder}")
     if args.trace and flow.trace is not None:
         print()
         print("pass          status    time     cache (hits/misses)")
@@ -326,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the machine-readable flow record "
                             "instead of the text report")
     _add_config_flags(p_ced)
+    _add_budget_flags(p_ced)
     p_ced.set_defaults(func=cmd_ced)
 
     p_sweep = sub.add_parser(

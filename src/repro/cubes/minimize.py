@@ -84,20 +84,30 @@ def reduce_cover(cover: Cover, dc: Cover | None = None) -> Cover:
 
 
 def minimize(cover: Cover, dc: Cover | None = None,
-             max_passes: int = 8) -> Cover:
+             max_passes: int = 8, budget=None) -> Cover:
     """Heuristically minimize ``cover`` against optional don't cares.
 
     Runs EXPAND / IRREDUNDANT / REDUCE until the literal count stops
     improving (or ``max_passes`` is hit) and returns the best cover seen.
     The result is functionally equal to ``cover`` modulo the don't-care
     set.
+
+    ``budget`` is an optional :class:`repro.guard.Budget`: when its
+    deadline has passed, the loop stops between passes and returns the
+    best (still functionally equal) cover found so far — minimization
+    is an optimization, so truncating it degrades quality, never
+    correctness.
     """
     if cover.is_zero():
+        return cover.copy()
+    if budget is not None and budget.expired:
         return cover.copy()
     best = irredundant(expand(cover, dc), dc)
     best_cost = _cost(best)
     current = best
     for _ in range(max_passes):
+        if budget is not None and budget.expired:
+            break
         current = reduce_cover(current, dc)
         current = irredundant(expand(current, dc), dc)
         cost = _cost(current)

@@ -42,6 +42,11 @@ class AnalysisContext:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
+        #: Optional :class:`repro.guard.Budget` propagated onto every
+        #: pair-BDD manager served by this context, so long builds poll
+        #: the wall-clock deadline cooperatively.  Set (and cleared) by
+        #: the governed flow; ``None`` means no enforcement.
+        self.guard = None
         self.stats: dict[str, dict[str, int]] = {
             kind: {"hits": 0, "misses": 0} for kind in CACHE_KINDS}
         #: Single pair-BDD slot: one context serves one flow run, whose
@@ -131,6 +136,7 @@ class AnalysisContext:
             return self._fresh_pair(original, approx, budget)
         try:
             bdds: GlobalBdds = entry["bdds"]
+            bdds.manager.guard = self.guard
             if entry["approx"] is not approx:
                 self._drop_prefix(bdds, "a_")
                 bdds.add_network(approx, prefix="a_")
@@ -182,6 +188,7 @@ class AnalysisContext:
             # Rewind the manager to the state a fresh build would be in
             # right after the o_ phase, then build only the a_ side.
             bdds: GlobalBdds = oentry["bdds"]
+            bdds.manager.guard = self.guard
             bdds.manager.rollback(oentry["mark"])
             bdds.manager.max_nodes = budget
             self._drop_prefix(bdds, "a_")
@@ -198,6 +205,7 @@ class AnalysisContext:
             return bdds
         self._miss("global_bdds")
         bdds = GlobalBdds(dfs_input_order(original), max_nodes=budget)
+        bdds.manager.guard = self.guard
         try:
             bdds.add_network(original, prefix="o_")
         except BddOverflowError:

@@ -67,12 +67,16 @@ class FlowContext:
     """Shared state the passes of one flow run communicate through."""
 
     def __init__(self, network, params: dict | None = None,
-                 analysis: AnalysisContext | None = None):
+                 analysis: AnalysisContext | None = None,
+                 budget=None):
         self.network = network
         #: Immutable-by-convention run parameters (words, seed, ...).
         self.params = dict(params or {})
         self.analysis = analysis if analysis is not None \
             else AnalysisContext()
+        #: Optional :class:`repro.guard.Budget` governing this run;
+        #: passes that can degrade gracefully consult it.
+        self.budget = budget
         #: Artifacts produced so far, by declared name.
         self.artifacts: dict[str, object] = {}
         self.trace = FlowTrace()

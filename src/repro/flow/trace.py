@@ -58,6 +58,11 @@ class FlowTrace:
     """The ordered pass records of one flow run."""
 
     passes: list = field(default_factory=list)
+    #: Optional resource-governance record
+    #: (:meth:`repro.guard.BudgetReport.to_dict`) when the run was
+    #: budget-governed: the degradation-ladder rungs, exhausted
+    #: resources, skipped work, and injected chaos kinds.
+    budget: dict | None = None
 
     def add(self, record: PassRecord) -> PassRecord:
         self.passes.append(record)
@@ -88,6 +93,8 @@ class FlowTrace:
             "schema": TRACE_SCHEMA,
             "total_wall_time_s": float(self.total_wall_time_s),
             "passes": [rec.to_dict() for rec in self.passes],
+            **({"budget": _jsonify(self.budget)}
+               if self.budget is not None else {}),
         }
 
 
@@ -149,4 +156,10 @@ def validate_trace(doc) -> list[str]:
                     errors.append(f"{where}: bad cache entry {kind!r}")
         if not isinstance(rec.get("stats"), dict):
             errors.append(f"{where}: stats is not a dict")
+    if "budget" in doc:
+        # Imported lazily: repro.guard is stdlib-only, but keeping the
+        # trace schema importable without it costs nothing.
+        from repro.guard import validate_budget_report
+        errors.extend(f"budget: {problem}" for problem
+                      in validate_budget_report(doc["budget"]))
     return errors

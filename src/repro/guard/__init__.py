@@ -1,0 +1,29 @@
+"""Unified resource governance: budgets, degradation, fault injection.
+
+* :class:`Budget` — deadline + BDD/SAT/repair caps, threaded through
+  the flow and enforced cooperatively inside the engine layers;
+* :class:`BudgetReport` / :func:`validate_budget_report` — structured
+  record of the degradation ladder (engine used, resources consumed,
+  work skipped) carried by traces and flow results;
+* :class:`BudgetExceeded` / :class:`DeadlineExceeded` — the structured
+  errors for budgets that cannot be degraded around (deadline already
+  passed at flow entry);
+* :mod:`repro.guard.chaos` — deterministic fault injection proving
+  every ladder rung and executor failure path is exercised.
+
+Imports only the standard library, so every engine layer can depend on
+it without cycles.
+"""
+
+from .budget import (BUDGET_REPORT_SCHEMA, Budget, BudgetExceeded,
+                     BudgetReport, DeadlineExceeded,
+                     validate_budget_report)
+from .chaos import (BDD_OVERFLOW_CAP, CHAOS_KINDS, FLOW_CHAOS,
+                    apply_chaos, parse_chaos)
+
+__all__ = [
+    "BDD_OVERFLOW_CAP", "BUDGET_REPORT_SCHEMA", "Budget",
+    "BudgetExceeded", "BudgetReport", "CHAOS_KINDS", "DeadlineExceeded",
+    "FLOW_CHAOS", "apply_chaos", "parse_chaos",
+    "validate_budget_report",
+]

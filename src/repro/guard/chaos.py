@@ -1,0 +1,104 @@
+"""Deterministic fault injection for the resource-governance layer.
+
+Chaos kinds rig a :class:`~repro.guard.Budget` (or a lab job) so that a
+specific engine failure happens *deterministically*, proving each rung
+of the degradation ladder and each executor failure path is actually
+exercised:
+
+* ``bdd-overflow``    — clamps the BDD node cap to a handful of nodes,
+  so the global-BDD rung of the implication check overflows immediately
+  and control falls to the SAT rung;
+* ``sat-exhausted``   — clamps the SAT conflict cap to zero, so the SAT
+  rung reports *unknown* on the first conflict and control falls to the
+  conformance rung;
+* ``worker-sigalrm``  — a lab job (:func:`sigalrm_victim`) that spins
+  past any reasonable timeout, forcing the worker's SIGALRM path;
+* ``broken-pool``     — a lab job (:func:`broken_pool_victim`) that
+  kills its worker process outright, forcing the scheduler's
+  ``BrokenProcessPool`` recovery path.
+
+The first two act on flow passes (via the Budget), the last two on lab
+jobs; :data:`FLOW_CHAOS` lists the flow-applicable subset.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from .budget import Budget
+
+#: Every chaos kind the harness knows.
+CHAOS_KINDS = ("bdd-overflow", "sat-exhausted", "worker-sigalrm",
+               "broken-pool")
+
+#: Kinds applicable to flow passes (rigged through the Budget).
+FLOW_CHAOS = ("bdd-overflow", "sat-exhausted")
+
+#: Node cap injected by ``bdd-overflow`` — too small for any real
+#: benchmark's pair BDDs, so the overflow is guaranteed.
+BDD_OVERFLOW_CAP = 64
+
+
+def parse_chaos(spec) -> tuple[str, ...]:
+    """Normalize a chaos spec (comma string or iterable) to a tuple."""
+    if spec is None:
+        return ()
+    if isinstance(spec, str):
+        kinds = tuple(part.strip() for part in spec.split(",")
+                      if part.strip())
+    else:
+        kinds = tuple(spec)
+    for kind in kinds:
+        if kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {kind!r}; "
+                             f"known: {', '.join(CHAOS_KINDS)}")
+    return kinds
+
+
+def apply_chaos(budget: Budget | None, kinds) -> Budget | None:
+    """Rig ``budget`` so the named flow faults fire deterministically.
+
+    Creates a Budget when none was given and any flow-applicable kind
+    is requested; records every injected kind in the report so the
+    provenance of the degradation is visible downstream.  Kinds that
+    only apply to lab jobs are recorded but change no caps.
+    """
+    kinds = parse_chaos(kinds)
+    if not kinds:
+        return budget
+    if budget is None:
+        budget = Budget()
+    for kind in kinds:
+        if kind not in budget.report.chaos:
+            budget.report.chaos.append(kind)
+    if "bdd-overflow" in kinds:
+        budget.bdd_node_cap = Budget._merge(budget.bdd_node_cap,
+                                            BDD_OVERFLOW_CAP)
+    if "sat-exhausted" in kinds:
+        budget.sat_conflict_cap = 0
+    return budget
+
+
+# ----------------------------------------------------------------------
+# Lab-job victims (module-level so worker processes can unpickle them)
+# ----------------------------------------------------------------------
+def sigalrm_victim(duration: float = 30.0, **_ignored) -> None:
+    """A job guaranteed to outlive its timeout (``worker-sigalrm``).
+
+    Sleeps in short slices so the SIGALRM handler gets a prompt shot at
+    interrupting it on every platform.
+    """
+    end = time.monotonic() + duration
+    while time.monotonic() < end:
+        time.sleep(0.01)
+
+
+def broken_pool_victim(exit_code: int = 13, **_ignored) -> None:
+    """A job that kills its worker process (``broken-pool``).
+
+    ``os._exit`` bypasses every cleanup handler, exactly like an OOM
+    kill or a segfault would — the pool's other end sees the worker
+    vanish and raises ``BrokenProcessPool`` on the pending future.
+    """
+    os._exit(exit_code)

@@ -62,6 +62,31 @@ def _alarm(signum, frame):
     raise JobTimeout()
 
 
+def _disarm_alarm() -> None:
+    """Disarm the job interval timer.
+
+    A separate function so tests can intercept the instant between the
+    job body returning and the timer being cleared — the race window in
+    which a near-deadline alarm must not turn a finished job into a
+    timeout.
+    """
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+def _restore_itimer(old: "tuple[float, float] | None",
+                    elapsed: float) -> None:
+    """Re-arm a pre-existing interval timer, net of our elapsed time.
+
+    The caller (e.g. an outer harness with its own watchdog) had
+    ``old = (seconds_remaining, interval)`` on the clock when the job
+    borrowed SIGALRM; give it back what is left, never less than a tick
+    so an already-due alarm still fires.
+    """
+    if old is not None and old[0] > 0:
+        signal.setitimer(signal.ITIMER_REAL,
+                         max(old[0] - elapsed, 1e-6), old[1])
+
+
 def _peak_rss_kb() -> "int | None":
     try:
         import resource
@@ -80,23 +105,40 @@ def _execute_payload(fn: Callable[..., Any], params: dict[str, Any],
     Returns ``(status, payload, wall_time_s, peak_rss_kb)`` where
     ``status`` is ``ok``/``error``/``timeout`` and ``payload`` is the
     value or the error string.  The timeout is enforced with a real
-    interval timer so a hung job cannot wedge the worker.
+    interval timer so a hung job cannot wedge the worker; any
+    pre-existing SIGALRM handler and timer are saved and restored (the
+    timer net of the time this job consumed), and a job that finishes
+    within epsilon of its deadline is reported ``ok`` even if the alarm
+    fires in the window before the timer is disarmed.
     """
     start = time.perf_counter()
     use_alarm = bool(timeout) and hasattr(signal, "SIGALRM")
-    old_handler = None
+    old_handler = old_timer = None
+    completed, value = False, None
     if use_alarm:
         old_handler = signal.signal(signal.SIGALRM, _alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
+        old_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         kwargs = dict(params)
         if dep_results is not None:
             kwargs["dep_results"] = dep_results
-        value = fn(**kwargs)
+        try:
+            value = fn(**kwargs)
+            completed = True
+        finally:
+            # Disarm right here, not in the outer finally: the alarm
+            # must not fire while the outcome is being packaged.
+            if use_alarm:
+                _disarm_alarm()
         status, payload = "ok", value
     except JobTimeout:
-        status = "timeout"
-        payload = f"timed out after {timeout:.1f}s"
+        if completed:
+            # The job finished; the alarm merely won the race to the
+            # disarm call.  Its value stands.
+            status, payload = "ok", value
+        else:
+            status = "timeout"
+            payload = f"timed out after {timeout:.1f}s"
     except Exception as exc:
         status = "error"
         payload = (f"{type(exc).__name__}: {exc}\n"
@@ -105,6 +147,7 @@ def _execute_payload(fn: Callable[..., Any], params: dict[str, Any],
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, old_handler)
+            _restore_itimer(old_timer, time.perf_counter() - start)
     wall = time.perf_counter() - start
     return status, payload, wall, _peak_rss_kb()
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import traceback
 from pathlib import Path
 
 from repro.network import Network
@@ -128,13 +129,29 @@ def validate_certificate(doc: dict) -> list[str]:
     return problems
 
 
+def _crash_summary(what: str, err: Exception) -> str:
+    """Diagnostic for a re-check failure.
+
+    Keeps the exception type, message, and the tail of the traceback —
+    a bare ``str(err)`` loses the type (often empty for KeyError and
+    friends) and the crash site, making corrupted certificates
+    undebuggable from the problem list alone.
+    """
+    tail = traceback.format_exc(limit=8)[-2000:]
+    return f"{what}: {type(err).__name__}: {err}\n{tail}"
+
+
 def check_certificate(doc: dict,
                       bdd_node_budget: int = 300_000,
-                      sat_conflict_budget: int = 500_000) -> list[str]:
+                      sat_conflict_budget: int = 500_000,
+                      strict: bool = False) -> list[str]:
     """Re-verify a certificate offline (empty list = it checks out).
 
     Validates the schema and digest, re-parses the embedded cones, and
-    re-proves the implication from scratch.
+    re-proves the implication from scratch.  An unexpected crash while
+    parsing or re-proving is reported as a problem carrying the
+    exception type, message, and traceback tail; ``strict=True``
+    re-raises it instead (for callers that want the real traceback).
     """
     problems = validate_certificate(doc)
     if problems:
@@ -145,7 +162,9 @@ def check_certificate(doc: dict,
         approx = parse_blif(doc["approx_blif"],
                             source="<certificate:approx>")
     except Exception as err:  # noqa: BLE001 - report, don't crash
-        return [f"embedded BLIF does not parse: {err}"]
+        if strict:
+            raise
+        return [_crash_summary("embedded BLIF does not parse", err)]
     po = doc["po"]
     for label, net in (("original", original), ("approx", approx)):
         if net.inputs != doc["inputs"]:
@@ -156,10 +175,16 @@ def check_certificate(doc: dict,
                             f"expected [{po!r}]")
     if problems:
         return problems
-    semantics = PairSemantics(original, approx,
-                              bdd_node_budget=bdd_node_budget,
-                              sat_conflict_budget=sat_conflict_budget)
-    proof = semantics.implication(po, doc["direction"])
+    try:
+        semantics = PairSemantics(original, approx,
+                                  bdd_node_budget=bdd_node_budget,
+                                  sat_conflict_budget=sat_conflict_budget)
+        proof = semantics.implication(po, doc["direction"])
+    except Exception as err:  # noqa: BLE001 - report, don't crash
+        if strict:
+            raise
+        return problems + [_crash_summary("implication re-proof crashed",
+                                          err)]
     if proof.holds is None:
         problems.append("implication undecided within recheck budget")
     elif proof.holds is False:

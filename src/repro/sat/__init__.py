@@ -1,6 +1,7 @@
 """A CDCL SAT solver and network CNF encoding (the paper's SAT check)."""
 
-from .solver import SatSolver
+from .solver import SatBudgetExhausted, SatSolver, require_decided
 from .encode import NetworkEncoder
 
-__all__ = ["NetworkEncoder", "SatSolver"]
+__all__ = ["NetworkEncoder", "SatBudgetExhausted", "SatSolver",
+           "require_decided"]

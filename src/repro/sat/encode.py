@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.network import Network
 
-from .solver import SatSolver
+from .solver import SatSolver, require_decided
 
 
 class NetworkEncoder:
@@ -86,31 +86,47 @@ class NetworkEncoder:
     # Queries
     # ------------------------------------------------------------------
     def implication_holds(self, antecedent: str, consequent: str,
-                          max_conflicts: int | None = None
+                          max_conflicts: int | None = None,
+                          deadline: float | None = None
                           ) -> bool | None:
         """antecedent => consequent, checked by SAT.
 
-        Returns True/False, or None when the conflict budget runs out.
+        Returns True/False, or None — *unknown* — when the conflict
+        budget or deadline runs out (tri-state; see
+        :mod:`repro.sat.solver`).
         """
         result = self.solver.solve(
             assumptions=[self.var(antecedent), -self.var(consequent)],
-            max_conflicts=max_conflicts)
+            max_conflicts=max_conflicts, deadline=deadline)
         if result is None:
             return None
         return not result
 
     def equivalent(self, a: str, b: str,
-                   max_conflicts: int | None = None) -> bool | None:
-        forward = self.implication_holds(a, b, max_conflicts)
+                   max_conflicts: int | None = None,
+                   deadline: float | None = None) -> bool | None:
+        forward = self.implication_holds(a, b, max_conflicts, deadline)
         if forward is None or forward is False:
             return forward
-        return self.implication_holds(b, a, max_conflicts)
+        return self.implication_holds(b, a, max_conflicts, deadline)
 
-    def counterexample(self, antecedent: str,
-                       consequent: str) -> dict[str, bool] | None:
-        """An input assignment violating the implication, or None."""
-        result = self.solver.solve(
-            assumptions=[self.var(antecedent), -self.var(consequent)])
+    def counterexample(self, antecedent: str, consequent: str,
+                       max_conflicts: int | None = None,
+                       deadline: float | None = None
+                       ) -> dict[str, bool] | None:
+        """An input assignment violating the implication, or None.
+
+        None means *no counterexample exists* — a budget-exhausted
+        (unknown) solve raises
+        :class:`~repro.sat.solver.SatBudgetExhausted` instead of being
+        conflated with UNSAT.
+        """
+        result = require_decided(
+            self.solver.solve(
+                assumptions=[self.var(antecedent),
+                             -self.var(consequent)],
+                max_conflicts=max_conflicts, deadline=deadline),
+            f"counterexample search {antecedent} => {consequent}")
         if not result:
             return None
         return {pi: bool(self.solver.value(self.variables[pi]))

@@ -13,9 +13,48 @@ that backend.  It is a compact conflict-driven clause-learning solver:
 
 Variables are positive integers ``1..n``; literals are signed ints
 (``-v`` is the negation of ``v``), CNF is a list of literal lists.
+
+Tri-state contract
+------------------
+:meth:`SatSolver.solve` returns ``True`` (SAT), ``False`` (UNSAT under
+the given assumptions), or ``None`` — *unknown*, because the
+``max_conflicts`` budget or the ``deadline`` ran out.  ``None`` is not
+a verdict: callers at soundness-critical sites (an implication check
+whose "holds" answer certifies correctness) must never collapse it into
+either boolean.  Use :func:`require_decided` to turn an unknown into a
+:class:`SatBudgetExhausted` exception at such sites, so exhaustion
+degrades explicitly (e.g. to the conformance rung of the flow's
+degradation ladder) instead of silently accepting.
 """
 
 from __future__ import annotations
+
+import time
+
+
+class SatBudgetExhausted(RuntimeError):
+    """A soundness-critical SAT query came back *unknown*.
+
+    Raised by :func:`require_decided` when a solve returned ``None``
+    (conflict budget or deadline exhausted) at a site that must not
+    treat unknown as either SAT or UNSAT.
+    """
+
+
+def require_decided(result: "bool | None",
+                    what: str = "SAT query") -> bool:
+    """Collapse-proof guard for tri-state solve results.
+
+    Returns the boolean verdict, or raises
+    :class:`SatBudgetExhausted` when the result is ``None`` — the
+    raise-on-unknown discipline for sites where mistaking *unknown*
+    for a verdict would be unsound.
+    """
+    if result is None:
+        raise SatBudgetExhausted(
+            f"{what} undecided: SAT conflict budget or deadline "
+            "exhausted")
+    return result
 
 
 class SatSolver:
@@ -221,11 +260,16 @@ class SatSolver:
     # Main loop
     # ------------------------------------------------------------------
     def solve(self, assumptions: list[int] = (),
-              max_conflicts: int | None = None) -> bool | None:
+              max_conflicts: int | None = None,
+              deadline: float | None = None) -> bool | None:
         """Solve under assumptions.
 
         Returns True (SAT), False (UNSAT under these assumptions), or
-        None when ``max_conflicts`` is exhausted (budget timeout).
+        None — *unknown* — when ``max_conflicts`` is exhausted or the
+        ``deadline`` (an absolute ``time.monotonic()`` timestamp)
+        passes.  None must never be collapsed into either verdict at a
+        soundness-critical site; see :func:`require_decided` and the
+        module docstring for the tri-state contract.
         """
         if self._unsat:
             return False
@@ -236,6 +280,9 @@ class SatSolver:
         restart_limit = 128
         conflicts_here = 0
         while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self._backtrack(0)
+                return None
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1

@@ -166,6 +166,78 @@ class TestBudget:
                 f = mgr.or_(f, mgr.and_(mgr.var(i), mgr.var(i + 1)))
 
 
+class TestMarkRollback:
+    def test_rollback_restores_var_count(self):
+        """Regression: a rollback across an ``add_var`` must also
+        retract the variable, or later ``var()`` calls diverge from a
+        manager that never advanced past the mark."""
+        mgr = BddManager(2)
+        mgr.and_(mgr.var(0), mgr.var(1))
+        mark = mgr.mark()
+        extra = mgr.add_var()
+        mgr.var(extra)
+        mgr.rollback(mark)
+        assert mgr.num_vars == 2
+        with pytest.raises(ValueError):
+            mgr.var(extra)
+
+    def test_rollback_rejects_future_mark(self):
+        mgr = BddManager(2)
+        mgr.and_(mgr.var(0), mgr.var(1))
+        mark = mgr.mark()
+        mgr.rollback(mark)         # no-op rollback is fine
+        fresh = BddManager(2)      # smaller store than the mark
+        with pytest.raises(ValueError, match="prior state"):
+            fresh.rollback(mark)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=6),
+           st.lists(st.integers(0, 15), min_size=1, max_size=6))
+    def test_overflow_rollback_rebuild_is_bit_identical(self, pre,
+                                                        post):
+        """Build, mark, overflow, rollback, rebuild: the manager must
+        be indistinguishable from one that never overflowed."""
+        def build(manager, minterms):
+            return manager.or_many(
+                manager.from_cube(Cube.from_minterm(4, m))
+                for m in minterms)
+
+        mgr = BddManager(4)
+        f1 = build(mgr, pre)
+        mark = mgr.mark()
+        mgr.max_nodes = mgr.num_nodes + 2   # force an early overflow
+        try:
+            build(mgr, post)
+        except BddOverflowError:
+            pass
+        mgr.max_nodes = None
+        mgr.rollback(mark)
+        g1 = build(mgr, post)
+
+        fresh = BddManager(4)
+        f2 = build(fresh, pre)
+        g2 = build(fresh, post)
+        assert (f1, g1) == (f2, g2)
+        # Same node ids, same store contents, same cache shape.
+        assert mgr.mark() == fresh.mark()
+        assert mgr._var == fresh._var
+        assert mgr._lo == fresh._lo
+        assert mgr._hi == fresh._hi
+        assert mgr._unique == fresh._unique
+
+
+class TestGuard:
+    def test_expired_guard_stops_allocation(self):
+        from repro.guard import Budget, DeadlineExceeded
+        mgr = BddManager(4)
+        budget = Budget(deadline_s=0.0)
+        budget.start()
+        mgr.guard = budget
+        mgr._allocs = 1023          # next allocation hits the poll
+        with pytest.raises(DeadlineExceeded):
+            mgr.and_(mgr.var(0), mgr.var(1))
+
+
 class TestProperties:
     @settings(max_examples=50)
     @given(st.lists(st.sampled_from(["and", "or", "xor", "not"]),

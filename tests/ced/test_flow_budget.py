@@ -1,0 +1,72 @@
+"""Budget threading through the CED flow and its artifacts."""
+
+import pytest
+
+from repro.ced import run_ced_flow
+from repro.ced.flow import CedFlowResult
+from repro.flow import AnalysisContext
+from repro.flow.trace import validate_trace
+from repro.guard import Budget, validate_budget_report
+from repro.lab.tasks import load_circuit
+
+
+def _flow(**kwargs):
+    kwargs.setdefault("reliability_words", 1)
+    kwargs.setdefault("coverage_words", 1)
+    kwargs.setdefault("power_words", 1)
+    return run_ced_flow(load_circuit("tiny"), **kwargs)
+
+
+class TestBudgetThreading:
+    def test_ungoverned_run_has_no_budget_artifacts(self):
+        result = _flow()
+        assert result.budget_report is None
+        doc = result.to_dict()
+        assert "budget_report" not in doc
+        assert "budget" not in doc["trace"]
+        assert validate_trace(doc["trace"]) == []
+
+    def test_governed_run_attaches_validated_report(self):
+        result = _flow(budget=Budget(deadline_s=600.0))
+        report = result.budget_report
+        assert validate_budget_report(report) == []
+        doc = result.to_dict()
+        assert doc["budget_report"] == report
+        assert doc["trace"]["budget"] == report
+        assert validate_trace(doc["trace"]) == []
+
+    def test_guard_is_cleared_after_the_flow(self):
+        """Lint and later consumers of a shared context must not
+        inherit an expired deadline."""
+        analysis = AnalysisContext()
+        _flow(budget=Budget(deadline_s=600.0), ctx=analysis)
+        assert analysis.guard is None
+
+    def test_trace_with_corrupted_budget_fails_validation(self):
+        result = _flow(budget=Budget(deadline_s=600.0))
+        doc = result.to_dict()["trace"]
+        doc["budget"]["schema"] = 99
+        assert any("budget:" in p for p in validate_trace(doc))
+
+    def test_unknown_chaos_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            _flow(chaos="entropy-storm")
+
+
+class TestCheckpointKeySeparation:
+    def test_chaos_run_does_not_reuse_ungoverned_checkpoints(
+            self, tmp_path):
+        store = tmp_path / "ckpt"
+        first = _flow(checkpoint_dir=store)
+        assert all(r.status == "ok" for r in first.trace.passes)
+        # Identical parameters resume from the store...
+        rerun = _flow(checkpoint_dir=store)
+        assert any(r.status == "resumed" for r in rerun.trace.passes)
+        # ...but a chaos (hence budget) run keys differently: a
+        # degraded result must never be served from — or poison — the
+        # ungoverned run's checkpoints.
+        chaotic = _flow(checkpoint_dir=store, chaos="bdd-overflow")
+        assert all(r.status == "ok" for r in chaotic.trace.passes)
+        again = _flow(checkpoint_dir=store)
+        assert any(r.status == "resumed" for r in again.trace.passes)
+        assert isinstance(again, CedFlowResult)

@@ -1,0 +1,133 @@
+"""Budget semantics, cap merging, and BudgetReport validation."""
+
+import json
+
+import pytest
+
+from repro.guard import (BUDGET_REPORT_SCHEMA, Budget, BudgetExceeded,
+                         BudgetReport, DeadlineExceeded,
+                         validate_budget_report)
+
+
+class TestBudget:
+    def test_unlimited_by_default(self):
+        budget = Budget()
+        assert budget.remaining_s() is None
+        assert budget.deadline() is None
+        assert not budget.expired
+        budget.check_deadline("anywhere")   # no-op
+
+    def test_deadline_zero_is_expired_immediately(self):
+        budget = Budget(deadline_s=0.0)
+        assert budget.expired
+        with pytest.raises(DeadlineExceeded, match="flow entry"):
+            budget.check_deadline("flow entry")
+
+    def test_generous_deadline_not_expired(self):
+        budget = Budget(deadline_s=3600.0).start()
+        assert not budget.expired
+        remaining = budget.remaining_s()
+        assert 0 < remaining <= 3600.0
+        assert budget.deadline() > budget._started
+
+    def test_start_is_idempotent(self):
+        budget = Budget(deadline_s=10.0)
+        budget.start()
+        first = budget._started
+        budget.start()
+        assert budget._started == first
+
+    def test_cap_merging_takes_the_minimum(self):
+        budget = Budget(bdd_node_cap=100, sat_conflict_cap=None,
+                        repair_round_cap=7)
+        assert budget.bdd_cap(500) == 100
+        assert budget.bdd_cap(50) == 50
+        assert budget.bdd_cap(None) == 100
+        assert budget.sat_cap(123) == 123
+        assert budget.sat_cap(None) is None
+        assert budget.repair_cap(3) == 3
+        assert budget.repair_cap(20) == 7
+
+    def test_describe_is_json_safe(self):
+        budget = Budget(deadline_s=1.5, bdd_node_cap=10)
+        doc = json.loads(json.dumps(budget.describe()))
+        assert doc == {"deadline_s": 1.5, "bdd_node_cap": 10,
+                       "sat_conflict_cap": None,
+                       "repair_round_cap": None}
+
+    def test_exceeded_error_carries_structured_record(self):
+        budget = Budget(deadline_s=0.0)
+        budget.report.rung("bdd", "overflow", node_cap=64)
+        with pytest.raises(DeadlineExceeded) as info:
+            budget.check_deadline("repair round")
+        doc = info.value.to_dict()
+        assert doc["error"] == "DeadlineExceeded"
+        assert "repair round" in doc["message"]
+        assert doc["budget"]["deadline_s"] == 0.0
+        assert validate_budget_report(doc["budget_report"]) == []
+        assert isinstance(info.value, BudgetExceeded)
+
+    def test_exceeded_without_budget_omits_report(self):
+        doc = BudgetExceeded("out of luck").to_dict()
+        assert doc == {"error": "BudgetExceeded",
+                       "message": "out of luck"}
+
+
+class TestBudgetReport:
+    def test_selected_rung_sets_engine(self):
+        report = BudgetReport()
+        report.rung("bdd", "overflow", node_cap=64)
+        report.rung("sat", "selected", max_conflicts=None)
+        assert report.engine == "sat"
+        assert report.degraded
+
+    def test_clean_report_is_not_degraded(self):
+        report = BudgetReport()
+        report.rung("bdd", "selected", node_cap=500_000)
+        assert not report.degraded
+        doc = report.to_dict()
+        assert doc["schema"] == BUDGET_REPORT_SCHEMA
+        assert doc["engine"] == "bdd"
+        assert validate_budget_report(doc) == []
+
+    def test_exhaust_and_skip_mark_degraded(self):
+        report = BudgetReport()
+        report.exhaust("bdd_nodes", cap=64)
+        assert report.degraded
+        report = BudgetReport()
+        report.skip("eliminate", "deadline expired")
+        assert report.degraded
+
+    def test_round_trips_through_json(self):
+        report = BudgetReport()
+        report.rung("bdd", "overflow", node_cap=64)
+        report.rung("conformance", "selected")
+        report.exhaust("bdd_nodes", cap=64)
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert validate_budget_report(doc) == []
+        assert doc["ladder"][1]["engine"] == "conformance"
+
+
+class TestValidateBudgetReport:
+    def test_rejects_non_dict(self):
+        assert validate_budget_report(None)
+        assert validate_budget_report([1, 2])
+
+    def test_rejects_bad_schema_engine_and_rungs(self):
+        doc = BudgetReport().to_dict()
+        doc["schema"] = 99
+        assert any("schema" in p for p in validate_budget_report(doc))
+        doc = BudgetReport().to_dict()
+        doc["engine"] = "quantum"
+        assert any("engine" in p for p in validate_budget_report(doc))
+        doc = BudgetReport().to_dict()
+        doc["ladder"] = [{"engine": "bdd", "outcome": "meh"}]
+        assert any("outcome" in p for p in validate_budget_report(doc))
+        doc = BudgetReport().to_dict()
+        del doc["degraded"]
+        assert any("degraded" in p for p in validate_budget_report(doc))
+
+    def test_rejects_unnamed_exhausted_resource(self):
+        doc = BudgetReport().to_dict()
+        doc["exhausted"] = [{"cap": 64}]
+        assert any("resource" in p for p in validate_budget_report(doc))

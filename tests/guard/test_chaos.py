@@ -1,0 +1,89 @@
+"""Chaos harness: spec parsing, budget rigging, and executor victims."""
+
+import pytest
+
+from repro.guard import (BDD_OVERFLOW_CAP, Budget, apply_chaos,
+                         parse_chaos)
+from repro.guard.chaos import broken_pool_victim, sigalrm_victim
+from repro.lab import Job, JobGraph, LabRunner
+
+
+class TestParseChaos:
+    def test_none_and_empty(self):
+        assert parse_chaos(None) == ()
+        assert parse_chaos("") == ()
+        assert parse_chaos(()) == ()
+
+    def test_comma_string_and_iterable(self):
+        assert parse_chaos("bdd-overflow, sat-exhausted") \
+            == ("bdd-overflow", "sat-exhausted")
+        assert parse_chaos(["worker-sigalrm"]) == ("worker-sigalrm",)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            parse_chaos("bdd-overflow,entropy-storm")
+
+
+class TestApplyChaos:
+    def test_no_kinds_passes_budget_through(self):
+        assert apply_chaos(None, ()) is None
+        budget = Budget(deadline_s=5.0)
+        assert apply_chaos(budget, ()) is budget
+
+    def test_creates_budget_and_clamps_caps(self):
+        budget = apply_chaos(None, "bdd-overflow,sat-exhausted")
+        assert budget is not None
+        assert budget.bdd_node_cap == BDD_OVERFLOW_CAP
+        assert budget.sat_conflict_cap == 0
+        assert budget.report.chaos == ["bdd-overflow", "sat-exhausted"]
+
+    def test_existing_smaller_cap_is_kept(self):
+        budget = Budget(bdd_node_cap=8)
+        rigged = apply_chaos(budget, "bdd-overflow")
+        assert rigged is budget
+        assert rigged.bdd_node_cap == 8
+
+    def test_lab_kinds_change_no_caps(self):
+        budget = apply_chaos(None, "worker-sigalrm,broken-pool")
+        assert budget.bdd_node_cap is None
+        assert budget.sat_conflict_cap is None
+        assert budget.report.chaos == ["worker-sigalrm", "broken-pool"]
+
+
+def quiet_runner(**kwargs):
+    kwargs.setdefault("log", None)
+    kwargs.setdefault("results_dir", None)
+    kwargs.setdefault("cache", None)
+    return LabRunner(**kwargs)
+
+
+class TestExecutorVictims:
+    def test_sigalrm_victim_times_out_cleanly(self):
+        """``worker-sigalrm``: the job outlives its timeout and the
+        executor reports a structured failure, not a hang or crash."""
+        run = quiet_runner(workers="serial").run(JobGraph([
+            Job("victim", sigalrm_victim, {"duration": 30.0},
+                timeout=0.3),
+            Job("downstream", sigalrm_victim, {"duration": 0.01},
+                deps=("victim",)),
+        ]))
+        victim = run.results["victim"]
+        assert victim.status == "failed"
+        assert "timed out" in victim.error
+        assert victim.wall_time_s < 5.0
+        assert run.results["downstream"].status == "skipped"
+
+    def test_broken_pool_victim_fails_job_and_skips_dependents(self):
+        """``broken-pool``: a worker dying mid-job surfaces as a failed
+        job with the pool error recorded, and dependents are skipped —
+        the run itself completes."""
+        run = quiet_runner(workers=2).run(JobGraph([
+            Job("bomb", broken_pool_victim, {"exit_code": 13}),
+            Job("downstream", sigalrm_victim, {"duration": 0.01},
+                deps=("bomb",)),
+        ]))
+        bomb = run.results["bomb"]
+        assert bomb.status == "failed"
+        assert "BrokenProcessPool" in bomb.error
+        assert run.results["downstream"].status == "skipped"
+        assert not run.ok

@@ -1,0 +1,107 @@
+"""Degradation-ladder behavior across the benchmark suite.
+
+Three contracts (the resource-governance acceptance criteria):
+
+(a) a budget that never binds leaves synthesis bit-identical to the
+    ungoverned run on every benchmark (where the ungoverned run itself
+    stays on an exact engine);
+(b) every injected chaos rung still yields a lint-clean flow result
+    with a populated, schema-valid budget report;
+(c) an already-expired deadline fails fast with a structured error.
+"""
+
+import time
+
+import pytest
+
+from repro.approx import ApproxConfig, synthesize_approximation
+from repro.bench import TABLE2_SPECS
+from repro.ced import run_ced_flow
+from repro.flow.trace import validate_trace
+from repro.guard import Budget, DeadlineExceeded, validate_budget_report
+from repro.lab.tasks import load_circuit
+from repro.network import write_blif
+
+ALL_BENCHMARKS = ["tiny"] + list(TABLE2_SPECS)
+
+
+def _directions(network):
+    return {po: i % 2 for i, po in enumerate(network.outputs)}
+
+
+class TestUnboundBudgetIsBitIdentical:
+    @pytest.mark.parametrize("circuit", ALL_BENCHMARKS)
+    def test_generous_budget_matches_ungoverned(self, circuit):
+        network = load_circuit(circuit)
+        directions = _directions(network)
+        config = ApproxConfig(seed=2008)
+        plain = synthesize_approximation(network, directions, config)
+        # Where the ungoverned run stayed on an exact engine, a huge
+        # deadline never binds; where it fell back to the statistical
+        # checker (dalu, i10), the governed SAT rung would grind for a
+        # long time, so a short deadline drives it down the ladder.
+        deadline = 3600.0 if plain.check_method != "sim" else 15.0
+        governed = synthesize_approximation(
+            load_circuit(circuit), directions, config,
+            budget=Budget(deadline_s=deadline))
+        if plain.check_method == "sim":
+            # The governed ladder never uses the statistical checker:
+            # it falls from BDD to SAT and, at the deadline, to the
+            # correct-by-construction conformance rung.
+            assert governed.check_method in ("sat", "conformance")
+            assert governed.all_correct
+            return
+        assert write_blif(governed.approx) == write_blif(plain.approx)
+        assert governed.check_method == plain.check_method
+        assert governed.all_correct == plain.all_correct
+        assert governed.repair_rounds == plain.repair_rounds
+        assert governed.dropped_cubes == plain.dropped_cubes
+
+
+CHAOS_CASES = ["bdd-overflow", "sat-exhausted",
+               "bdd-overflow,sat-exhausted"]
+
+
+class TestChaosRungsStayLintClean:
+    @pytest.mark.parametrize("circuit", ["tiny", "cmb"])
+    @pytest.mark.parametrize("chaos", CHAOS_CASES)
+    def test_injected_fault_degrades_gracefully(self, circuit, chaos):
+        network = load_circuit(circuit)
+        # strict lint raises on any error diagnostic: a degraded flow
+        # must still produce a fully verifiable result.
+        result = run_ced_flow(network, reliability_words=1,
+                              coverage_words=1, power_words=1,
+                              lint_level="strict", chaos=chaos,
+                              budget=Budget(deadline_s=600.0))
+        report = result.budget_report
+        assert report is not None
+        assert validate_budget_report(report) == []
+        assert report["degraded"]
+        assert report["chaos"] == chaos.split(",")
+        assert report["ladder"], "ladder rungs must be recorded"
+        if "sat-exhausted" in chaos:
+            assert result.approx_result.check_method == "conformance"
+            assert report["engine"] == "conformance"
+        else:
+            assert result.approx_result.check_method in (
+                "sat", "conformance")
+        assert result.approx_result.all_correct
+        # The report also rides in the trace document and validates.
+        doc = result.to_dict()
+        assert doc["budget_report"] == report
+        assert validate_trace(doc["trace"]) == []
+        assert doc["trace"]["budget"] == report
+
+
+class TestDeadlineZeroFailsFast:
+    @pytest.mark.parametrize("circuit", ["tiny", "x1"])
+    def test_expired_deadline_is_structured_and_fast(self, circuit):
+        network = load_circuit(circuit)
+        start = time.perf_counter()
+        with pytest.raises(DeadlineExceeded) as info:
+            run_ced_flow(network, budget=Budget(deadline_s=0.0))
+        assert time.perf_counter() - start < 5.0
+        doc = info.value.to_dict()
+        assert doc["error"] == "DeadlineExceeded"
+        assert "flow entry" in doc["message"]
+        assert validate_budget_report(doc["budget_report"]) == []

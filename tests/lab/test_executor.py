@@ -1,9 +1,12 @@
 """Executor semantics: determinism, caching/resume, retry, timeout."""
 
+import signal
+
 import pytest
 
 from repro.lab import (ArtifactStore, Job, JobGraph, LabRunner,
                        resolve_workers, run_jobs)
+from repro.lab.executor import JobTimeout, _execute_payload
 
 from .helpers import (always_fail, combine, fail_until, spin, square,
                       tiny_flow, touch_and_square)
@@ -172,6 +175,63 @@ class TestFailureHandling:
         assert first.results["doomed"].status == "failed"
         second = runner.run(JobGraph([Job("doomed", always_fail)]))
         assert second.results["doomed"].status == "failed"
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGALRM"),
+                    reason="needs SIGALRM")
+class TestAlarmHygiene:
+    """The worker borrows SIGALRM; it must give it back intact."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_alarm(self):
+        old_handler = signal.getsignal(signal.SIGALRM)
+        yield
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+    def test_preexisting_timer_and_handler_restored(self):
+        fired = []
+        outer = lambda signum, frame: fired.append(signum)  # noqa: E731
+        signal.signal(signal.SIGALRM, outer)
+        signal.setitimer(signal.ITIMER_REAL, 60.0)
+        status, payload, _, _ = _execute_payload(
+            square, {"x": 3}, 0.5, None)
+        assert (status, payload) == ("ok", 9)
+        # The outer harness's handler is back...
+        assert signal.getsignal(signal.SIGALRM) is outer
+        # ...and so is its timer, net of the job's wall time.
+        remaining = signal.getitimer(signal.ITIMER_REAL)[0]
+        assert 0.0 < remaining <= 60.0
+
+    def test_no_preexisting_timer_stays_disarmed(self):
+        status, _, _, _ = _execute_payload(square, {"x": 2}, 0.5, None)
+        assert status == "ok"
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+    def test_alarm_racing_job_completion_reports_ok(self, monkeypatch):
+        """A job finishing within epsilon of its deadline must not be
+        reported as a timeout when the alarm wins the race to the
+        disarm call."""
+        import repro.lab.executor as executor
+
+        real_disarm = executor._disarm_alarm
+        calls = []
+
+        def racy_disarm():
+            real_disarm()
+            calls.append(1)
+            if len(calls) == 1:
+                raise JobTimeout()   # the alarm squeaked in first
+
+        monkeypatch.setattr(executor, "_disarm_alarm", racy_disarm)
+        status, payload, _, _ = _execute_payload(
+            square, {"x": 4}, 5.0, None)
+        assert (status, payload) == ("ok", 16)
+
+    def test_job_finishing_near_deadline_is_ok(self):
+        status, payload, _, _ = _execute_payload(
+            spin, {"seconds": 0.25}, 0.4, None)
+        assert (status, payload) == ("ok", "spun")
 
 
 class TestDependencies:

@@ -80,6 +80,39 @@ def test_corrupt_embedded_blif_fails_recheck(cert):
     problems = check_certificate(cert)
     assert len(problems) == 1
     assert "does not parse" in problems[0]
+    # The crash diagnostic names the exception type and keeps the
+    # traceback tail — a bare str(err) hides both.
+    assert "Error" in problems[0]
+    assert "Traceback" in problems[0]
+
+
+def test_corrupt_embedded_blif_raises_under_strict(cert):
+    cert["original_blif"] = ".model broken\n.names x y\n"
+    cert["digest"] = certificate_digest(cert)
+    with pytest.raises(Exception):
+        check_certificate(cert, strict=True)
+
+
+def test_reproof_crash_is_reported_with_type_and_traceback(
+        cert, monkeypatch):
+    """A crash inside the re-proof must not surface as an opaque
+    string (or worse, a clean bill): the problem entry carries the
+    exception type, message, and traceback tail."""
+    import repro.lint.certificates as certificates
+
+    class Boom:
+        def __init__(self, *args, **kwargs):
+            raise KeyError("missing po wiring")
+
+    monkeypatch.setattr(certificates, "PairSemantics", Boom)
+    problems = check_certificate(cert)
+    assert len(problems) == 1
+    assert "implication re-proof crashed" in problems[0]
+    assert "KeyError" in problems[0]
+    assert "missing po wiring" in problems[0]
+    assert "Traceback" in problems[0]
+    with pytest.raises(KeyError, match="missing po wiring"):
+        check_certificate(cert, strict=True)
 
 
 def test_filename_is_sanitized():

@@ -1,12 +1,14 @@
 """Tests for Tseitin encoding and SAT-based implication checks."""
 
+import time
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bench import random_network
 from repro.cubes import Cover
 from repro.network import Network
-from repro.sat import NetworkEncoder
+from repro.sat import NetworkEncoder, SatBudgetExhausted
 
 
 def demo_network():
@@ -82,6 +84,20 @@ class TestImplicationQueries:
         enc.add_network(duplicate, prefix="b_")
         assert enc.equivalent("a_y", "b_y") is True
         assert enc.equivalent("a_t", "b_y") is False
+
+    def test_exhausted_implication_is_unknown_not_verdict(self):
+        """Tri-state audit: an exhausted query must surface as None
+        (implication_holds / equivalent) or raise (counterexample) —
+        never collapse into 'holds' or 'no counterexample'."""
+        net = demo_network()
+        enc = NetworkEncoder(net.inputs)
+        enc.add_network(net)
+        past = time.monotonic() - 1.0
+        assert enc.implication_holds("t", "y", deadline=past) is None
+        assert enc.equivalent("t", "y", deadline=past) is None
+        with pytest.raises(SatBudgetExhausted,
+                           match="counterexample search"):
+            enc.counterexample("y", "t", deadline=past)
 
     @settings(max_examples=15, deadline=None)
     @given(st.integers(0, 3000))

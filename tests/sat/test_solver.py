@@ -1,11 +1,12 @@
 """Tests for the CDCL SAT solver."""
 
 import random
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sat import SatSolver
+from repro.sat import SatBudgetExhausted, SatSolver, require_decided
 
 
 def make_solver(n_vars):
@@ -106,6 +107,18 @@ class TestAssumptions:
         assert solver.solve(assumptions=[1, -1]) is False
 
 
+def pigeonhole_3_into_2(solver):
+    """PHP(3,2): UNSAT, and needs real decisions (no unit clauses)."""
+    # Variables p_ij = pigeon i sits in hole j, numbered 1..6.
+    var = {(i, j): 2 * i + j + 1 for i in range(3) for j in range(2)}
+    for i in range(3):
+        solver.add_clause([var[(i, 0)], var[(i, 1)]])
+    for j in range(2):
+        for a in range(3):
+            for b in range(a + 1, 3):
+                solver.add_clause([-var[(a, j)], -var[(b, j)]])
+
+
 class TestBudget:
     def test_budget_returns_none_or_answer(self):
         solver = make_solver(6)
@@ -116,6 +129,30 @@ class TestBudget:
             solver.add_clause(clause)
         result = solver.solve(max_conflicts=1)
         assert result in (True, False, None)
+
+    def test_zero_conflict_budget_returns_none(self):
+        """Exhaustion is *unknown* (None), never False (UNSAT)."""
+        solver = make_solver(6)
+        pigeonhole_3_into_2(solver)
+        assert solver.solve(max_conflicts=0) is None
+        # With headroom the same solver decides the instance.
+        assert solver.solve() is False
+
+    def test_expired_deadline_returns_none(self):
+        solver = make_solver(1)
+        solver.add_clause([1])
+        assert solver.solve(deadline=time.monotonic() - 1.0) is None
+        # The solver stays usable after giving up.
+        assert solver.solve() is True
+
+    def test_require_decided_passes_verdicts_through(self):
+        assert require_decided(True) is True
+        assert require_decided(False) is False
+
+    def test_require_decided_raises_on_unknown(self):
+        with pytest.raises(SatBudgetExhausted,
+                           match="equivalence query undecided"):
+            require_decided(None, "equivalence query")
 
 
 class TestRandomInstances:

@@ -121,6 +121,41 @@ class TestCedJson:
         assert json.loads(flow.summary_json()) == doc["summary"]
 
 
+class TestCedBudget:
+    def test_chaos_run_reports_budget_and_exits_zero(self, blif_path,
+                                                     capsys):
+        assert main(["ced", "--blif", str(blif_path), "--words", "1",
+                     "--chaos", "bdd-overflow,sat-exhausted",
+                     "--budget-deadline", "600", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        report = doc["budget_report"]
+        assert report["chaos"] == ["bdd-overflow", "sat-exhausted"]
+        assert report["degraded"] is True
+        assert doc["trace"]["budget"] == report
+
+    def test_text_report_mentions_budget(self, blif_path, capsys):
+        assert main(["ced", "--blif", str(blif_path), "--words", "1",
+                     "--chaos", "sat-exhausted"]) == 0
+        out = capsys.readouterr().out
+        assert "budget                : engine=conformance" in out
+
+    def test_deadline_zero_exits_with_budget_status(self, blif_path,
+                                                    capsys):
+        from repro.cli import EXIT_BUDGET_EXCEEDED
+        code = main(["ced", "--blif", str(blif_path), "--words", "1",
+                     "--budget-deadline", "0"])
+        assert code == EXIT_BUDGET_EXCEEDED == 3
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "DeadlineExceeded"
+        assert "flow entry" in err["message"]
+
+    def test_no_budget_flags_mean_no_budget(self, blif_path, capsys):
+        assert main(["ced", "--blif", str(blif_path), "--words", "1",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "budget_report" not in doc
+
+
 class TestSweep:
     def _sweep(self, tmp_path, *extra):
         return ["sweep", "--circuits", "tiny", "--words", "1",
