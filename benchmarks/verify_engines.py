@@ -1,0 +1,76 @@
+"""Cross-engine conformance sweep: numpy engine vs dict oracle.
+
+Runs the full CED flow (lint strict, certificates emitted) on every
+bundled benchmark under ``REPRO_BDD_ENGINE=python`` and ``=numpy`` and
+asserts the two :class:`CedFlowResult` summaries are bit-identical,
+lint-clean, and that every emitted implication certificate re-checks
+offline.  The engine knob is read at manager construction, so one
+process can flip it between fresh flows.
+
+    python benchmarks/verify_engines.py            # all nine circuits
+    python benchmarks/verify_engines.py tiny cmb   # subset
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.suite import TABLE2_SPECS, load_benchmark, tiny_benchmark
+from repro.ced.flow import run_ced_flow
+
+FLOW_KW = dict(reliability_words=2, coverage_words=2, seed=2008,
+               lint_level="strict")
+
+
+def run_engine(name: str, engine: str) -> dict:
+    from repro.lint import check_certificate
+
+    os.environ["REPRO_BDD_ENGINE"] = engine
+    net = tiny_benchmark() if name == "tiny" else load_benchmark(name)
+    cert_dir = Path(tempfile.mkdtemp(prefix=f"certs_{name}_"))
+    try:
+        flow = run_ced_flow(net, certificate_dir=cert_dir, **FLOW_KW)
+        assert flow.lint is not None and flow.lint.ok, \
+            f"{name}/{engine}: lint strict not clean"
+        for path in sorted(cert_dir.glob("*.cert.json")):
+            problems = check_certificate(json.loads(path.read_text()))
+            assert not problems, f"{name}/{engine}: {path.name}: " \
+                                 f"{problems}"
+    finally:
+        shutil.rmtree(cert_dir, ignore_errors=True)
+    return json.loads(flow.summary_json())
+
+
+def main(argv=None) -> int:
+    names = (argv or sys.argv[1:]) or ["tiny"] + sorted(
+        TABLE2_SPECS, key=lambda n: TABLE2_SPECS[n].target_gates)
+    bad = 0
+    for name in names:
+        t0 = time.perf_counter()
+        summaries = {engine: run_engine(name, engine)
+                     for engine in ("python", "numpy")}
+        same = summaries["python"] == summaries["numpy"]
+        bad += not same
+        verdict = "identical" if same else "DIVERGED"
+        print(f"{name:8s} {verdict}  lint=ok  "
+              f"({time.perf_counter() - t0:.1f}s)")
+        if not same:
+            print(json.dumps({k: summaries[k] for k in summaries},
+                             indent=1))
+    print(f"{len(names) - bad}/{len(names)} circuits bit-identical "
+          f"across engines")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

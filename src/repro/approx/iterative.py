@@ -37,6 +37,9 @@ import numpy as np
 from repro.bdd import BddOverflowError
 from repro.cubes import Cover, minimize
 from repro.guard import Budget, DeadlineExceeded
+from repro.lab.proofs import (EXACT_ENGINES, ConeFingerprinter,
+                              cone_payload, implication_key,
+                              proof_workers, prove_implications)
 from repro.network import (Network, eliminate, propagate_constants,
                            strash, sweep, trim_unread_fanins)
 from repro.sat.solver import SatBudgetExhausted, require_decided
@@ -115,51 +118,79 @@ def synthesize_approximation(network: Network,
     try:
         if budget is not None:
             budget.check_deadline("synthesize entry")
-        checker = _make_checker(network, approx, output_approximations,
-                                types, config, ctx, budget)
-        max_rounds = config.max_repair_rounds if budget is None \
-            else budget.repair_cap(config.max_repair_rounds)
-        while rounds < max_rounds:
-            if budget is not None:
-                budget.check_deadline("repair round")
-            incorrect = [po for po in network.outputs
-                         if not checker.po_correct(po)]
-            if not incorrect:
-                break
-            rounds += 1
-            sources = _find_sources(network, checker, incorrect)
-            if not sources:
-                # POs disagree but no internal source is isolatable (can
-                # happen under statistical checking): restore the cones.
-                for po in incorrect:
-                    _restore_cone(network, approx, po)
-                    restored.append(po)
-                checker = _safe_refresh(checker, network, approx,
-                                        output_approximations, types,
-                                        config, budget)
-                continue
-            for name in sources:
-                stage = repair_stage.get(name, 0)
-                action = _repair_node(network, approx, types, name,
-                                      stage, config)
-                repaired[name] = action
-                repair_stage[name] = stage + 1
-            checker = _safe_refresh(checker, network, approx,
-                                    output_approximations, types,
-                                    config, budget)
+        # Cross-process proof cache: per-PO implication verdicts keyed
+        # by cone fingerprint.  Only exact (BDD/SAT) verdicts are served
+        # or stored, and chaos-rigged budgets bypass it entirely, so
+        # every flow stays bit-identical with a cold or warm cache.
+        proofs = getattr(ctx, "proofs", None)
+        if config.check == "sim" or (budget is not None
+                                     and budget.report.chaos):
+            proofs = None
+        fingerprints = ConeFingerprinter() if proofs is not None else None
+        served = None
+        if proofs is not None:
+            _preprove_parallel(network, approx, output_approximations,
+                               proofs, fingerprints, config, budget)
+            served = _serve_cached_proofs(network, approx,
+                                          output_approximations,
+                                          proofs, fingerprints, budget)
+        if served is not None:
+            correctness, check_method = served
         else:
-            # Round budget exhausted: make the remaining outputs exact.
-            for po in network.outputs:
-                if not checker.po_correct(po):
-                    _restore_cone(network, approx, po)
-                    restored.append(po)
-            checker = _safe_refresh(checker, network, approx,
-                                    output_approximations, types,
-                                    config, budget)
+            checker = _wrap_proofs(
+                _make_checker(network, approx, output_approximations,
+                              types, config, ctx, budget),
+                proofs, fingerprints)
+            max_rounds = config.max_repair_rounds if budget is None \
+                else budget.repair_cap(config.max_repair_rounds)
+            while rounds < max_rounds:
+                if budget is not None:
+                    budget.check_deadline("repair round")
+                incorrect = [po for po in network.outputs
+                             if not checker.po_correct(po)]
+                if not incorrect:
+                    break
+                rounds += 1
+                sources = _find_sources(network, checker, incorrect)
+                if not sources:
+                    # POs disagree but no internal source is isolatable
+                    # (can happen under statistical checking): restore
+                    # the cones.
+                    for po in incorrect:
+                        _restore_cone(network, approx, po)
+                        restored.append(po)
+                    checker = _wrap_proofs(
+                        _safe_refresh(checker, network, approx,
+                                      output_approximations, types,
+                                      config, budget),
+                        proofs, fingerprints)
+                    continue
+                for name in sources:
+                    stage = repair_stage.get(name, 0)
+                    action = _repair_node(network, approx, types, name,
+                                          stage, config)
+                    repaired[name] = action
+                    repair_stage[name] = stage + 1
+                checker = _wrap_proofs(
+                    _safe_refresh(checker, network, approx,
+                                  output_approximations, types,
+                                  config, budget),
+                    proofs, fingerprints)
+            else:
+                # Round budget exhausted: make remaining outputs exact.
+                for po in network.outputs:
+                    if not checker.po_correct(po):
+                        _restore_cone(network, approx, po)
+                        restored.append(po)
+                checker = _wrap_proofs(
+                    _safe_refresh(checker, network, approx,
+                                  output_approximations, types,
+                                  config, budget),
+                    proofs, fingerprints)
 
-        correctness = {po: checker.po_correct(po)
-                       for po in network.outputs}
-        check_method = checker.method
+            correctness = {po: checker.po_correct(po)
+                           for po in network.outputs}
+            check_method = checker.method
     except (BddOverflowError, SatBudgetExhausted,
             DeadlineExceeded) as exc:
         if budget is None:
@@ -581,6 +612,152 @@ class _SimChecker(_Checker):
     def _equal(self, name: str) -> bool:
         o, a = self._rows(name)
         return bool(np.array_equal(o, a))
+
+
+class _ProofCachedChecker:
+    """Serves per-PO implication verdicts from the cross-process proof
+    cache, storing every verdict the wrapped *exact* checker proves.
+
+    Verdicts are content-addressed by the fingerprint of the original
+    and approximate cones plus the check direction, so a hit is exactly
+    as trustworthy as re-proving — the cone pair is byte-identical to
+    the one the cached proof ran on.  Statistical (sim) verdicts are
+    never served or stored; node-level queries pass straight through
+    (repair rounds mutate the approx, so their cones rarely repeat).
+    """
+
+    def __init__(self, inner: _Checker, proofs, fingerprints):
+        self._inner = inner
+        self._proofs = proofs
+        self._fp = fingerprints
+
+    @property
+    def method(self) -> str:
+        return self._inner.method
+
+    @property
+    def network(self) -> Network:
+        return self._inner.network
+
+    @property
+    def approx(self) -> Network:
+        return self._inner.approx
+
+    @property
+    def directions(self) -> dict[str, int]:
+        return self._inner.directions
+
+    def refresh(self) -> None:
+        self._inner.refresh()
+
+    def node_correct(self, name: str) -> bool:
+        return self._inner.node_correct(name)
+
+    def po_correct(self, po: str) -> bool:
+        inner = self._inner
+        if inner.network.is_input(po):
+            return True
+        if inner.method not in EXACT_ENGINES:
+            return inner.po_correct(po)
+        direction = 1 if inner.directions[po] == 1 else 0
+        key = implication_key(self._fp, inner.network, inner.approx,
+                              po, direction)
+        entry = self._proofs.get(key)
+        if entry is not None and entry.get("engine") in EXACT_ENGINES:
+            return bool(entry["holds"])
+        ok = inner.po_correct(po)
+        self._proofs.put(key, {
+            "kind": "implication", "po": po, "direction": direction,
+            "holds": bool(ok), "engine": inner.method})
+        return ok
+
+
+def _wrap_proofs(checker, proofs, fingerprints):
+    if proofs is None or isinstance(checker, _ProofCachedChecker):
+        return checker
+    return _ProofCachedChecker(checker, proofs, fingerprints)
+
+
+def _serve_cached_proofs(network: Network, approx: Network,
+                         output_approximations: dict[str, int],
+                         proofs, fingerprints,
+                         budget: Budget | None):
+    """The warm-cache fast path: skip the checking engine entirely.
+
+    Only when *every* PO's implication verdict is cached, exact, and
+    True — a single uncached or failing PO falls back to the normal
+    checker (wrapped, so the cached verdicts still serve per PO).
+    Returns ``(correctness, check_method)`` or None.
+    """
+    correctness: dict[str, bool] = {}
+    engines: set[str] = set()
+    for po in network.outputs:
+        if network.is_input(po):
+            correctness[po] = True
+            continue
+        direction = 1 if output_approximations[po] == 1 else 0
+        key = implication_key(fingerprints, network, approx, po,
+                              direction)
+        entry = proofs.get(key)
+        if entry is None or entry.get("engine") not in EXACT_ENGINES \
+                or not entry.get("holds"):
+            return None
+        correctness[po] = True
+        engines.add(entry["engine"])
+    method = "bdd" if engines <= {"bdd"} else "sat"
+    if budget is not None:
+        budget.report.rung(method, "selected", proof_cache=True)
+    return correctness, method
+
+
+def _preprove_parallel(network: Network, approx: Network,
+                       output_approximations: dict[str, int],
+                       proofs, fingerprints, config: ApproxConfig,
+                       budget: Budget | None) -> None:
+    """Prove uncached PO implications concurrently before the checker
+    is built (``REPRO_PROOF_WORKERS`` > 0).
+
+    Each worker proves one independent PO cone pair with budget-capped
+    BDDs; undecided cones (overflow/deadline in the worker) are simply
+    left uncached and handled by the in-process degradation ladder.
+    """
+    workers = proof_workers()
+    if workers <= 0 or config.check not in ("auto", "bdd"):
+        return
+    node_cap = config.bdd_node_budget
+    if budget is not None:
+        node_cap = budget.bdd_cap(node_cap)
+    jobs = []
+    for po in network.outputs:
+        if network.is_input(po):
+            continue
+        direction = 1 if output_approximations[po] == 1 else 0
+        key = implication_key(fingerprints, network, approx, po,
+                              direction)
+        if proofs.get(key) is not None:
+            continue
+        jobs.append({
+            "key": key,
+            "original": cone_payload(network, po),
+            "approx": cone_payload(approx, po),
+            "po": po,
+            "direction": direction,
+            "node_cap": node_cap,
+            "deadline_s": budget.remaining_s()
+            if budget is not None else None,
+        })
+    if not jobs:
+        return
+    by_key = {job["key"]: job for job in jobs}
+    for verdict in prove_implications(jobs, workers):
+        if not verdict.get("ok"):
+            continue
+        job = by_key[verdict["key"]]
+        proofs.put(verdict["key"], {
+            "kind": "implication", "po": job["po"],
+            "direction": job["direction"],
+            "holds": bool(verdict["holds"]),
+            "engine": verdict["engine"]})
 
 
 def _safe_refresh(checker: "_Checker", network: Network, approx: Network,

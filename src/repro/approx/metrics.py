@@ -106,21 +106,53 @@ def approximation_percentages(original: Network, approx: Network,
     checker and lint prover across the whole flow.
     """
     if method in ("bdd", "auto"):
+        # Content-addressed pct cache: a warm run whose cone pairs are
+        # unchanged serves every percentage without touching a manager.
+        proofs = getattr(ctx, "proofs", None)
+        fingerprints = None
+        cached_pcts: dict[str, float] = {}
+        if proofs is not None:
+            from repro.lab.proofs import ConeFingerprinter, pct_key
+            fingerprints = ConeFingerprinter()
+            for po, direction in directions.items():
+                key = pct_key(fingerprints, original, approx, po,
+                              1 if direction == 1 else 0)
+                entry = proofs.get(key)
+                if entry is not None \
+                        and entry.get("kind") == "approx_pct":
+                    cached_pcts[po] = float(entry["pct"])
+        todo = [po for po in directions if po not in cached_pcts]
+        if not todo:
+            return {po: cached_pcts[po] for po in directions}
         try:
             bdds = _pair_bdds(original, approx, bdd_node_budget, ctx)
             mgr = bdds.manager
-            result = {}
-            for po, direction in directions.items():
+            fs, gs = [], []
+            for po in todo:
                 prefix_o = "" if original.is_input(po) else "o_"
                 prefix_a = "" if approx.is_input(po) else "a_"
                 f = bdds.function(prefix_o + po)
                 g = bdds.function(prefix_a + po)
-                if direction == 0:
+                if directions[po] == 0:
                     f, g = mgr.not_(f), mgr.not_(g)
-                denom = mgr.probability(f)
-                result[po] = 100.0 if denom == 0.0 else \
-                    100.0 * mgr.probability(mgr.and_(f, g)) / denom
-            return result
+                fs.append(f)
+                gs.append(g)
+            covered = [mgr.and_(f, g) for f, g in zip(fs, gs)]
+            # One whole-table sweep on the numpy engine; the scalar
+            # fallback computes each probability exactly as before.
+            probs = mgr.probability_many(fs + covered)
+            result = dict(cached_pcts)
+            for i, po in enumerate(todo):
+                denom = probs[i]
+                pct = 100.0 if denom == 0.0 else \
+                    100.0 * probs[len(todo) + i] / denom
+                result[po] = pct
+                if proofs is not None:
+                    key = pct_key(fingerprints, original, approx, po,
+                                  1 if directions[po] == 1 else 0)
+                    proofs.put(key, {"kind": "approx_pct", "po": po,
+                                     "pct": pct, "engine": "bdd"})
+            return {po: result[po] for po in directions}
         except BddOverflowError:
             if method == "bdd":
                 raise

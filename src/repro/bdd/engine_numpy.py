@@ -1,0 +1,567 @@
+"""Vectorized struct-of-arrays BDD engine.
+
+:class:`NumpyBddManager` keeps the dict-based :class:`BddManager`
+storage as the source of truth — every scalar operation, ``mark()`` /
+``rollback()``, guard polling, and the lint certificate machinery
+behave exactly as in the oracle engine — and layers numpy mirrors on
+top for batched work:
+
+* struct-of-arrays int64 ``(var, lo, hi)`` node mirrors, synced lazily
+  from the append-only python lists (a watermark records how far the
+  mirror is valid, so scalar and batched operations interleave freely);
+* a vectorized open-addressing unique table (linear probing, batched
+  hashing) used by :meth:`_mk_level` to hash-cons whole frontiers of
+  nodes at once;
+* an array-backed computed table for the batched apply operator;
+* :meth:`apply_many` — a breadth-first apply that buckets pending
+  subproblems by top-variable level, deduplicates each bucket globally
+  (``np.unique``), expands all cofactors of a level in one shot and
+  rebuilds results bottom-up with batched hash-consing;
+* whole-table ``probability`` / ``sat_count`` / ``evaluate`` sweeps
+  that answer many roots with a single bottom-up pass.
+
+Node ids remain allocation-ordered small integers, so ids of a batched
+result are canonical *within* the manager (the unique table guarantees
+one id per ``(var, lo, hi)`` triple) even though the allocation order —
+and hence the numbering of intermediate nodes — differs from what a
+scalar recursion would produce.  All flow-level verdicts (implication,
+equality, probability) are function-level and therefore identical
+between engines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .manager import BddManager, BddOverflowError
+
+#: Batched apply operator codes.
+OP_AND, OP_OR, OP_XOR, OP_DIFF = 0, 1, 2, 3
+
+_M32 = np.int64(0xFFFFFFFF)
+
+
+def _hash_mix(vars_: np.ndarray, keys: np.ndarray, mask: int) -> np.ndarray:
+    """Vectorized slot hash of ``(var, lo<<32|hi)`` pairs."""
+    h = keys.astype(np.uint64)
+    h ^= h >> np.uint64(33)
+    h *= np.uint64(0xFF51AFD7ED558CCD)
+    h ^= vars_.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    h ^= h >> np.uint64(29)
+    return (h & np.uint64(mask)).astype(np.int64)
+
+
+class NumpyBddManager(BddManager):
+    """Struct-of-arrays BDD manager with batched frontier operations."""
+
+    engine = "numpy"
+
+    def __init__(self, num_vars: int = 0, max_nodes: int | None = None):
+        super().__init__(num_vars, max_nodes=max_nodes)
+        self._np_cap = 1024
+        self._np_var = np.empty(self._np_cap, np.int64)
+        self._np_lo = np.empty(self._np_cap, np.int64)
+        self._np_hi = np.empty(self._np_cap, np.int64)
+        self._np_n = 0
+        # Unique-table mirror: open addressing, linear probing.
+        self._ht_bits = 13
+        self._ht_var = np.zeros(1 << self._ht_bits, np.int64)
+        self._ht_key = np.zeros(1 << self._ht_bits, np.int64)
+        self._ht_node = np.full(1 << self._ht_bits, -1, np.int64)
+        self._ht_count = 0
+        self._ht_synced = 0
+        # Computed table for the batched apply operator.
+        self._ac_bits = 13
+        self._ac_op = np.zeros(1 << self._ac_bits, np.int64)
+        self._ac_key = np.zeros(1 << self._ac_bits, np.int64)
+        self._ac_res = np.full(1 << self._ac_bits, -1, np.int64)
+        self._ac_count = 0
+
+    # ------------------------------------------------------------------
+    # Mirror maintenance
+    # ------------------------------------------------------------------
+    def _sync_nodes(self) -> None:
+        n = len(self._var)
+        if self._np_n >= n:
+            return
+        if n > self._np_cap:
+            cap = max(self._np_cap * 2, n + 1024)
+            for name in ("_np_var", "_np_lo", "_np_hi"):
+                old = getattr(self, name)
+                new = np.empty(cap, np.int64)
+                new[:self._np_n] = old[:self._np_n]
+                setattr(self, name, new)
+            self._np_cap = cap
+        s = self._np_n
+        self._np_var[s:n] = self._var[s:n]
+        self._np_lo[s:n] = self._lo[s:n]
+        self._np_hi[s:n] = self._hi[s:n]
+        self._np_n = n
+
+    def _ht_grow_for(self, extra: int) -> None:
+        if (self._ht_count + extra) * 2 < (1 << self._ht_bits):
+            return
+        while (self._ht_count + extra) * 2 >= (1 << self._ht_bits):
+            self._ht_bits += 1
+        self._ht_rebuild()
+
+    def _ht_rebuild(self) -> None:
+        """Re-insert every live node into a fresh table."""
+        self._sync_nodes()
+        # Nodes born on the scalar path never passed _ht_grow_for; size
+        # the table for the full store or the probe loop cannot finish.
+        while (self._np_n + 1) * 2 >= (1 << self._ht_bits):
+            self._ht_bits += 1
+        size = 1 << self._ht_bits
+        self._ht_var = np.zeros(size, np.int64)
+        self._ht_key = np.zeros(size, np.int64)
+        self._ht_node = np.full(size, -1, np.int64)
+        self._ht_count = 0
+        n = self._np_n
+        if n > 2:
+            ids = np.arange(2, n, dtype=np.int64)
+            keys = (self._np_lo[2:n] << 32) | self._np_hi[2:n]
+            self._ht_insert(self._np_var[2:n], keys, ids)
+        self._ht_synced = n
+
+    def _ht_sync(self) -> None:
+        """Insert nodes created through the scalar ``_mk`` path."""
+        self._sync_nodes()
+        n = self._np_n
+        s = max(self._ht_synced, 2)
+        if s < n:
+            self._ht_grow_for(n - s)
+            ids = np.arange(s, n, dtype=np.int64)
+            keys = (self._np_lo[s:n] << 32) | self._np_hi[s:n]
+            self._ht_insert(self._np_var[s:n], keys, ids)
+        self._ht_synced = n
+
+    def _ht_insert(self, vars_, keys, nodes) -> None:
+        """Batch-insert distinct, absent ``(var, key) -> node`` entries."""
+        mask = (1 << self._ht_bits) - 1
+        h = _hash_mix(vars_, keys, mask)
+        cur = np.arange(keys.size)
+        while cur.size:
+            slots = h[cur]
+            empty = self._ht_node[slots] < 0
+            placed = np.zeros(keys.size, bool)
+            claimants = cur[empty]
+            if claimants.size:
+                uslots, first = np.unique(slots[empty], return_index=True)
+                win = claimants[first]
+                self._ht_var[uslots] = vars_[win]
+                self._ht_key[uslots] = keys[win]
+                self._ht_node[uslots] = nodes[win]
+                self._ht_count += win.size
+                placed[win] = True
+            cur = cur[~placed[cur]]
+            h[cur] = (h[cur] + 1) & mask
+
+    def _alloc_batch(self, var: int, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        k = int(lo.size)
+        n = len(self._var)
+        if self.max_nodes is not None and n + k > self.max_nodes:
+            raise BddOverflowError(
+                f"BDD node budget of {self.max_nodes} exceeded")
+        self._allocs += k
+        if self.guard is not None:
+            self.guard.check_deadline("bdd allocation")
+        ids = np.arange(n, n + k, dtype=np.int64)
+        lo_list = lo.tolist()
+        hi_list = hi.tolist()
+        self._var.extend([var] * k)
+        self._lo.extend(lo_list)
+        self._hi.extend(hi_list)
+        unique = self._unique
+        for i in range(k):
+            unique[(var, lo_list[i], hi_list[i])] = n + i
+        self._sync_nodes()
+        return ids
+
+    def _ht_get_or_make(self, var: int, lo: np.ndarray,
+                        hi: np.ndarray) -> np.ndarray:
+        """Hash-cons a batch of distinct ``(lo, hi)`` pairs at ``var``."""
+        self._ht_sync()
+        k = lo.size
+        self._ht_grow_for(k)
+        mask = (1 << self._ht_bits) - 1
+        key = (lo << 32) | hi
+        out = np.full(k, -1, np.int64)
+        h = _hash_mix(np.full(k, var, np.int64), key, mask)
+        cur = np.arange(k)
+        while cur.size:
+            slots = h[cur]
+            node = self._ht_node[slots]
+            empty = node < 0
+            hit = ~empty & (self._ht_var[slots] == var) \
+                & (self._ht_key[slots] == key[cur])
+            out[cur[hit]] = node[hit]
+            claimants = cur[empty]
+            if claimants.size:
+                uslots, first = np.unique(slots[empty], return_index=True)
+                win = claimants[first]
+                new_ids = self._alloc_batch(var, lo[win], hi[win])
+                self._ht_var[uslots] = var
+                self._ht_key[uslots] = key[win]
+                self._ht_node[uslots] = new_ids
+                self._ht_count += win.size
+                out[win] = new_ids
+            cur = cur[out[cur] < 0]
+            h[cur] = (h[cur] + 1) & mask
+        self._ht_synced = len(self._var)
+        return out
+
+    # ------------------------------------------------------------------
+    # Computed table
+    # ------------------------------------------------------------------
+    def _ac_grow_for(self, extra: int) -> None:
+        if (self._ac_count + extra) * 2 < (1 << self._ac_bits):
+            return
+        old_op, old_key, old_res = self._ac_op, self._ac_key, self._ac_res
+        live = old_res >= 0
+        while (self._ac_count + extra) * 2 >= (1 << self._ac_bits):
+            self._ac_bits += 1
+        size = 1 << self._ac_bits
+        self._ac_op = np.zeros(size, np.int64)
+        self._ac_key = np.zeros(size, np.int64)
+        self._ac_res = np.full(size, -1, np.int64)
+        self._ac_count = 0
+        if live.any():
+            self._ac_insert(old_op[live], old_key[live], old_res[live])
+
+    def _ac_insert(self, ops, keys, res) -> None:
+        mask = (1 << self._ac_bits) - 1
+        h = _hash_mix(ops, keys, mask)
+        cur = np.arange(keys.size)
+        while cur.size:
+            slots = h[cur]
+            empty = self._ac_res[slots] < 0
+            placed = np.zeros(keys.size, bool)
+            claimants = cur[empty]
+            if claimants.size:
+                uslots, first = np.unique(slots[empty], return_index=True)
+                win = claimants[first]
+                self._ac_op[uslots] = ops[win]
+                self._ac_key[uslots] = keys[win]
+                self._ac_res[uslots] = res[win]
+                self._ac_count += win.size
+                placed[win] = True
+            cur = cur[~placed[cur]]
+            h[cur] = (h[cur] + 1) & mask
+
+    def _ac_store(self, op: int, keys: np.ndarray, res: np.ndarray) -> None:
+        self._ac_grow_for(keys.size)
+        self._ac_insert(np.full(keys.size, op, np.int64), keys, res)
+
+    def _ac_lookup(self, op: int, keys: np.ndarray) -> np.ndarray:
+        mask = (1 << self._ac_bits) - 1
+        out = np.full(keys.size, -1, np.int64)
+        h = _hash_mix(np.full(keys.size, op, np.int64), keys, mask)
+        cur = np.arange(keys.size)
+        while cur.size:
+            slots = h[cur]
+            res = self._ac_res[slots]
+            empty = res < 0
+            hit = ~empty & (self._ac_op[slots] == op) \
+                & (self._ac_key[slots] == keys[cur])
+            out[cur[hit]] = res[hit]
+            cur = cur[~(empty | hit)]
+            h[cur] = (h[cur] + 1) & mask
+        return out
+
+    def _ac_wipe(self) -> None:
+        self._ac_res.fill(-1)
+        self._ac_count = 0
+
+    # ------------------------------------------------------------------
+    # Batched apply
+    # ------------------------------------------------------------------
+    #: Below these sizes the scalar recursion (dict caches) wins over
+    #: array-operation overhead: whole requests and per-level frontier
+    #: buckets smaller than the cutoff take the scalar ite path.
+    BATCH_CUTOFF = 128
+    BUCKET_CUTOFF = 96
+
+    def _scalar_op(self, op: int, f: int, g: int) -> int:
+        if op == OP_AND:
+            return self.and_(f, g)
+        if op == OP_OR:
+            return self.or_(f, g)
+        if op == OP_XOR:
+            return self.xor_(f, g)
+        return self.and_(f, self.not_(g))
+
+    def apply_many(self, op: int, fs, gs) -> np.ndarray:
+        """Apply a binary operator to many root pairs at once.
+
+        Breadth-first: unresolved subproblems are bucketed by their top
+        variable, each bucket is globally deduplicated, and the whole
+        level's cofactor expansion / hash-consing happens in a handful
+        of array operations.  Results are canonical node ids.  Small
+        requests and small frontier buckets are delegated to the scalar
+        recursion, where python dict caches beat array overhead.
+        """
+        fs = np.asarray(fs, dtype=np.int64)
+        gs = np.asarray(gs, dtype=np.int64)
+        if self.guard is not None:
+            self.guard.check_deadline("bdd batched apply")
+        if fs.size == 0:
+            return np.empty(0, np.int64)
+        if fs.size < self.BATCH_CUTOFF:
+            return np.fromiter(
+                (self._scalar_op(op, int(f), int(g))
+                 for f, g in zip(fs, gs)), np.int64, fs.size)
+        self._sync_nodes()
+        pending: list[list] = [[] for _ in range(self._num_vars)]
+        root = self._resolve_batch(op, fs, gs, pending)
+        records: dict[int, tuple] = {}
+        results: dict[int, np.ndarray] = {}
+        scalar_levels: list[int] = []
+        for v in range(self._num_vars):
+            if not pending[v]:
+                continue
+            keys = np.unique(np.concatenate(pending[v]))
+            if keys.size < self.BUCKET_CUTOFF:
+                # Sparse frontier: resolve the whole bucket scalar-side.
+                records[v] = (keys, None)
+                results[v] = np.fromiter(
+                    (self._scalar_op(op, int(k) >> 32,
+                                     int(k) & 0xFFFFFFFF)
+                     for k in keys), np.int64, keys.size)
+                scalar_levels.append(v)
+                self._sync_nodes()
+                continue
+            kf = keys >> 32
+            kg = keys & _M32
+            var, lo, hi = self._np_var, self._np_lo, self._np_hi
+            f_has = var[kf] == v
+            g_has = var[kg] == v
+            f01 = np.concatenate((np.where(f_has, lo[kf], kf),
+                                  np.where(f_has, hi[kf], kf)))
+            g01 = np.concatenate((np.where(g_has, lo[kg], kg),
+                                  np.where(g_has, hi[kg], kg)))
+            records[v] = (keys, self._resolve_batch(op, f01, g01, pending))
+        for v in sorted(records, reverse=True):
+            keys, children = records[v]
+            if children is None:
+                continue  # scalar-resolved bucket
+            both = self._gather(children, records, results)
+            out = self._mk_level(v, both[:keys.size], both[keys.size:])
+            results[v] = out
+            self._ac_store(op, keys, out)
+        for v in scalar_levels:
+            self._ac_store(op, records[v][0], results[v])
+        return self._gather(root, records, results)
+
+    def _resolve_batch(self, op: int, f: np.ndarray, g: np.ndarray,
+                       pending: list) -> tuple:
+        """Resolve trivial/cached pairs; enqueue the rest by top var."""
+        if op != OP_DIFF:  # commutative: normalize for cache sharing
+            swap = f > g
+            if swap.any():
+                f, g = np.where(swap, g, f), np.where(swap, f, g)
+        res = np.full(f.size, -1, np.int64)
+
+        def fill(mask, values) -> None:
+            m = mask & (res < 0)
+            res[m] = values[m] if isinstance(values, np.ndarray) else values
+
+        if op == OP_AND:
+            fill(f == 0, 0)          # after normalization f <= g
+            fill(f == 1, g)
+            fill(f == g, f)
+        elif op == OP_OR:
+            fill(f == 1, 1)
+            fill(g == 1, 1)
+            fill(f == 0, g)
+            fill(f == g, f)
+        elif op == OP_XOR:
+            fill(f == g, 0)
+            fill(f == 0, g)
+        else:  # OP_DIFF: f & !g
+            fill(f == 0, 0)
+            fill(g == 1, 0)
+            fill(f == g, 0)
+            fill(g == 0, f)
+        key = (f << 32) | g
+        open_ = res < 0
+        if open_.any():
+            cached = self._ac_lookup(op, key[open_])
+            sub = res[open_]
+            sub[cached >= 0] = cached[cached >= 0]
+            res[open_] = sub
+        open_ = res < 0
+        top = np.full(f.size, -1, np.int64)
+        if open_.any():
+            t = np.minimum(self._np_var[f[open_]], self._np_var[g[open_]])
+            top[open_] = t
+            open_keys = key[open_]
+            for v in np.unique(t):
+                pending[int(v)].append(open_keys[t == v])
+        return res, key, top
+
+    def _gather(self, resolved: tuple, records: dict,
+                results: dict) -> np.ndarray:
+        res, key, top = resolved
+        out = res.copy()
+        need = out < 0
+        if need.any():
+            for v in np.unique(top[need]):
+                m = need & (top == v)
+                keys_v = records[int(v)][0]
+                pos = np.searchsorted(keys_v, key[m])
+                out[m] = results[int(v)][pos]
+        return out
+
+    def _mk_level(self, var: int, lo: np.ndarray,
+                  hi: np.ndarray) -> np.ndarray:
+        """Batched ``_mk``: collapse redundant tests, hash-cons the rest."""
+        out = np.where(lo == hi, lo, np.int64(-1))
+        need = out < 0
+        if need.any():
+            packed = (lo[need] << 32) | hi[need]
+            upacked, inverse = np.unique(packed, return_inverse=True)
+            nodes = self._ht_get_or_make(var, upacked >> 32, upacked & _M32)
+            out[need] = nodes[inverse]
+        return out
+
+    # ------------------------------------------------------------------
+    # Batched public operations
+    # ------------------------------------------------------------------
+    def not_many(self, fs) -> np.ndarray:
+        fs = np.asarray(fs, dtype=np.int64)
+        return self.apply_many(OP_XOR, fs, np.ones(fs.size, np.int64))
+
+    def implies_many(self, fs, gs) -> list[bool]:
+        bad = self.apply_many(OP_DIFF, fs, gs)
+        return [b == 0 for b in bad.tolist()]
+
+    def restrict_many(self, fs, var: int, value: int) -> list[int]:
+        """Cofactor many roots w.r.t. ``var = value`` in one table sweep."""
+        self._sync_nodes()
+        n = self._np_n
+        sub = np.arange(n, dtype=np.int64)   # node -> restricted node
+        node_var = self._np_var[:n].copy()
+        lo = self._np_lo[:n]
+        hi = self._np_hi[:n]
+        at = node_var == var
+        sub[at] = (hi if value else lo)[at]
+        above = np.flatnonzero(node_var < var)
+        if above.size:
+            order = np.argsort(node_var[above], kind="stable")
+            above = above[order]
+            vs = node_var[above]
+            bounds = np.flatnonzero(np.diff(vs)) + 1
+            starts = np.concatenate(([0], bounds))
+            ends = np.concatenate((bounds, [vs.size]))
+            for gi in range(starts.size - 1, -1, -1):
+                idx = above[starts[gi]:ends[gi]]
+                v = int(vs[starts[gi]])
+                sub[idx] = self._mk_level(v, sub[lo[idx]], sub[hi[idx]])
+        return [int(sub[f]) for f in np.asarray(fs, dtype=np.int64)]
+
+    def compose_many(self, fs, var: int, g: int) -> list[int]:
+        """Substitute ``g`` for ``var`` in many roots at once."""
+        fs = np.asarray(fs, dtype=np.int64)
+        hi = np.asarray(self.restrict_many(fs, var, 1), np.int64)
+        lo = np.asarray(self.restrict_many(fs, var, 0), np.int64)
+        gv = np.full(fs.size, g, np.int64)
+        then = self.apply_many(OP_AND, gv, hi)
+        ng = self.not_many(gv[:1])[0] if fs.size else 0
+        other = self.apply_many(OP_AND, np.full(fs.size, ng, np.int64), lo)
+        return [int(r) for r in self.apply_many(OP_OR, then, other)]
+
+    # ------------------------------------------------------------------
+    # Whole-table query sweeps
+    # ------------------------------------------------------------------
+    def probabilities_all(self,
+                          var_probs: Sequence[float] | None = None
+                          ) -> np.ndarray:
+        """P(node = 1) for every node: one bottom-up levelized sweep.
+
+        Bit-identical to the scalar recursion — each node evaluates the
+        same ``(1-p)*P(lo) + p*P(hi)`` expression in float64.
+        """
+        self._sync_nodes()
+        n = self._np_n
+        var = self._np_var[:n]
+        lo = self._np_lo[:n]
+        hi = self._np_hi[:n]
+        prob = np.zeros(n, np.float64)
+        if n > 1:
+            prob[1] = 1.0
+        if n > 2:
+            order = np.argsort(var[2:], kind="stable").astype(np.int64) + 2
+            vs = var[order]
+            bounds = np.flatnonzero(np.diff(vs)) + 1
+            starts = np.concatenate(([0], bounds))
+            ends = np.concatenate((bounds, [vs.size]))
+            for gi in range(starts.size - 1, -1, -1):
+                idx = order[starts[gi]:ends[gi]]
+                v = int(vs[starts[gi]])
+                p = 0.5 if var_probs is None else float(var_probs[v])
+                prob[idx] = (1.0 - p) * prob[lo[idx]] + p * prob[hi[idx]]
+        return prob
+
+    def probability_many(self, fs,
+                         var_probs: Sequence[float] | None = None
+                         ) -> list[float]:
+        table = self.probabilities_all(var_probs)
+        return [float(table[f]) for f in fs]
+
+    def sat_count_many(self, fs, num_vars: int | None = None) -> list[int]:
+        """Exact model counts for many roots in one shared sweep.
+
+        Counts stay python big ints: wide circuits (i10 has 257 inputs)
+        overflow int64 immediately.
+        """
+        n = self._num_vars if num_vars is None else num_vars
+        var, lo, hi = self._var, self._lo, self._hi
+        order = sorted(range(2, len(var)), key=lambda i: -var[i])
+        count = [0] * len(var)
+        if len(var) > 1:
+            count[1] = 1
+        for i in order:
+            v = var[i]
+            l, h = lo[i], hi[i]
+            lo_var = min(var[l], n)
+            hi_var = min(var[h], n)
+            count[i] = (count[l] << (lo_var - v - 1)) + \
+                       (count[h] << (hi_var - v - 1))
+        return [count[f] << min(var[f], n) for f in fs]
+
+    def evaluate_many(self, fs, assignments) -> np.ndarray:
+        """Evaluate many roots under many assignments.
+
+        ``assignments`` is a ``(k, num_vars)`` 0/1 array; the result is
+        a ``(len(fs), k)`` boolean array.
+        """
+        self._sync_nodes()
+        fs = np.asarray(fs, dtype=np.int64)
+        assignments = np.asarray(assignments)
+        node = np.broadcast_to(fs[:, None],
+                               (fs.size, assignments.shape[0])).copy()
+        ii, jj = np.nonzero(node > 1)
+        while ii.size:
+            nd = node[ii, jj]
+            bit = assignments[jj, self._np_var[nd]]
+            node[ii, jj] = np.where(bit.astype(bool),
+                                    self._np_hi[nd], self._np_lo[nd])
+            keep = node[ii, jj] > 1
+            ii, jj = ii[keep], jj[keep]
+        return node == 1
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+    def rollback(self, mark: tuple[int, int, int, int]) -> None:
+        super().rollback(mark)
+        self._np_n = min(self._np_n, len(self._var))
+        # Mirror tables may reference rolled-back nodes: rebuild the
+        # unique-table mirror from the surviving store and wipe the
+        # computed table (recomputation is deterministic, so replayed
+        # batched operations hash-cons the same ids the oracle would).
+        self._ht_rebuild()
+        self._ac_wipe()

@@ -33,6 +33,10 @@ class BddManager:
     ``0 .. num_vars-1`` and ordered by index.
     """
 
+    #: Engine name; the numpy subclass overrides this.  Callers that can
+    #: exploit batched operations test for them with ``hasattr``.
+    engine = "python"
+
     def __init__(self, num_vars: int = 0, max_nodes: int | None = None):
         self.max_nodes = max_nodes
         #: Optional :class:`repro.guard.Budget` polled during node
@@ -325,6 +329,40 @@ class BddManager:
             return value
 
         return prob(f)
+
+    # -- batched queries -------------------------------------------------
+    # Scalar fallbacks so callers stay engine-agnostic; the numpy engine
+    # overrides these with single whole-table array sweeps.
+    def implies_many(self, fs: Sequence[int],
+                     gs: Sequence[int]) -> list[bool]:
+        """``[f => g]`` for many root pairs."""
+        return [self.implies(f, g) for f, g in zip(fs, gs)]
+
+    def probability_many(self, fs: Sequence[int],
+                         var_probs: Sequence[float] | None = None
+                         ) -> list[float]:
+        """``P(f = 1)`` for many roots."""
+        return [self.probability(f, var_probs) for f in fs]
+
+    def sat_count_many(self, fs: Sequence[int],
+                       num_vars: int | None = None) -> list[int]:
+        """Exact model counts for many roots."""
+        return [self.sat_count(f, num_vars) for f in fs]
+
+    def evaluate_many(self, fs: Sequence[int], assignments) -> list[list[bool]]:
+        """Evaluate many roots under many assignments.
+
+        ``assignments`` is a sequence of rows of 0/1 variable values
+        (row ``j``, column ``v`` is the value of variable ``v``).
+        """
+        packed = []
+        for row in assignments:
+            word = 0
+            for i, bit in enumerate(row):
+                if bit:
+                    word |= 1 << i
+            packed.append(word)
+        return [[self.evaluate(f, word) for word in packed] for f in fs]
 
     def any_sat(self, f: int) -> int | None:
         """One satisfying assignment (bit vector), or None if f == 0."""

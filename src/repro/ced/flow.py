@@ -406,6 +406,7 @@ def run_ced_flow(network: Network,
                  certificate_dir=None,
                  ctx: AnalysisContext | None = None,
                  checkpoint_dir=None,
+                 proof_cache_dir=None,
                  budget: Budget | None = None,
                  chaos=()
                  ) -> CedFlowResult:
@@ -433,6 +434,14 @@ def run_ced_flow(network: Network,
     identical re-run — including one that was killed mid-pipeline —
     resumes after the last completed pass.
 
+    ``proof_cache_dir`` attaches a cross-process proof cache
+    (:class:`repro.lab.proofs.ProofCache`): per-PO implication verdicts
+    and approximation percentages are keyed by cone fingerprint, so a
+    warm run serves them from disk instead of re-proving.  Only exact
+    (BDD/SAT) verdicts are cached, keeping results bit-identical with
+    or without the cache; the knob is deliberately *not* part of the
+    checkpoint token for the same reason.
+
     ``budget`` makes the run resource-governed: synthesis walks the
     degradation ladder (BDD -> SAT -> conformance-only) instead of
     raising on overflow/exhaustion, every pass polls the deadline, and
@@ -448,6 +457,14 @@ def run_ced_flow(network: Network,
     budget = apply_chaos(budget, chaos)
     config = config or ApproxConfig(seed=seed)
     analysis = ctx if ctx is not None else AnalysisContext()
+    if proof_cache_dir is not None:
+        # Imported lazily: repro.lab imports the ced layer.
+        from pathlib import Path
+
+        from repro.lab.proofs import ProofCache
+        if analysis.proofs is None or \
+                analysis.proofs.root != Path(proof_cache_dir):
+            analysis.proofs = ProofCache(proof_cache_dir)
     params = {
         "script": script.name,
         "config": dataclasses.asdict(config),

@@ -13,7 +13,9 @@ Subcommands:
 * ``gen``   — export a suite benchmark (MCNC stand-in) as BLIF;
 * ``sweep`` — drive a (circuit x config) grid of CED flows through
   ``repro.lab``: parallel workers, content-addressed caching (killed
-  runs resume), and a structured run manifest.
+  runs resume), and a structured run manifest;
+* ``cache`` — stats/prune for the cross-process implication proof
+  cache (``.lab_cache/proofs/``).
 
 Usage: ``python -m repro.cli <subcommand> --help``.
 """
@@ -145,6 +147,7 @@ def cmd_ced(args: argparse.Namespace) -> int:
                             coverage_words=args.words,
                             directions=directions, seed=args.seed,
                             checkpoint_dir=args.checkpoint_dir,
+                            proof_cache_dir=args.proof_cache_dir,
                             budget=_budget_from(args),
                             chaos=args.chaos or ())
     except BudgetExceeded as exc:
@@ -249,8 +252,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     graph = JobGraph(root_seed=args.seed)
     # With the artifact cache on, flows also checkpoint per pass into
-    # the same store, so a killed sweep resumes mid-pipeline.
+    # the same store, so a killed sweep resumes mid-pipeline, and
+    # implication proofs are shared across all worker processes.
     checkpoint_dir = None if args.no_cache else args.cache_dir
+    proof_cache_dir = None if args.no_cache \
+        else f"{args.cache_dir}/proofs"
     for circuit in circuits:
         for dc in dc_list:
             for drop in drop_list:
@@ -271,6 +277,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                    "seed": seed},
                         "lint_level": "warn" if args.lint else "off",
                         "checkpoint_dir": checkpoint_dir,
+                        "proof_cache_dir": proof_cache_dir,
                     },
                     timeout=args.timeout, retries=args.retries))
 
@@ -328,6 +335,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if run.ok else 1
 
 
+def _parse_size(text: str) -> int:
+    """'512', '64K', '10M', '1G' -> bytes."""
+    text = text.strip().upper()
+    scale = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}.get(text[-1:])
+    try:
+        if scale is not None:
+            return int(float(text[:-1]) * scale)
+        return int(text)
+    except ValueError:
+        raise SystemExit(f"cache: bad size {text!r} "
+                         "(use bytes or a K/M/G suffix)")
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the cross-process proof cache."""
+    from repro.lab import ProofCache
+
+    cache = ProofCache(args.dir)
+    if args.cache_command == "prune":
+        report = cache.prune(_parse_size(args.max_size))
+        doc = {"root": str(cache.root), **report}
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(f"pruned {doc['removed']} entr"
+                  f"{'y' if doc['removed'] == 1 else 'ies'}; "
+                  f"{doc['kept_entries']} kept "
+                  f"({doc['kept_bytes']} bytes)")
+        return 0
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(f"proof cache {stats['root']}: {stats['entries']} "
+              f"entries, {stats['bytes']} bytes")
+    return 0
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
     network = load_benchmark(args.name, table=args.table)
     write_blif(network, args.out)
@@ -373,6 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist per-pass checkpoints to this "
                             "content-addressed store so an identical "
                             "re-run resumes mid-pipeline")
+    p_ced.add_argument("--proof-cache-dir", default=None,
+                       help="serve/store per-PO implication proofs in "
+                            "this cross-process cache (keyed by cone "
+                            "fingerprint; results stay bit-identical)")
     p_ced.add_argument("--json", action="store_true",
                        help="emit the machine-readable flow record "
                             "instead of the text report")
@@ -452,6 +501,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="treat warnings as failures too")
     _add_config_flags(p_lint)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune the proof cache")
+    p_cache.add_argument("--dir", default=".lab_cache/proofs",
+                         help="proof cache root "
+                              "(default: .lab_cache/proofs)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    cache_sub = p_cache.add_subparsers(dest="cache_command",
+                                       required=True)
+    cache_sub.add_parser("stats",
+                         help="entry count and on-disk size")
+    p_prune = cache_sub.add_parser(
+        "prune", help="evict oldest entries down to a size budget")
+    p_prune.add_argument("--max-size", required=True,
+                         help="size budget in bytes (K/M/G suffixes "
+                              "accepted), e.g. 64M")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_gen = sub.add_parser("gen", help="export a suite benchmark")
     p_gen.add_argument("--name", required=True,

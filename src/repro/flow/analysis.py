@@ -22,6 +22,8 @@ retrying exactly once with a from-scratch build before letting
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.bdd import BddOverflowError
 from repro.network import GlobalBdds, Network, dfs_input_order
 from repro.sim import (get_simulator, signal_probabilities,
@@ -29,7 +31,34 @@ from repro.sim import (get_simulator, signal_probabilities,
 
 #: Artifact kinds tracked by the hit/miss counters.
 CACHE_KINDS = ("global_bdds", "simulator", "probabilities",
-               "switching", "checkpoint")
+               "switching", "checkpoint", "proofs")
+
+
+def _serialize_circuit(circuit) -> str:
+    """Canonical text form of a circuit for content-keyed memoization.
+
+    Two circuits with equal serializations compute identical signal
+    probabilities and switching activity, whatever their object
+    identity — this is what lets a re-loaded benchmark hit the caches
+    a previous load populated.
+    """
+    lines = ["inputs:" + ",".join(circuit.inputs)]
+    if hasattr(circuit, "gates"):       # MappedNetlist
+        lines.append("library:" + circuit.library.name)
+        for name in circuit.topological_order():
+            gate = circuit.gates[name]
+            lines.append(
+                f"{name}<{gate.cell.name}<{','.join(gate.fanins)}")
+        lines.append("pos:" + ",".join(
+            f"{po}={sig}"
+            for po, sig in sorted(circuit.po_signals.items())))
+    else:                               # Network
+        for name in circuit.topological_order():
+            node = circuit.nodes[name]
+            lines.append(f"{name}<{','.join(node.fanins)}"
+                         f"<{';'.join(node.cover.to_strings())}")
+        lines.append("outputs:" + ",".join(circuit.outputs))
+    return "\n".join(lines)
 
 
 class AnalysisContext:
@@ -63,9 +92,18 @@ class AnalysisContext:
         #: smaller budget must overflow identically (builds are
         #: deterministic and budget-independent until the cap trips).
         self._o_fail: dict | None = None
-        self._probs: dict[tuple, tuple[object, dict]] = {}
-        self._switching: dict[tuple, tuple[object, float]] = {}
+        #: Content-keyed memos: the key embeds a digest of the circuit
+        #: itself, so an equal circuit loaded as a *different object*
+        #: (a warm serve-style run) still hits.
+        self._probs: dict[tuple, dict] = {}
+        self._switching: dict[tuple, float] = {}
+        #: Digest memo per live object: (circuit, version, token).
+        self._tokens: dict[int, tuple] = {}
         self._sim_baseline = simulator_cache_stats()
+        #: Optional :class:`repro.lab.proofs.ProofCache` consulted by
+        #: the iterative checker and lint for per-PO implication
+        #: verdicts; ``None`` (the default) keeps flows hermetic.
+        self.proofs = None
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -85,6 +123,11 @@ class AnalysisContext:
         for key in ("hits", "misses"):
             delta = now[key] - self._sim_baseline[key]
             snap["simulator"][key] += max(delta, 0)
+        if self.proofs is not None:
+            snap["proofs"]["hits"] += self.proofs.hits
+            snap["proofs"]["misses"] += self.proofs.misses
+            snap["proofs"]["evictions"] = snap["proofs"].get(
+                "evictions", 0) + self.proofs.evictions
         return snap
 
     @staticmethod
@@ -247,33 +290,49 @@ class AnalysisContext:
         :func:`~repro.sim.get_simulator` cache)."""
         return get_simulator(circuit)
 
+    def _content_token(self, circuit) -> str:
+        """Digest of the circuit's content, memoized per live object.
+
+        Keying memos on this token (instead of object identity) is what
+        makes re-loaded-but-equal circuits warm cache hits; the
+        per-object ``(circuit, version)`` memo keeps the serialization
+        cost to one pass per mutation, not one per lookup.
+        """
+        obj = id(circuit)
+        memo = self._tokens.get(obj)
+        version = getattr(circuit, "version", None)
+        if memo is not None and memo[0] is circuit and memo[1] == version:
+            return memo[2]
+        token = hashlib.sha256(
+            _serialize_circuit(circuit).encode()).hexdigest()
+        self._tokens[obj] = (circuit, version, token)
+        return token
+
     def probabilities(self, network, n_words: int = 32,
                       seed: int = 2008) -> dict[str, float]:
         """Memoized :func:`~repro.sim.signal_probabilities`."""
-        key = (id(network), getattr(network, "version", None),
-               n_words, seed)
+        key = (self._content_token(network), n_words, seed)
         cached = self._probs.get(key)
-        if self.enabled and cached is not None and cached[0] is network:
+        if self.enabled and cached is not None:
             self._hit("probabilities")
-            return cached[1]
+            return cached
         self._miss("probabilities")
         probs = signal_probabilities(network, n_words=n_words, seed=seed)
         if self.enabled:
-            self._probs[key] = (network, probs)
+            self._probs[key] = probs
         return probs
 
     def switching(self, circuit, n_words: int = 16, seed: int = 2008,
                   weighted: bool = False) -> float:
         """Memoized :func:`~repro.sim.switching_activity`."""
-        key = (id(circuit), getattr(circuit, "version", None),
-               n_words, seed, weighted)
+        key = (self._content_token(circuit), n_words, seed, weighted)
         cached = self._switching.get(key)
-        if self.enabled and cached is not None and cached[0] is circuit:
+        if self.enabled and cached is not None:
             self._hit("switching")
-            return cached[1]
+            return cached
         self._miss("switching")
         value = switching_activity(circuit, n_words=n_words, seed=seed,
                                    weighted=weighted)
         if self.enabled:
-            self._switching[key] = (circuit, value)
+            self._switching[key] = value
         return value

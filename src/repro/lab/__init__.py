@@ -20,6 +20,8 @@ from .manifest import (JOB_STATUSES,  # noqa: F401
                        MANIFEST_SCHEMA_VERSION, build_manifest,
                        load_manifest, new_run_id, validate_manifest,
                        write_manifest)
+from .proofs import (PROOF_WORKERS_ENV, ConeFingerprinter,  # noqa: F401
+                     ProofCache, proof_workers)
 
 __all__ = [
     "Job", "JobGraph", "derive_seed", "canonical_params",
@@ -29,4 +31,6 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION", "JOB_STATUSES", "build_manifest",
     "load_manifest", "new_run_id", "validate_manifest",
     "write_manifest",
+    "ProofCache", "ConeFingerprinter", "proof_workers",
+    "PROOF_WORKERS_ENV",
 ]

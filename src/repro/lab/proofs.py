@@ -1,0 +1,323 @@
+"""Cross-process content-addressed proof cache + parallel cone proving.
+
+The per-PO implication condition (paper Sec 2.2) only depends on the
+*cones* of the original and approximate output and the check direction.
+This module derives a content address for that triple — the sha256 of a
+levelized serialization of both cones — and persists proved verdicts as
+small JSON entries under ``.lab_cache/proofs/``, so repeated sweeps,
+warm serve-style workloads, and lint re-verification never re-prove a
+cone.  Only *exact* verdicts (BDD or SAT engines) are ever stored or
+served; statistical simulation verdicts stay out of the cache so a flow
+produces bit-identical results with a cold or warm cache.
+
+Every entry embeds a digest of its own payload: a corrupted entry
+(truncated write, bit rot, hand editing) is detected on read, evicted,
+and transparently re-proved.
+
+Independent POs' implications can also be proved *concurrently*:
+:func:`prove_implications` ships self-contained cone payloads to a
+process pool (``REPRO_PROOF_WORKERS`` workers), each worker rebuilding
+the pair of cone networks and proving with budget-capped global BDDs.
+Budget state threads into the workers — node caps and the remaining
+wall-clock deadline — so a blow-up or deadline inside a worker reports
+back as "undecided" and the caller's degradation ladder fires for that
+cone exactly as it would in-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+__all__ = ["ProofCache", "ConeFingerprinter", "implication_key",
+           "pct_key", "cone_payload", "prove_implications",
+           "proof_workers", "PROOF_WORKERS_ENV", "PROOF_SCHEMA"]
+
+#: Bump when the entry layout or the fingerprint recipe changes.
+PROOF_SCHEMA = 1
+
+#: Environment variable selecting the parallel-prover worker count.
+#: ``0`` (the default) disables out-of-process proving.
+PROOF_WORKERS_ENV = "REPRO_PROOF_WORKERS"
+
+#: Engines whose verdicts are exact and therefore cacheable.
+EXACT_ENGINES = ("bdd", "sat")
+
+
+def proof_workers() -> int:
+    """Worker count for parallel cone proving (0 = in-process only)."""
+    raw = os.environ.get(PROOF_WORKERS_ENV, "0").strip()
+    try:
+        return max(int(raw), 0)
+    except ValueError:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Cone fingerprints
+# ----------------------------------------------------------------------
+class ConeFingerprinter:
+    """Memoizing serializer of per-signal cones.
+
+    One per-network serialization (a line per node: name, fanins, SOP
+    cover rows) is computed per ``(object, version)`` and reused for
+    every root, so fingerprinting all POs of a network costs one table
+    build plus one transitive-fanin walk per PO.
+    """
+
+    def __init__(self):
+        self._memo: dict[int, tuple] = {}
+
+    def _table(self, network) -> tuple[dict[str, str], dict[str, int]]:
+        key = id(network)
+        memo = self._memo.get(key)
+        version = getattr(network, "version", None)
+        if memo is not None and memo[0] is network and memo[1] == version:
+            return memo[2], memo[3]
+        order = network.topological_order()
+        index = {name: i for i, name in enumerate(order)}
+        lines = {}
+        for name in order:
+            node = network.nodes[name]
+            lines[name] = (f"{name}<{','.join(node.fanins)}"
+                          f"<{';'.join(node.cover.to_strings())}")
+        self._memo[key] = (network, version, lines, index)
+        return lines, index
+
+    def cone(self, network, root: str) -> str:
+        """Deterministic levelized serialization of one root's cone."""
+        if root not in network.nodes:
+            return f"pi:{root}"
+        lines, index = self._table(network)
+        cone = network.transitive_fanin([root])
+        members = sorted((n for n in cone if n in lines),
+                         key=index.__getitem__)
+        pis = sorted(n for n in cone if n not in lines)
+        return "|".join([f"root:{root}", "pis:" + ",".join(pis)]
+                        + [lines[n] for n in members])
+
+
+def implication_key(fp: ConeFingerprinter, original, approx,
+                    po: str, direction: int) -> str:
+    """Content address of one per-PO implication check."""
+    payload = "\n".join([
+        f"proof-v{PROOF_SCHEMA}", "kind=implication",
+        f"direction={int(direction)}",
+        "[original]", fp.cone(original, po),
+        "[approx]", fp.cone(approx, po)])
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def pct_key(fp: ConeFingerprinter, original, approx,
+            po: str, direction: int) -> str:
+    """Content address of one per-PO approximation percentage."""
+    payload = "\n".join([
+        f"proof-v{PROOF_SCHEMA}", "kind=approx_pct",
+        f"direction={int(direction)}",
+        "[original]", fp.cone(original, po),
+        "[approx]", fp.cone(approx, po)])
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The on-disk cache
+# ----------------------------------------------------------------------
+class ProofCache:
+    """JSON proof entries addressed by cone fingerprint.
+
+    Entries live in ``root/<key[:2]>/<key>.json``; writes are atomic
+    (temp file + ``os.replace``).  Each entry carries a digest of its
+    own canonical payload — a mismatch means corruption, and the entry
+    is evicted and treated as a miss.
+    """
+
+    def __init__(self, root: "str | Path" = ".lab_cache/proofs"):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _digest(entry: dict) -> str:
+        payload = {k: v for k, v in sorted(entry.items())
+                   if k != "digest"}
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+    def get(self, key: str) -> dict | None:
+        """The cached entry, or None; corrupted entries are evicted."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except OSError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.evict(key)
+            self.evictions += 1
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) \
+                or entry.get("schema") != PROOF_SCHEMA \
+                or entry.get("digest") != self._digest(entry):
+            self.evict(key)
+            self.evictions += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: dict) -> None:
+        """Store an entry atomically (its digest is filled in here)."""
+        doc = dict(entry)
+        doc["schema"] = PROOF_SCHEMA
+        doc["digest"] = self._digest(doc)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True))
+        os.replace(tmp, path)
+
+    def evict(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    # -- hygiene ---------------------------------------------------------
+    def _entries(self) -> list[tuple[Path, int, float]]:
+        found = []
+        if not self.root.is_dir():
+            return found
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append((path, stat.st_size, stat.st_mtime))
+        return found
+
+    def stats(self) -> dict:
+        """On-disk totals plus this process's runtime counters."""
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict oldest entries (by mtime) until under ``max_bytes``."""
+        entries = sorted(self._entries(), key=lambda e: e[2])
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for path, size, _ in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return {"removed": removed, "kept_entries": len(entries) - removed,
+                "kept_bytes": total}
+
+
+# ----------------------------------------------------------------------
+# Parallel cone proving
+# ----------------------------------------------------------------------
+def cone_payload(network, root: str) -> dict:
+    """A self-contained, picklable description of one root's cone."""
+    if root not in network.nodes:
+        return {"root": root, "inputs": [root], "nodes": []}
+    cone = network.transitive_fanin([root])
+    inputs = [pi for pi in network.inputs if pi in cone]
+    nodes = []
+    for name in network.topological_order():
+        if name not in cone:
+            continue
+        node = network.nodes[name]
+        nodes.append((name, list(node.fanins), node.cover.to_strings(),
+                      node.cover.n))
+    return {"root": root, "inputs": inputs, "nodes": nodes}
+
+
+def _network_from_payload(payload: dict, name: str):
+    from repro.cubes import Cover
+    from repro.network import Network
+    net = Network(name)
+    for pi in payload["inputs"]:
+        net.add_input(pi)
+    for node_name, fanins, rows, width in payload["nodes"]:
+        cover = Cover.from_strings(rows) if rows else Cover(width)
+        net.add_node(node_name, list(fanins), cover)
+    net.add_output(payload["root"])
+    return net
+
+
+def _prove_entry(job: dict) -> dict:
+    """Worker: rebuild one cone pair and prove its implication.
+
+    Returns ``{"key", "ok", "holds", "engine"}`` on success; on
+    overflow/deadline/any failure ``ok`` is False and the caller's
+    in-process ladder takes over for that cone.
+    """
+    key = job["key"]
+    try:
+        from repro.bdd import BddOverflowError
+        from repro.guard import Budget, BudgetExceeded
+        from repro.network import GlobalBdds, dfs_input_order
+
+        original = _network_from_payload(job["original"], "cone_o")
+        approx = _network_from_payload(job["approx"], "cone_a")
+        inputs = dfs_input_order(original)
+        for pi in approx.inputs:
+            if pi not in inputs:
+                inputs.append(pi)
+        try:
+            bdds = GlobalBdds(inputs, max_nodes=job.get("node_cap"))
+            deadline_s = job.get("deadline_s")
+            if deadline_s is not None:
+                bdds.manager.guard = Budget(deadline_s=deadline_s).start()
+            bdds.add_network(original, prefix="o_")
+            bdds.add_network(approx, prefix="a_")
+            po = job["po"]
+            if job["direction"] == 1:
+                holds = bdds.implies("a_" + po, "o_" + po)
+            else:
+                holds = bdds.implies("o_" + po, "a_" + po)
+            return {"key": key, "ok": True, "holds": bool(holds),
+                    "engine": "bdd"}
+        except (BddOverflowError, BudgetExceeded) as exc:
+            return {"key": key, "ok": False, "why": type(exc).__name__}
+    except Exception as exc:  # never kill the pool on a cone
+        return {"key": key, "ok": False, "why": repr(exc)}
+
+
+def prove_implications(jobs: list[dict], workers: int) -> list[dict]:
+    """Prove many independent cone implications on a process pool.
+
+    Each job: ``{"key", "original", "approx", "po", "direction",
+    "node_cap", "deadline_s"}`` (see :func:`cone_payload`).  Falls back
+    to in-process proving when ``workers <= 1`` or the pool cannot
+    start (sandboxes without semaphores).
+    """
+    if workers <= 1 or len(jobs) <= 1:
+        return [_prove_entry(job) for job in jobs]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(workers,
+                                                 len(jobs))) as pool:
+            chunk = max(len(jobs) // (4 * workers), 1)
+            return list(pool.map(_prove_entry, jobs, chunksize=chunk))
+    except (OSError, ImportError, RuntimeError):
+        return [_prove_entry(job) for job in jobs]

@@ -43,7 +43,8 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
                   directions: "dict[str, int] | None" = None,
                   min_approx_pct: float = 25.0,
                   lint_level: str = "off",
-                  checkpoint_dir: "str | None" = None) -> dict[str, Any]:
+                  checkpoint_dir: "str | None" = None,
+                  proof_cache_dir: "str | None" = None) -> dict[str, Any]:
     """One complete CED flow run -> machine-readable record.
 
     ``config`` is a dict of :class:`~repro.approx.ApproxConfig`
@@ -54,6 +55,9 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
     ``checkpoint_dir`` persists per-pass checkpoints to that
     content-addressed store, so a killed sweep re-run resumes each
     flow after its last completed pass instead of from scratch.
+    ``proof_cache_dir`` shares per-PO implication proofs across the
+    sweep's worker processes by cone fingerprint (results stay
+    bit-identical; see :mod:`repro.lab.proofs`).
     """
     net = load_circuit(circuit, table)
     cfg = ApproxConfig(**config) if config else None
@@ -64,7 +68,8 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
                         seed=seed, directions=directions,
                         min_approx_pct=min_approx_pct,
                         lint_level=lint_level,
-                        checkpoint_dir=checkpoint_dir)
+                        checkpoint_dir=checkpoint_dir,
+                        proof_cache_dir=proof_cache_dir)
     return flow.to_dict()
 
 

@@ -41,28 +41,42 @@ class PairSemantics:
                  ctx: AnalysisContext | None = None):
         self.original = original
         self.approx = approx
+        self.bdd_node_budget = bdd_node_budget
         self.sat_conflict_budget = sat_conflict_budget
+        self.ctx = ctx
         self._encoder = None
         self._bdds = None
+        self._bdd_failed = False
         self._bdd_inputs: list[str] = []
-        try:
-            if ctx is not None:
-                # Reuse the flow's pair manager (canonicity keeps the
-                # re-proofs identical to a from-scratch build).
-                bdds = ctx.pair_bdds(original, approx, bdd_node_budget)
-            else:
-                bdds = GlobalBdds(dfs_input_order(original),
-                                  max_nodes=bdd_node_budget)
-                bdds.add_network(original, prefix="o_")
-                bdds.add_network(approx, prefix="a_")
-            self._bdds = bdds
-            self._bdd_inputs = list(bdds.inputs)
-        except BddOverflowError:
-            pass  # SAT takes over lazily
+        # Cross-process proof cache (repro.lab.proofs): re-verification
+        # of a cone pair an earlier run already proved is served from
+        # disk, and the pair BDDs are then never built at all.
+        self._proofs = getattr(ctx, "proofs", None)
+        self._fp = None
+
+    def _bdd_pair(self) -> GlobalBdds | None:
+        """The pair BDDs, built lazily once; None after an overflow."""
+        if self._bdds is None and not self._bdd_failed:
+            try:
+                if self.ctx is not None:
+                    # Reuse the flow's pair manager (canonicity keeps
+                    # the re-proofs identical to a from-scratch build).
+                    bdds = self.ctx.pair_bdds(self.original, self.approx,
+                                              self.bdd_node_budget)
+                else:
+                    bdds = GlobalBdds(dfs_input_order(self.original),
+                                      max_nodes=self.bdd_node_budget)
+                    bdds.add_network(self.original, prefix="o_")
+                    bdds.add_network(self.approx, prefix="a_")
+                self._bdds = bdds
+                self._bdd_inputs = list(bdds.inputs)
+            except BddOverflowError:
+                self._bdd_failed = True  # SAT takes over lazily
+        return self._bdds
 
     @property
     def method(self) -> str:
-        return "bdd" if self._bdds is not None else "sat"
+        return "sat" if self._bdd_failed else "bdd"
 
     def _sat_encoder(self):
         if self._encoder is None:
@@ -82,12 +96,48 @@ class PairSemantics:
         if self.original.is_input(po):
             # An output wired straight to a PI has an exact "cone".
             return ProofResult(True, self.method, {"trivial": True})
-        if self._bdds is not None:
+        cached = self._cached_proof(po, direction)
+        if cached is not None:
+            return cached
+        if self._bdd_pair() is not None:
             try:
-                return self._bdd_implication(po, direction)
+                proof = self._bdd_implication(po, direction)
             except BddOverflowError:
-                pass  # query blow-up: fall through to SAT
-        return self._sat_implication(po, direction)
+                proof = self._sat_implication(po, direction)
+        else:
+            proof = self._sat_implication(po, direction)
+        self._store_proof(po, direction, proof)
+        return proof
+
+    def _proof_key(self, po: str, direction: int) -> str:
+        from repro.lab.proofs import ConeFingerprinter, implication_key
+        if self._fp is None:
+            self._fp = ConeFingerprinter()
+        return implication_key(self._fp, self.original, self.approx,
+                               po, 1 if direction == 1 else 0)
+
+    def _cached_proof(self, po: str,
+                      direction: int) -> ProofResult | None:
+        if self._proofs is None:
+            return None
+        from repro.lab.proofs import EXACT_ENGINES
+        entry = self._proofs.get(self._proof_key(po, direction))
+        if entry is None or entry.get("engine") not in EXACT_ENGINES \
+                or entry.get("holds") is not True:
+            # Refuted or undecided entries are re-proved live: a
+            # certificate-grade refutation needs a fresh witness.
+            return None
+        return ProofResult(True, entry["engine"], {"proof_cache": True})
+
+    def _store_proof(self, po: str, direction: int,
+                     proof: ProofResult) -> None:
+        if self._proofs is None or proof.holds is None \
+                or proof.method not in ("bdd", "sat"):
+            return
+        self._proofs.put(self._proof_key(po, direction), {
+            "kind": "implication", "po": po,
+            "direction": 1 if direction == 1 else 0,
+            "holds": bool(proof.holds), "engine": proof.method})
 
     def _bdd_implication(self, po: str, direction: int) -> ProofResult:
         bdds = self._bdds

@@ -1,0 +1,214 @@
+"""Differential tests: numpy BDD engine vs the dict-based oracle.
+
+The two engines share one semantic contract: identical verdicts for
+every function-level query (evaluate / sat_count / probability /
+implies), identical scalar-path node ids, and identical overflow /
+rollback behavior.  Batched operations may allocate intermediate nodes
+in a different order than the scalar recursion, so cross-engine
+comparisons are semantic (truth tables, counts), never raw ids.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bdd import BddManager, BddOverflowError, NumpyBddManager, \
+    bdd_engine, make_manager
+from repro.bdd.engine_numpy import OP_AND, OP_DIFF, OP_OR, OP_XOR
+from repro.guard import Budget, DeadlineExceeded
+
+N_VARS = 6
+
+
+def _random_roots(mgr, rng, count=24):
+    """Grow a shared pool of functions with random scalar operations."""
+    roots = [0, 1] + [mgr.var(i) for i in range(N_VARS)]
+    for _ in range(count):
+        op = rng.randrange(6)
+        f = rng.choice(roots)
+        g = rng.choice(roots)
+        if op == 0:
+            roots.append(mgr.and_(f, g))
+        elif op == 1:
+            roots.append(mgr.or_(f, g))
+        elif op == 2:
+            roots.append(mgr.xor_(f, g))
+        elif op == 3:
+            roots.append(mgr.not_(f))
+        elif op == 4:
+            roots.append(mgr.restrict(f, rng.randrange(N_VARS),
+                                      rng.randrange(2)))
+        else:
+            roots.append(mgr.ite(f, g, rng.choice(roots)))
+    return roots
+
+
+def _truth_table(mgr, f):
+    return tuple(mgr.evaluate(f, a) for a in range(1 << N_VARS))
+
+
+@pytest.mark.parametrize("seed", [2008, 7, 99])
+def test_scalar_paths_are_bit_identical(seed):
+    """Scalar ops on the numpy engine replay the oracle id for id."""
+    rng1, rng2 = random.Random(seed), random.Random(seed)
+    oracle = BddManager(N_VARS)
+    numpy_mgr = NumpyBddManager(N_VARS)
+    roots_o = _random_roots(oracle, rng1)
+    roots_n = _random_roots(numpy_mgr, rng2)
+    assert roots_o == roots_n
+    assert oracle.num_nodes == numpy_mgr.num_nodes
+    assert oracle._var == numpy_mgr._var
+    assert oracle._lo == numpy_mgr._lo
+    assert oracle._hi == numpy_mgr._hi
+    for f_o, f_n in zip(roots_o, roots_n):
+        assert oracle.sat_count(f_o) == numpy_mgr.sat_count(f_n)
+        assert oracle.probability(f_o) == numpy_mgr.probability(f_n)
+
+
+@pytest.mark.parametrize("seed", [1, 42, 2008])
+def test_apply_many_matches_scalar_semantics(seed):
+    rng = random.Random(seed)
+    mgr = NumpyBddManager(N_VARS)
+    roots = _random_roots(mgr, rng, count=30)
+    fs = [rng.choice(roots) for _ in range(40)]
+    gs = [rng.choice(roots) for _ in range(40)]
+    for op, scalar in ((OP_AND, mgr.and_), (OP_OR, mgr.or_),
+                       (OP_XOR, mgr.xor_),
+                       (OP_DIFF, lambda f, g: mgr.and_(f, mgr.not_(g)))):
+        batched = mgr.apply_many(op, fs, gs)
+        for f, g, r in zip(fs, gs, batched):
+            assert _truth_table(mgr, int(r)) == \
+                _truth_table(mgr, scalar(f, g))
+    # Canonicity: batched results of existing functions reuse their ids.
+    again = mgr.apply_many(OP_AND, fs, gs)
+    assert [mgr.and_(f, g) for f, g in zip(fs, gs)] == list(again)
+
+
+@pytest.mark.parametrize("seed", [3, 2008])
+def test_batched_queries_match_oracle(seed):
+    rng = random.Random(seed)
+    oracle = BddManager(N_VARS)
+    numpy_mgr = NumpyBddManager(N_VARS)
+    roots = _random_roots(oracle, random.Random(seed))
+    roots_n = _random_roots(numpy_mgr, random.Random(seed))
+    assert roots == roots_n
+
+    probs = [rng.random() for _ in range(N_VARS)]
+    assert numpy_mgr.probability_many(roots_n) == \
+        [oracle.probability(f) for f in roots]
+    assert numpy_mgr.probability_many(roots_n, probs) == \
+        [oracle.probability(f, probs) for f in roots]
+    assert numpy_mgr.sat_count_many(roots_n) == \
+        [oracle.sat_count(f) for f in roots]
+
+    fs = [rng.choice(roots) for _ in range(30)]
+    gs = [rng.choice(roots) for _ in range(30)]
+    assert numpy_mgr.implies_many(fs, gs) == \
+        [oracle.implies(f, g) for f, g in zip(fs, gs)]
+
+    assignments = np.array([[rng.randrange(2) for _ in range(N_VARS)]
+                            for _ in range(16)])
+    got = numpy_mgr.evaluate_many(roots_n, assignments)
+    want = oracle.evaluate_many(roots, assignments.tolist())
+    assert got.tolist() == want
+
+
+def test_restrict_and_compose_many():
+    rng = random.Random(5)
+    mgr = NumpyBddManager(N_VARS)
+    roots = _random_roots(mgr, rng)
+    for var in (0, 2, N_VARS - 1):
+        for value in (0, 1):
+            batched = mgr.restrict_many(roots, var, value)
+            scalar = [mgr.restrict(f, var, value) for f in roots]
+            assert batched == scalar
+        g = rng.choice(roots)
+        batched = mgr.compose_many(roots, var, g)
+        scalar = [mgr.compose(f, var, g) for f in roots]
+        for b, s in zip(batched, scalar):
+            assert _truth_table(mgr, b) == _truth_table(mgr, s)
+
+
+def test_exists_and_structural_ops_inherited():
+    """Scalar structural ops still work on the numpy engine."""
+    mgr = NumpyBddManager(4)
+    f = mgr.and_(mgr.xor_(mgr.var(0), mgr.var(1)), mgr.var(2))
+    assert mgr.support(f) == {0, 1, 2}
+    assert mgr.exists(f, [2]) == mgr.xor_(mgr.var(0), mgr.var(1))
+    assert mgr.forall(f, [0]) == 0
+    assert mgr.boolean_difference(f, 2) == mgr.xor_(mgr.var(0), mgr.var(1))
+
+
+def test_mark_rollback_restores_batched_state():
+    """Rollback across batched ops replays the oracle exactly."""
+    mgr = NumpyBddManager(N_VARS)
+    rng = random.Random(11)
+    roots = _random_roots(mgr, rng)
+    mark = mgr.mark()
+    snapshot = (list(mgr._var), list(mgr._lo), list(mgr._hi))
+    fs = [rng.choice(roots) for _ in range(20)]
+    gs = [rng.choice(roots) for _ in range(20)]
+    first = list(mgr.apply_many(OP_XOR, fs, gs))
+    mgr.rollback(mark)
+    assert (list(mgr._var), list(mgr._lo), list(mgr._hi)) == snapshot
+    assert mgr.mark() == mark
+    # Replaying the same batch after rollback allocates the same ids.
+    assert list(mgr.apply_many(OP_XOR, fs, gs)) == first
+    # ... and scalar ops agree with the batch.
+    for f, g, r in zip(fs, gs, first):
+        assert mgr.xor_(f, g) == r
+
+
+def test_overflow_at_cap_matches_oracle():
+    rng = random.Random(13)
+    oracle = BddManager(8, max_nodes=40)
+    numpy_mgr = NumpyBddManager(8, max_nodes=40)
+
+    def grind(mgr):
+        f = mgr.var(0)
+        try:
+            for i in range(1, 8):
+                f = mgr.xor_(f, mgr.var(i))
+                f = mgr.or_(f, mgr.and_(mgr.var(i - 1), mgr.var(i)))
+            return f, None
+        except BddOverflowError as exc:
+            return None, str(exc)
+
+    assert grind(oracle) == grind(numpy_mgr)
+
+    batch = NumpyBddManager(8, max_nodes=20)
+    vs = [batch.var(i) for i in range(8)]
+    with pytest.raises(BddOverflowError):
+        acc = vs[0]
+        for v in vs[1:]:
+            acc = int(batch.apply_many(
+                OP_XOR, [acc, vs[0]], [v, v])[0])
+            acc = int(batch.apply_many(OP_OR, [acc], [batch.and_(v, vs[0])])[0])
+    assert batch.num_nodes <= 20
+
+
+def test_guard_deadline_polled_in_batched_allocs():
+    mgr = NumpyBddManager(10)
+    budget = Budget(deadline_s=0.0)
+    budget.start()
+    mgr.guard = budget
+    with pytest.raises(DeadlineExceeded):
+        fs = [mgr.var(i) for i in range(9)]
+        acc = fs[0]
+        for f in fs[1:]:
+            acc = int(mgr.apply_many(OP_XOR, [acc], [f])[0])
+
+
+def test_make_manager_env_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_BDD_ENGINE", raising=False)
+    assert bdd_engine() == "numpy"
+    assert isinstance(make_manager(3), NumpyBddManager)
+    monkeypatch.setenv("REPRO_BDD_ENGINE", "python")
+    assert bdd_engine() == "python"
+    mgr = make_manager(3)
+    assert isinstance(mgr, BddManager)
+    assert not isinstance(mgr, NumpyBddManager)
+    monkeypatch.setenv("REPRO_BDD_ENGINE", "cupy")
+    with pytest.raises(ValueError):
+        bdd_engine()

@@ -108,10 +108,13 @@ def test_one_build_per_network_version():
 
     original, approx = _pair()
     directions = {po: 1 for po in original.outputs}
+    po = original.outputs[0]
     ctx = AnalysisContext()
     approximation_percentages(original, approx, directions, ctx=ctx)
-    PairSemantics(original, approx, ctx=ctx)
-    PairSemantics(original, approx, ctx=ctx)
+    # The prover builds lazily: the first implication query of each
+    # instance reuses the context's pair manager.
+    PairSemantics(original, approx, ctx=ctx).implication(po, 1)
+    PairSemantics(original, approx, ctx=ctx).implication(po, 1)
     assert ctx.stats["global_bdds"]["misses"] == 1
     assert ctx.stats["global_bdds"]["hits"] == 2
 
@@ -205,11 +208,17 @@ def test_probabilities_memo_and_invalidation():
     p2 = ctx.probabilities(original, n_words=8, seed=3)
     assert p1 is p2
     assert ctx.stats["probabilities"] == {"hits": 1, "misses": 1}
-    # A mutation must invalidate: no stale probabilities.
+    # A content-changing mutation must invalidate: no stale values.
     name = next(iter(original.nodes))
-    original.replace_cover(name, _or2())
+    original.replace_cover(name, Cover(2, []))    # node now constant 0
     p3 = ctx.probabilities(original, n_words=8, seed=3)
     assert p3 == signal_probabilities(original, n_words=8, seed=3)
+    assert ctx.stats["probabilities"]["misses"] == 2
+    # Content-keyed memo: an equal circuit loaded as a different object
+    # (a warm serve-style run) hits instead of recomputing.
+    reloaded = original.copy()
+    p4 = ctx.probabilities(reloaded, n_words=8, seed=3)
+    assert p4 is p3
     assert ctx.stats["probabilities"]["misses"] == 2
 
 

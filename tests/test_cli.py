@@ -250,3 +250,51 @@ class TestParser:
         with pytest.raises(SystemExit) as exc:
             main(["--help"])
         assert exc.value.code == 0
+
+
+class TestCache:
+    def _populate(self, blif_path, proof_dir):
+        assert main(["ced", "--blif", str(blif_path), "--words", "2",
+                     "--proof-cache-dir", str(proof_dir)]) == 0
+
+    def test_stats_and_prune(self, blif_path, tmp_path, capsys):
+        proof_dir = tmp_path / "proofs"
+        self._populate(blif_path, proof_dir)
+        capsys.readouterr()
+        assert main(["cache", "--dir", str(proof_dir), "--json",
+                     "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0 and stats["bytes"] > 0
+        assert main(["cache", "--dir", str(proof_dir), "--json",
+                     "prune", "--max-size", "0"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed"] == stats["entries"]
+        assert report["kept_entries"] == 0
+
+    def test_bad_size_suffix_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "--dir", str(tmp_path), "prune",
+                  "--max-size", "10Q"])
+
+    def test_corrupted_entry_reproved_transparently(self, blif_path,
+                                                    tmp_path, capsys):
+        # A flipped verdict with a stale digest must be detected,
+        # evicted, and re-proved — never served.
+        proof_dir = tmp_path / "proofs"
+        self._populate(blif_path, proof_dir)
+        capsys.readouterr()
+        entries = sorted(proof_dir.glob("*/*.json"))
+        assert entries
+        victim = entries[0]
+        doc = json.loads(victim.read_text())
+        doc["holds"] = not doc["holds"]     # digest now mismatches
+        victim.write_text(json.dumps(doc))
+        assert main(["ced", "--blif", str(blif_path), "--words", "2",
+                     "--proof-cache-dir", str(proof_dir),
+                     "--json"]) == 0
+        rerun = json.loads(capsys.readouterr().out)
+        assert rerun["summary"]["approximation_pct"] > 0
+        # The tampered entry was replaced by a fresh, valid proof.
+        fresh = json.loads(victim.read_text())
+        from repro.lab import ProofCache
+        assert fresh["digest"] == ProofCache._digest(fresh)
