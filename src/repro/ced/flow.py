@@ -408,7 +408,8 @@ def run_ced_flow(network: Network,
                  checkpoint_dir=None,
                  proof_cache_dir=None,
                  budget: Budget | None = None,
-                 chaos=()
+                 chaos=(),
+                 on_pass=None
                  ) -> CedFlowResult:
     """Run the complete approximate-logic CED flow on a network.
 
@@ -450,6 +451,11 @@ def run_ced_flow(network: Network,
     :class:`~repro.guard.DeadlineExceeded`.  ``chaos`` injects
     deterministic resource faults (see :mod:`repro.guard.chaos`) for
     testing; it implies a budget.
+
+    ``on_pass`` is a live-progress observer: it is called with each
+    completed :class:`~repro.flow.PassRecord` (including the lint
+    record) right after the record joins the trace.  The serve layer
+    streams these to clients; the hook must not mutate the record.
     """
     if lint_level not in ("off", "warn", "strict"):
         raise ValueError(f"unknown lint level {lint_level!r}")
@@ -496,7 +502,8 @@ def run_ced_flow(network: Network,
     flow_ctx = FlowContext(network, params=params, analysis=analysis,
                            budget=budget)
     try:
-        PassManager(passes, store=store, token=token).run(flow_ctx)
+        PassManager(passes, store=store, token=token,
+                    on_record=on_pass).run(flow_ctx)
     finally:
         # Lint (and any later consumer of the shared context) re-proves
         # from scratch; an expired deadline must not abort it.
@@ -531,6 +538,8 @@ def run_ced_flow(network: Network,
         record.cache = AnalysisContext.delta(before, analysis.snapshot())
         record.stats["diagnostics"] = len(result.lint.diagnostics)
         flow_ctx.trace.add(record)
+        if on_pass is not None:
+            on_pass(record)
         if lint_level == "strict" and not result.lint.ok:
             raise LintError(result.lint)
     return result

@@ -15,7 +15,9 @@ Subcommands:
   ``repro.lab``: parallel workers, content-addressed caching (killed
   runs resume), and a structured run manifest;
 * ``cache`` — stats/prune for the cross-process implication proof
-  cache (``.lab_cache/proofs/``).
+  cache (``.lab_cache/proofs/``);
+* ``serve`` — run the CED-synthesis service (async HTTP front end over
+  sharded warm workers; see DESIGN.md §14) until SIGTERM drains it.
 
 Usage: ``python -m repro.cli <subcommand> --help``.
 """
@@ -373,6 +375,41 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the CED-synthesis service until a signal drains it."""
+    import asyncio
+    import signal as signal_mod
+
+    from repro.serve import CedService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        backend=args.backend, state_dir=args.state_dir,
+        max_queue=args.max_queue, tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        drain_timeout_s=args.drain_timeout,
+        default_words=args.words, default_seed=args.seed,
+        budget_deadline_s=args.budget_deadline,
+        budget_bdd_nodes=args.budget_bdd_nodes,
+        budget_sat_conflicts=args.budget_sat_conflicts,
+        budget_repair_rounds=args.budget_repair_rounds)
+    service = CedService(config, log=lambda line: print(
+        line, file=sys.stderr, flush=True))
+
+    async def main() -> None:
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal_mod.SIGTERM, signal_mod.SIGINT):
+            try:
+                loop.add_signal_handler(sig, service.request_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass               # non-main thread or odd platform
+        await service.stopped.wait()
+
+    asyncio.run(main())
+    return 0
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
     network = load_benchmark(args.name, table=args.table)
     write_blif(network, args.out)
@@ -511,14 +548,57 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable output")
     cache_sub = p_cache.add_subparsers(dest="cache_command",
                                        required=True)
-    cache_sub.add_parser("stats",
-                         help="entry count and on-disk size")
+    p_stats = cache_sub.add_parser("stats",
+                                   help="entry count and on-disk size")
     p_prune = cache_sub.add_parser(
         "prune", help="evict oldest entries down to a size budget")
     p_prune.add_argument("--max-size", required=True,
                          help="size budget in bytes (K/M/G suffixes "
                               "accepted), e.g. 64M")
+    for leaf in (p_stats, p_prune):
+        # Accepted after the subcommand too (``cache stats --json``).
+        # SUPPRESS keeps the leaf's default from clobbering a --json
+        # given before the subcommand.
+        leaf.add_argument("--json", action="store_true",
+                          default=argparse.SUPPRESS,
+                          help="machine-readable output")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the CED-synthesis service (async HTTP over sharded "
+             "warm workers)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="sharded warm worker count")
+    p_serve.add_argument("--backend", choices=("process", "thread"),
+                         default="process",
+                         help="worker isolation (process default; "
+                              "falls back to thread where "
+                              "multiprocessing is unavailable)")
+    p_serve.add_argument("--state-dir", default=".serve_cache",
+                         help="warm checkpoint + proof cache root")
+    p_serve.add_argument("--max-queue", type=int, default=16,
+                         help="bound on admitted-but-not-running jobs "
+                              "(429 backpressure beyond it)")
+    p_serve.add_argument("--tenant-rate", type=float, default=8.0,
+                         help="requests/second replenished per tenant")
+    p_serve.add_argument("--tenant-burst", type=float, default=16.0,
+                         help="per-tenant token-bucket burst")
+    p_serve.add_argument("--drain-timeout", type=float, default=60.0,
+                         help="seconds to let queued+running jobs "
+                              "finish on SIGTERM before cancelling "
+                              "the rest of the queue")
+    p_serve.add_argument("--words", type=int, default=2,
+                         help="default 64-vector words per request")
+    p_serve.add_argument("--seed", type=int, default=2008,
+                         help="default seed per request")
+    # For serve these act as rails: the default when a request names
+    # no budget, and the ceiling when it does.
+    _add_budget_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_gen = sub.add_parser("gen", help="export a suite benchmark")
     p_gen.add_argument("--name", required=True,

@@ -103,12 +103,17 @@ def pass_fingerprint(pass_obj: Pass) -> str:
 class PassManager:
     """Runs a pass list over a context, tracing and checkpointing."""
 
-    def __init__(self, passes, store=None, token: str | None = None):
+    def __init__(self, passes, store=None, token: str | None = None,
+                 on_record=None):
         self.passes = list(passes)
         #: Checkpoint store (``has``/``get``/``put``), or None.
         self.store = store if token is not None else None
         #: Content token of the flow's inputs; chains into every key.
         self.token = token
+        #: Called with each completed :class:`PassRecord` right after it
+        #: is added to the trace — the live-progress hook the serve
+        #: layer streams from.  Observer only: exceptions propagate.
+        self.on_record = on_record
         self._check_declarations()
 
     def _check_declarations(self) -> None:
@@ -152,6 +157,8 @@ class PassManager:
                 record.stats.setdefault("bdd_nodes", nodes)
             ctx.artifacts.update(outputs)
             ctx.trace.add(record)
+            if self.on_record is not None:
+                self.on_record(record)
         return ctx.trace
 
     # ------------------------------------------------------------------

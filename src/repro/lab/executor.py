@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import traceback
-from concurrent.futures import (FIRST_COMPLETED, Future,
+from concurrent.futures import (FIRST_COMPLETED, CancelledError, Future,
                                 ProcessPoolExecutor, wait)
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -157,7 +158,7 @@ class JobResult:
     """Terminal record of one job in a run."""
 
     name: str
-    status: str                      # ok | cached | failed | skipped
+    status: str          # ok | cached | failed | skipped | cancelled
     value: Any = None
     error: "str | None" = None
     attempts: int = 0
@@ -226,6 +227,18 @@ class LabRunner:
     default_timeout: "float | None" = None
     default_retries: int = 0
     manifest_extra: "dict[str, Any] | None" = None
+    #: Set by :meth:`request_shutdown`; polled between scheduling steps.
+    _shutdown: threading.Event = field(default_factory=threading.Event,
+                                       init=False, repr=False)
+
+    def request_shutdown(self) -> None:
+        """Ask a run in progress to stop (thread-safe, idempotent).
+
+        In-flight jobs are recorded as ``cancelled`` — not ``failed`` —
+        never-started jobs are left out of the manifest, and
+        :meth:`run` still writes the manifest before returning.
+        """
+        self._shutdown.set()
 
     def run(self, graph: JobGraph, run_id: "str | None" = None
             ) -> LabRun:
@@ -237,16 +250,28 @@ class LabRunner:
         total = len(graph)
         self._emit(f"[lab] run {run_id}: {total} jobs, "
                    f"workers={workers}")
-        if workers == "serial":
-            self._run_serial(graph, results)
-        else:
-            self._run_pool(graph, results, int(workers))
+        interrupt: "BaseException | None" = None
+        try:
+            if workers == "serial":
+                self._run_serial(graph, results)
+            else:
+                self._run_pool(graph, results, int(workers))
+        except (KeyboardInterrupt, SystemExit) as exc:
+            # Pool teardown (Ctrl-C or a harness kill): the manifest
+            # below records what actually happened — in-flight jobs as
+            # ``cancelled``, finished ones with their real status —
+            # and the interrupt continues on its way.
+            interrupt = exc
         wall = time.perf_counter() - start
         run = LabRun(run_id=run_id, results=results, wall_time_s=wall,
                      workers=workers)
         run.manifest_path = self._write_manifest(graph, run)
         counts = ", ".join(f"{k}={v}"
                            for k, v in sorted(run.counts().items()))
+        if interrupt is not None:
+            self._emit(f"[lab] run {run_id} interrupted after "
+                       f"{wall:.2f}s ({counts}); manifest written")
+            raise interrupt
         self._emit(f"[lab] run {run_id} done in {wall:.2f}s ({counts})")
         return run
 
@@ -338,6 +363,16 @@ class LabRunner:
     def _timeout_of(self, job: Job) -> "float | None":
         return job.timeout if job.timeout else self.default_timeout
 
+    def _cancel(self, graph: JobGraph, name: str,
+                results: dict[str, JobResult], total: int,
+                wall: float = 0.0) -> None:
+        """Record an in-flight job interrupted by pool teardown."""
+        results[name] = JobResult(
+            name=name, status="cancelled",
+            error="interrupted by pool teardown",
+            wall_time_s=wall, seed=graph.seed_for(name))
+        self._progress(results[name], len(results), total)
+
     # -- serial mode -----------------------------------------------------
     def _run_serial(self, graph: JobGraph,
                     results: dict[str, JobResult]) -> None:
@@ -345,6 +380,8 @@ class LabRunner:
         for name in graph.topological_order():
             if name in results:          # already marked skipped
                 continue
+            if self._shutdown.is_set():
+                return
             job = graph.job(name)
             if not all(results[d].ok for d in job.deps):
                 results[name] = JobResult(
@@ -359,11 +396,19 @@ class LabRunner:
                 self._progress(cached, len(results), total)
                 continue
             attempts = 0
+            started = time.perf_counter()
             while True:
                 attempts += 1
-                outcome = _execute_payload(
-                    job.fn, job.params, self._timeout_of(job),
-                    self._dep_results(job, results))
+                try:
+                    outcome = _execute_payload(
+                        job.fn, job.params, self._timeout_of(job),
+                        self._dep_results(job, results))
+                except (KeyboardInterrupt, SystemExit):
+                    # _execute_payload only absorbs Exception; an
+                    # interrupt mid-job is a teardown, not a failure.
+                    self._cancel(graph, name, results, total,
+                                 wall=time.perf_counter() - started)
+                    raise
                 if outcome[0] == "ok" \
                         or attempts > self._retries_of(job):
                     break
@@ -437,44 +482,81 @@ class LabRunner:
                                        total)
                 return progressed
 
-            while pending or running:
-                moved = schedule_ready()
-                if moved:
-                    continue        # cache hits may unblock more jobs
-                if not running:
-                    # Nothing runnable and nothing running: remaining
-                    # jobs are unreachable (defensive; validate()
-                    # should have caught cycles).
-                    for name in sorted(pending):
-                        if name not in results:
-                            results[name] = JobResult(
-                                name=name, status="skipped",
-                                error="unreachable",
-                                seed=graph.seed_for(name))
-                    pending.clear()
-                    break
-                finished, _ = wait(running, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    name, attempts = running.pop(future)
-                    job = graph.job(name)
-                    try:
-                        outcome = future.result()
-                    except Exception as exc:  # e.g. BrokenProcessPool
-                        outcome = ("error",
-                                   f"{type(exc).__name__}: {exc}",
-                                   0.0, None)
-                    if outcome[0] != "ok" \
-                            and attempts <= self._retries_of(job):
-                        self._emit(f"[lab] retry {name} "
-                                   f"(attempt {attempts + 1})")
-                        submit(job, attempts + 1)
-                        continue
-                    result = self._finish(graph, job, attempts,
-                                          outcome, results)
-                    pending.discard(name)
-                    if not result.ok:
-                        self._skip_dependents(graph, name, results, total)
-                    self._progress(result, len(results), total)
+            def teardown(current: "str | None" = None) -> None:
+                """Record every in-flight job as cancelled, stop pool."""
+                if current is not None:
+                    self._cancel(graph, current, results, total)
+                for name, _ in running.values():
+                    if name not in results:
+                        self._cancel(graph, name, results, total)
+                running.clear()
+                pending.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+
+            try:
+                while pending or running:
+                    if self._shutdown.is_set():
+                        teardown()
+                        return
+                    moved = schedule_ready()
+                    if moved:
+                        continue    # cache hits may unblock more jobs
+                    if not running:
+                        # Nothing runnable and nothing running:
+                        # remaining jobs are unreachable (defensive;
+                        # validate() should have caught cycles).
+                        for name in sorted(pending):
+                            if name not in results:
+                                results[name] = JobResult(
+                                    name=name, status="skipped",
+                                    error="unreachable",
+                                    seed=graph.seed_for(name))
+                        pending.clear()
+                        break
+                    # The timeout keeps request_shutdown() responsive.
+                    finished, _ = wait(running,
+                                       return_when=FIRST_COMPLETED,
+                                       timeout=0.25)
+                    for future in finished:
+                        name, attempts = running.pop(future)
+                        job = graph.job(name)
+                        try:
+                            outcome = future.result()
+                        except CancelledError:
+                            # Torn down before it ran: not a failure.
+                            self._cancel(graph, name, results, total)
+                            pending.discard(name)
+                            continue
+                        except (KeyboardInterrupt, SystemExit):
+                            # The interrupt surfaced through the
+                            # worker; this job (and every other
+                            # in-flight one) was a teardown victim,
+                            # not a spurious failure.
+                            teardown(current=name)
+                            raise
+                        except Exception as exc:
+                            # e.g. BrokenProcessPool: the worker died
+                            # on its own — a real failure.
+                            outcome = ("error",
+                                       f"{type(exc).__name__}: {exc}",
+                                       0.0, None)
+                        if outcome[0] != "ok" \
+                                and attempts <= self._retries_of(job):
+                            self._emit(f"[lab] retry {name} "
+                                       f"(attempt {attempts + 1})")
+                            submit(job, attempts + 1)
+                            continue
+                        result = self._finish(graph, job, attempts,
+                                              outcome, results)
+                        pending.discard(name)
+                        if not result.ok:
+                            self._skip_dependents(graph, name, results,
+                                                  total)
+                        self._progress(result, len(results), total)
+            except (KeyboardInterrupt, SystemExit):
+                # An interrupt delivered to the parent while waiting.
+                teardown()
+                raise
 
     # -- manifest --------------------------------------------------------
     def _write_manifest(self, graph: JobGraph, run: LabRun

@@ -24,8 +24,10 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "new_run_id", "write_manifest",
 MANIFEST_SCHEMA_VERSION = 1
 
 #: Terminal job states.  ``ok``/``cached`` are successes; ``failed``
-#: exhausted its retry budget; ``skipped`` had a failed dependency.
-JOB_STATUSES = ("ok", "cached", "failed", "skipped")
+#: exhausted its retry budget; ``skipped`` had a failed dependency;
+#: ``cancelled`` was in flight when the runner itself was torn down
+#: (Ctrl-C / ``request_shutdown``) — the job did not fail on its own.
+JOB_STATUSES = ("ok", "cached", "failed", "skipped", "cancelled")
 
 _REQUIRED_RUN_KEYS = ("schema_version", "run_id", "created",
                       "root_seed", "workers", "wall_time_s", "counts",

@@ -173,15 +173,33 @@ class ProofCache:
         return entry
 
     def put(self, key: str, entry: dict) -> None:
-        """Store an entry atomically (its digest is filled in here)."""
+        """Store an entry atomically (its digest is filled in here).
+
+        The temp name is unique per process *and* thread (warm serve
+        workers share one pid across shards in thread mode), and a
+        failed write never leaves the temp file behind — concurrent
+        readers either see the old complete entry or the new one,
+        never a torn JSON document.
+        """
+        import threading
+
         doc = dict(entry)
         doc["schema"] = PROOF_SCHEMA
         doc["digest"] = self._digest(doc)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(doc, sort_keys=True))
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}"
+            f".{threading.get_ident():x}.tmp")
+        try:
+            tmp.write_text(json.dumps(doc, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def evict(self, key: str) -> None:
         try:

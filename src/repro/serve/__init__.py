@@ -1,0 +1,24 @@
+"""CED-synthesis-as-a-service: async HTTP front end over warm workers.
+
+See DESIGN.md §14 for the architecture.  The public surface:
+
+* :class:`ServeConfig` / :class:`CedService` — the asyncio application
+  (``repro.cli serve`` is a thin wrapper around it);
+* :class:`ServeClient` — a blocking stdlib client for tests and tools;
+* :class:`WorkerPool` — the sharded warm-worker layer, usable on its
+  own;
+* :class:`AdmissionController` — bounded-queue + token-bucket admission.
+"""
+
+from .app import CedService, ServeConfig
+from .client import ServeClient, ServeError
+from .jobs import JOB_STATES, TERMINAL_STATES, JobRegistry, ServeJob
+from .pool import BACKENDS, WorkerPool, WorkerState, shard_of
+from .quota import Admission, AdmissionController, TokenBucket
+
+__all__ = [
+    "CedService", "ServeConfig", "ServeClient", "ServeError",
+    "JobRegistry", "ServeJob", "JOB_STATES", "TERMINAL_STATES",
+    "WorkerPool", "WorkerState", "shard_of", "BACKENDS",
+    "Admission", "AdmissionController", "TokenBucket",
+]

@@ -1,0 +1,157 @@
+"""Blocking client for the serve API (tests, benchmarks, CI smoke).
+
+Built on :mod:`http.client` so it shares no code with the server — the
+wire format is exercised for real.  One :class:`ServeClient` opens a
+fresh connection per call (the server supports keep-alive, but fresh
+connections keep the client trivially robust to server-side drains).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A non-2xx response; carries the structured error document."""
+
+    def __init__(self, status: int, doc: dict):
+        message = doc.get("message") or doc.get("error") or "error"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.doc = doc
+
+
+class ServeClient:
+    """Minimal synchronous client of one serve endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: bytes | None = None,
+                 content_type: str = "application/json"
+                 ) -> tuple[int, dict]:
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = content_type
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                doc = {"error": "unparseable_body",
+                       "body": raw[:200].decode("utf-8", "replace")}
+            return response.status, doc
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 body: bytes | None = None) -> dict:
+        status, doc = self._request(method, path, body)
+        if status >= 400:
+            raise ServeError(status, doc)
+        return doc
+
+    # -- API -------------------------------------------------------------
+    def submit(self, blif: str, *, tenant: str = "anonymous",
+               priority: int = 10, words: int | None = None,
+               seed: int | None = None, budget: dict | None = None,
+               **extra) -> dict:
+        """POST a circuit; returns the 202 acceptance document."""
+        envelope: dict = {"blif": blif, "tenant": tenant,
+                          "priority": priority, **extra}
+        if words is not None:
+            envelope["words"] = words
+        if seed is not None:
+            envelope["seed"] = seed
+        if budget is not None:
+            envelope["budget"] = budget
+        return self._checked("POST", "/v1/jobs",
+                             json.dumps(envelope).encode())
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finished job document including the flow record."""
+        return self._checked("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._checked("DELETE", f"/v1/jobs/{job_id}")
+
+    def health(self) -> dict:
+        return self._checked("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/v1/stats")
+
+    def jobs(self, limit: int = 50) -> dict:
+        return self._checked("GET", f"/v1/jobs?limit={limit}")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns its state document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']!r} after "
+                    f"{timeout}s")
+            time.sleep(poll_s)
+
+    def run(self, blif: str, timeout: float = 120.0, **submit_kw
+            ) -> dict:
+        """Submit, wait, and return the full result document."""
+        accepted = self.submit(blif, **submit_kw)
+        state = self.wait(accepted["job_id"], timeout=timeout)
+        if state["state"] != "done":
+            raise ServeError(409, {"error": f"job_{state['state']}",
+                                   "message": state.get("error")
+                                   or state["state"]})
+        return self.result(accepted["job_id"])
+
+    def events(self, job_id: str, since: int = 0):
+        """Yield the job's NDJSON progress events (blocks until done)."""
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            conn.request("GET",
+                         f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    doc = {"error": "unparseable_body"}
+                raise ServeError(response.status, doc)
+            # http.client undoes the chunking for us: read lines.
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            conn.close()

@@ -1,0 +1,166 @@
+"""The serve job model: submit -> queued -> running -> done/failed.
+
+A :class:`ServeJob` is one accepted circuit submission.  Its lifecycle
+is strictly forward::
+
+    queued -> running -> done | failed
+    queued -> cancelled                  (DELETE before dispatch)
+
+Every transition and every flow-pass completion appends a monotonically
+sequenced event to the job, which the streaming endpoint replays as
+NDJSON chunks; an :class:`asyncio.Event` wakes streamers and the
+dispatcher waiting on completion.  The :class:`JobRegistry` owns all
+jobs, hands out ids, and bounds memory by evicting the oldest finished
+jobs beyond a retention limit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ServeJob", "JobRegistry", "JOB_STATES", "TERMINAL_STATES"]
+
+#: Lifecycle states of a serve job.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States no job ever leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class ServeJob:
+    """One accepted circuit submission and everything it produced."""
+
+    job_id: str
+    tenant: str
+    priority: int
+    blif: str
+    params: dict
+    shard: int
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: ``CedFlowResult.to_dict()`` of the finished flow.
+    result: dict | None = None
+    #: Server-side execution metadata (flow seconds, cache totals,
+    #: warm/cold verdict) — kept out of ``result`` so the flow record
+    #: stays bit-identical to a direct ``run_ced_flow`` run.
+    stats: dict = field(default_factory=dict)
+    error: str | None = None
+    error_type: str | None = None
+    #: Monotonically sequenced progress events (state changes, passes).
+    events: list[dict] = field(default_factory=list)
+    _seq: itertools.count = field(default_factory=itertools.count,
+                                  repr=False)
+    #: Set on every event append; streamers and the dispatcher wait on
+    #: it and re-clear it themselves.
+    changed: asyncio.Event = field(default_factory=asyncio.Event,
+                                   repr=False)
+    #: Set exactly once, on the terminal transition.
+    finished: asyncio.Event = field(default_factory=asyncio.Event,
+                                    repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def add_event(self, kind: str, **payload) -> dict:
+        event = {"seq": next(self._seq), "kind": kind,
+                 "job_id": self.job_id, "state": self.state,
+                 "t": round(time.time() - self.submitted_at, 6),
+                 **payload}
+        self.events.append(event)
+        self.changed.set()
+        return event
+
+    def transition(self, state: str, **payload) -> None:
+        if self.terminal:
+            return                        # a late event cannot resurrect
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        self.state = state
+        if state == "running":
+            self.started_at = time.time()
+        if state in TERMINAL_STATES:
+            self.finished_at = time.time()
+        self.add_event("state", **payload)
+        if state in TERMINAL_STATES:
+            self.finished.set()
+
+    def wall_time_s(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self, with_result: bool = False) -> dict:
+        doc = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "shard": self.shard,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_time_s": self.wall_time_s(),
+            "queue_time_s": (round(self.started_at - self.submitted_at,
+                                   6)
+                             if self.started_at is not None else None),
+            "params": dict(self.params),
+            "events": len(self.events),
+            "error": self.error,
+            "error_type": self.error_type,
+            "stats": dict(self.stats),
+        }
+        if with_result and self.result is not None:
+            doc["result"] = self.result
+        return doc
+
+
+class JobRegistry:
+    """All jobs the service knows, with bounded finished-job retention."""
+
+    def __init__(self, retention: int = 256):
+        self.retention = int(retention)
+        self.jobs: dict[str, ServeJob] = {}
+        self._counter = itertools.count(1)
+        self._finished_order: list[str] = []
+
+    def new_id(self, blif: str) -> str:
+        digest = hashlib.sha256(blif.encode()).hexdigest()[:8]
+        return f"j{next(self._counter):06d}-{digest}"
+
+    def create(self, *, tenant: str, priority: int, blif: str,
+               params: dict, shard: int) -> ServeJob:
+        job = ServeJob(job_id=self.new_id(blif), tenant=tenant,
+                       priority=priority, blif=blif, params=params,
+                       shard=shard)
+        job.add_event("state")            # the initial "queued" event
+        self.jobs[job.job_id] = job
+        return job
+
+    def get(self, job_id: str) -> ServeJob | None:
+        return self.jobs.get(job_id)
+
+    def note_finished(self, job: ServeJob) -> None:
+        """Record a terminal job and evict beyond the retention bound."""
+        self._finished_order.append(job.job_id)
+        while len(self._finished_order) > self.retention:
+            victim = self._finished_order.pop(0)
+            self.jobs.pop(victim, None)
+
+    def counts(self) -> dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def recent(self, limit: int = 50) -> list[ServeJob]:
+        ordered = sorted(self.jobs.values(),
+                         key=lambda j: j.submitted_at, reverse=True)
+        return ordered[:limit]

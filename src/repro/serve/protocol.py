@@ -1,0 +1,193 @@
+"""Hand-rolled HTTP/1.1 over asyncio streams.
+
+The serve layer deliberately avoids ``http.server`` (thread-per-request,
+no backpressure) and keeps the wire format small enough to audit: a
+request parser over :class:`asyncio.StreamReader` (request line, headers,
+``Content-Length``-delimited body with a hard size cap), plain and
+chunked response writers, and a couple of JSON helpers.  Everything is
+stdlib-only and carries no service semantics — routing, quotas, and the
+job model live in :mod:`repro.serve.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = ["HttpError", "HttpRequest", "read_request", "write_response",
+           "json_response", "error_response", "start_chunked",
+           "write_chunk", "end_chunked", "REASONS"]
+
+#: Reason phrases for the status codes the service emits.
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest request line / header line we will buffer.
+MAX_LINE = 16 * 1024
+
+#: Most headers a request may carry.
+MAX_HEADERS = 64
+
+
+class HttpError(Exception):
+    """A malformed or oversized request; carries the response status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body as JSON; raises :class:`HttpError` (400) when bad."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""                       # clean EOF between requests
+        raise HttpError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "header line too long")
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "header line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = 8 * 1024 * 1024
+                       ) -> HttpRequest | None:
+    """Parse one request; ``None`` on a clean EOF before a request line.
+
+    Raises :class:`HttpError` on malformed input — the caller answers
+    with the carried status and closes the connection.
+    """
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, f"bad request line {request_line[:80]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = {key: values[-1] for key, values
+             in parse_qs(split.query, keep_blank_values=True).items()}
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"bad header line {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body of {length} bytes exceeds the "
+                                 f"{max_body}-byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated body")
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(400, "chunked request bodies are not supported")
+    return HttpRequest(method=method.upper(), path=unquote(split.path),
+                       query=query, headers=headers, body=body)
+
+
+def _head(status: int, headers: dict[str, str]) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers.items()]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def write_response(writer: asyncio.StreamWriter, status: int,
+                   body: bytes, content_type: str = "application/json",
+                   keep_alive: bool = True,
+                   extra_headers: dict[str, str] | None = None) -> None:
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    writer.write(_head(status, headers) + body)
+
+
+def json_response(writer: asyncio.StreamWriter, status: int, doc,
+                  keep_alive: bool = True,
+                  extra_headers: dict[str, str] | None = None) -> None:
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    write_response(writer, status, body, keep_alive=keep_alive,
+                   extra_headers=extra_headers)
+
+
+def error_response(writer: asyncio.StreamWriter, status: int,
+                   error: str, message: str = "",
+                   keep_alive: bool = True, **detail) -> None:
+    """The structured error document every failure path uses."""
+    doc = {"error": error, "status": status, **detail}
+    if message:
+        doc["message"] = message
+    json_response(writer, status, doc, keep_alive=keep_alive)
+
+
+def start_chunked(writer: asyncio.StreamWriter, status: int = 200,
+                  content_type: str = "application/x-ndjson") -> None:
+    """Begin a chunked (streaming) response; ends the connection after."""
+    writer.write(_head(status, {
+        "Content-Type": content_type,
+        "Transfer-Encoding": "chunked",
+        "Connection": "close",
+        # Defeat buffering proxies between us and a curl -N reader.
+        "Cache-Control": "no-cache",
+    }))
+
+
+def write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    if not data:
+        return                       # zero-length chunk would end the body
+    writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+
+
+def end_chunked(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")

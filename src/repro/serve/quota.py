@@ -1,0 +1,138 @@
+"""Admission control: per-tenant token buckets + bounded-queue backpressure.
+
+Every submission passes through one :class:`AdmissionController` before
+it may enter the scheduler queue.  The controller is deliberately a pure,
+synchronous, clock-injected object — no asyncio, no locks beyond the
+caller's single-threaded event loop — so its fairness and backpressure
+behavior can be property-tested exhaustively.
+
+Two independent gates, checked in order:
+
+* **backpressure** — the global queue is bounded; a submission arriving
+  with ``queued >= capacity`` is rejected with ``queue_full`` (the HTTP
+  layer turns this into a 429).  Nothing ever blocks: rejection is the
+  only overload response, so the queue depth is a hard invariant.
+* **tenant quota** — a classic token bucket per tenant (``rate`` tokens
+  per second, ``burst`` capacity, lazily refilled from the injected
+  monotonic clock).  A tenant out of tokens is rejected with
+  ``quota_exceeded`` and told when the next token arrives
+  (``retry_after_s``), leaving room for competing tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import monotonic
+
+__all__ = ["TokenBucket", "AdmissionController", "Admission"]
+
+
+class TokenBucket:
+    """Token bucket with lazy refill on an injected monotonic clock."""
+
+    def __init__(self, rate: float, burst: float,
+                 now: float = 0.0):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._stamp = float(now)
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self._stamp, 0.0)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_take(self, now: float, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; never blocks."""
+        self._refill(now)
+        if self.tokens + 1e-12 >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, now: float, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available."""
+        self._refill(now)
+        deficit = amount - self.tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+@dataclass
+class Admission:
+    """The controller's verdict on one submission."""
+
+    admitted: bool
+    reason: str = ""                 # queue_full | quota_exceeded
+    retry_after_s: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Bounded-queue backpressure plus per-tenant token buckets.
+
+    The caller owns the queued-job count and reports it through
+    :meth:`admit`'s ``queued`` argument (this keeps the controller free
+    of any coupling to the scheduler's data structures).  ``clock`` is
+    injectable for deterministic tests; it defaults to
+    :func:`time.monotonic`.
+    """
+
+    def __init__(self, capacity: int, tenant_rate: float = 4.0,
+                 tenant_burst: float = 8.0, clock=monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = float(tenant_burst)
+        self.clock = clock
+        self.buckets: dict[str, TokenBucket] = {}
+        #: Rejection tallies by reason, for the stats endpoint.
+        self.rejections: dict[str, int] = {"queue_full": 0,
+                                           "quota_exceeded": 0}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self.buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_rate, self.tenant_burst,
+                                 now=self.clock())
+            self.buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, queued: int) -> Admission:
+        """Decide one submission.  Pure decision — nothing is enqueued.
+
+        Backpressure is checked before the quota so a saturated queue
+        never burns a tenant's tokens: the tenant retries without being
+        double-punished.
+        """
+        if queued >= self.capacity:
+            self.rejections["queue_full"] += 1
+            return Admission(False, "queue_full",
+                             retry_after_s=1.0)
+        now = self.clock()
+        bucket = self.bucket(tenant)
+        if not bucket.try_take(now):
+            self.rejections["quota_exceeded"] += 1
+            return Admission(False, "quota_exceeded",
+                             retry_after_s=round(
+                                 bucket.retry_after(now), 3))
+        return Admission(True)
+
+    def snapshot(self) -> dict:
+        """JSON-safe counters for the stats endpoint."""
+        now = self.clock()
+        tenants = {}
+        for name, bucket in sorted(self.buckets.items()):
+            bucket._refill(now)
+            tenants[name] = {"tokens": round(bucket.tokens, 3),
+                             "rate": bucket.rate,
+                             "burst": bucket.burst}
+        return {"capacity": self.capacity,
+                "rejections": dict(self.rejections),
+                "tenants": tenants}

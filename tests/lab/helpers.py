@@ -45,6 +45,11 @@ def always_fail() -> None:
     raise ValueError("this job always fails")
 
 
+def raise_keyboard_interrupt() -> None:
+    """Simulates Ctrl-C landing inside a job (pool teardown)."""
+    raise KeyboardInterrupt()
+
+
 def spin(seconds: float) -> str:
     import time
     deadline = time.perf_counter() + seconds

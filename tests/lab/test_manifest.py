@@ -36,7 +36,7 @@ def test_run_writes_valid_manifest(tmp_path):
     assert doc["run_id"] == "manifest-test"
     assert doc["root_seed"] == 77
     assert doc["counts"] == {"ok": 1, "cached": 0, "failed": 1,
-                             "skipped": 1}
+                             "skipped": 1, "cancelled": 0}
     jobs = doc["jobs"]
     assert jobs["good"]["status"] == "ok"
     assert jobs["good"]["params"] == {"x": 4}

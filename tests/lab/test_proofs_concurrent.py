@@ -1,0 +1,123 @@
+"""Concurrent-writer safety of the proof cache (repro.lab.proofs).
+
+The contract under test: a reader racing any number of writers on the
+same keys either misses or sees a *complete, digest-valid* entry —
+never a torn JSON document — and failed writes leave no temp litter
+behind.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.lab.proofs import ProofCache
+
+KEYS = [f"{i:02x}" + "ab" * 31 for i in range(5)]
+
+
+def hammer(root, worker, iterations, failures):
+    """Writer+reader loop sharing ``KEYS`` with its siblings."""
+    cache = ProofCache(root)
+    for i in range(iterations):
+        key = KEYS[i % len(KEYS)]
+        cache.put(key, {"holds": True, "worker": worker, "i": i,
+                        "payload": "x" * 500})
+        entry = cache.get(key)
+        if entry is not None and entry.get("holds") is not True:
+            failures.append((worker, i, "bad value"))
+    if cache.evictions:
+        failures.append((worker, "evictions", cache.evictions))
+
+
+class TestConcurrentWriters:
+    def test_threaded_hammer_never_reads_torn_entries(self, tmp_path):
+        root = tmp_path / "proofs"
+        failures = []
+        threads = [threading.Thread(target=hammer,
+                                    args=(root, w, 100, failures))
+                   for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert failures == []
+        # No temp litter; every surviving entry digest-valid.
+        assert not list(root.rglob("*.tmp"))
+        checker = ProofCache(root)
+        for key in KEYS:
+            assert checker.get(key) is not None
+        assert checker.evictions == 0
+
+    def test_multiprocess_hammer(self, tmp_path):
+        root = tmp_path / "proofs"
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.lab.proofs import ProofCache\n"
+            "keys = [f'{{i:02x}}' + 'ab' * 31 for i in range(5)]\n"
+            "cache = ProofCache({root!r})\n"
+            "for i in range(150):\n"
+            "    key = keys[i % len(keys)]\n"
+            "    cache.put(key, {{'holds': True, 'i': i}})\n"
+            "    entry = cache.get(key)\n"
+            "    assert entry is None or entry['holds'] is True\n"
+            "assert cache.evictions == 0, cache.evictions\n"
+        ).format(src=str((os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))) + "/src"),
+            root=str(root))
+        procs = [subprocess.Popen([sys.executable, "-c", script])
+                 for _ in range(4)]
+        for proc in procs:
+            assert proc.wait(120) == 0
+        assert not list(root.rglob("*.tmp"))
+        checker = ProofCache(root)
+        for key in KEYS:
+            entry = checker.get(key)
+            assert entry is not None and entry["holds"] is True
+        assert checker.evictions == 0
+
+
+class TestCorruptionAndCleanup:
+    def test_torn_entry_is_evicted_and_reproved(self, tmp_path):
+        cache = ProofCache(tmp_path / "proofs")
+        key = KEYS[0]
+        cache.put(key, {"holds": True})
+        path = cache._path(key)
+        # Simulate a torn write from a non-atomic writer.
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+        assert not path.exists()
+        cache.put(key, {"holds": False})
+        assert cache.get(key)["holds"] is False
+
+    def test_digest_mismatch_is_evicted(self, tmp_path):
+        cache = ProofCache(tmp_path / "proofs")
+        key = KEYS[1]
+        cache.put(key, {"holds": True})
+        path = cache._path(key)
+        doc = json.loads(path.read_text())
+        doc["holds"] = False            # hand-edited, digest now stale
+        path.write_text(json.dumps(doc))
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path,
+                                              monkeypatch):
+        cache = ProofCache(tmp_path / "proofs")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.put(KEYS[2], {"holds": True})
+        monkeypatch.undo()
+        assert not list((tmp_path / "proofs").rglob("*.tmp"))
+        assert cache.get(KEYS[2]) is None
+        cache.put(KEYS[2], {"holds": True})     # cache still usable
+        assert cache.get(KEYS[2])["holds"] is True

@@ -1,0 +1,157 @@
+"""Tests for the hand-rolled HTTP layer (repro.serve.protocol)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (HttpError, end_chunked,
+                                  error_response, json_response,
+                                  read_request, start_chunked,
+                                  write_chunk, write_response)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed raw bytes to the request parser and return the result."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+    return asyncio.run(go())
+
+
+class FakeWriter:
+    """Collects everything the response helpers write."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data += chunk
+
+    def head_and_body(self):
+        head, _, body = bytes(self.data).partition(b"\r\n\r\n")
+        return head.decode("latin-1"), body
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        req = parse(b"GET /v1/jobs?limit=3&x=#frag HTTP/1.1\r\n"
+                    b"Host: h\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/v1/jobs"
+        assert req.query == {"limit": "3", "x": ""}
+        assert req.headers["host"] == "h"
+        assert req.body == b""
+
+    def test_post_with_body(self):
+        body = json.dumps({"blif": ".model m"}).encode()
+        req = parse(b"POST /v1/jobs HTTP/1.1\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body)
+        assert req.method == "POST"
+        assert req.json() == {"blif": ".model m"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_percent_decoded_path(self):
+        req = parse(b"GET /v1/jobs/j%2D1 HTTP/1.1\r\n\r\n")
+        assert req.path == "/v1/jobs/j-1"
+
+    def test_bad_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_truncated_body(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nhi")
+        assert err.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\n"
+                  + b"x" * 50, max_body=10)
+        assert err.value.status == 413
+
+    def test_negative_and_garbage_content_length(self):
+        for value in (b"-5", b"ten"):
+            with pytest.raises(HttpError):
+                parse(b"POST / HTTP/1.1\r\nContent-Length: "
+                      + value + b"\r\n\r\n")
+
+    def test_chunked_request_body_rejected(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n"
+                  b"2\r\nhi\r\n0\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_too_many_headers(self):
+        headers = b"".join(f"H{i}: v\r\n".encode() for i in range(80))
+        with pytest.raises(HttpError):
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+
+    def test_bad_json_body(self):
+        req = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{x}")
+        with pytest.raises(HttpError) as err:
+            req.json()
+        assert err.value.status == 400
+
+
+class TestResponses:
+    def test_plain_response_framing(self):
+        writer = FakeWriter()
+        write_response(writer, 200, b"hello",
+                       content_type="text/plain")
+        head, body = writer.head_and_body()
+        assert head.startswith("HTTP/1.1 200 OK")
+        assert "Content-Length: 5" in head
+        assert "Connection: keep-alive" in head
+        assert body == b"hello"
+
+    def test_json_response_sorted_and_newline(self):
+        writer = FakeWriter()
+        json_response(writer, 202, {"b": 1, "a": 2})
+        _, body = writer.head_and_body()
+        assert body == b'{"a": 2, "b": 1}\n'
+
+    def test_error_response_structure(self):
+        writer = FakeWriter()
+        error_response(writer, 429, "queue_full", "try later",
+                       retry_after_s=1.5)
+        head, body = writer.head_and_body()
+        assert head.startswith("HTTP/1.1 429 Too Many Requests")
+        doc = json.loads(body)
+        assert doc == {"error": "queue_full", "status": 429,
+                       "message": "try later", "retry_after_s": 1.5}
+
+    def test_chunked_stream_roundtrip(self):
+        writer = FakeWriter()
+        start_chunked(writer)
+        write_chunk(writer, b'{"seq": 0}\n')
+        write_chunk(writer, b"")          # dropped, not a terminator
+        write_chunk(writer, b'{"seq": 1}\n')
+        end_chunked(writer)
+        head, body = writer.head_and_body()
+        assert "Transfer-Encoding: chunked" in head
+        assert "Connection: close" in head
+        # Decode the chunked framing by hand.
+        decoded, rest = b"", body
+        while rest:
+            size_hex, _, rest = rest.partition(b"\r\n")
+            size = int(size_hex, 16)
+            if size == 0:
+                break
+            decoded, rest = decoded + rest[:size], rest[size + 2:]
+        lines = [json.loads(line)
+                 for line in decoded.splitlines() if line]
+        assert [line["seq"] for line in lines] == [0, 1]

@@ -1,0 +1,154 @@
+"""Property-style tests for admission control (repro.serve.quota).
+
+The controller is pure and clock-injected, so these tests drive it
+through seeded random interleavings and assert invariants rather than
+single scripted scenarios: the queue bound always holds, rejections are
+always structured, token buckets never go negative, and two competing
+tenants of equal rate are admitted fairly.
+"""
+
+import random
+
+import pytest
+
+from repro.serve.quota import Admission, AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        assert [bucket.try_take(0.0) for _ in range(3)] == [True] * 3
+        assert not bucket.try_take(0.0)
+        assert bucket.retry_after(0.0) == pytest.approx(1.0)
+        assert bucket.try_take(1.0)          # one second: one token
+        assert not bucket.try_take(1.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket.try_take(0.0)
+        bucket._refill(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_tokens_never_negative(self):
+        rng = random.Random(2008)
+        bucket = TokenBucket(rate=2.0, burst=4.0, now=0.0)
+        now = 0.0
+        for _ in range(2000):
+            now += rng.random() * 0.1
+            bucket.try_take(now, amount=rng.choice([0.5, 1.0, 2.0]))
+            assert bucket.tokens >= -1e-9
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestAdmissionController:
+    def test_queue_full_checked_before_quota(self):
+        """A saturated queue must never burn the tenant's tokens."""
+        clock = FakeClock()
+        controller = AdmissionController(capacity=1, tenant_rate=1.0,
+                                         tenant_burst=1.0, clock=clock)
+        verdict = controller.admit("t", queued=1)
+        assert not verdict and verdict.reason == "queue_full"
+        # The single burst token must still be there.
+        assert controller.admit("t", queued=0).admitted
+
+    def test_quota_rejection_is_structured(self):
+        clock = FakeClock()
+        controller = AdmissionController(capacity=10, tenant_rate=0.5,
+                                         tenant_burst=1.0, clock=clock)
+        assert controller.admit("t", queued=0).admitted
+        verdict = controller.admit("t", queued=0)
+        assert isinstance(verdict, Admission)
+        assert verdict.reason == "quota_exceeded"
+        assert verdict.retry_after_s == pytest.approx(2.0, abs=0.01)
+        assert controller.rejections["quota_exceeded"] == 1
+
+    def test_tenants_do_not_share_buckets(self):
+        clock = FakeClock()
+        controller = AdmissionController(capacity=10, tenant_rate=0.01,
+                                         tenant_burst=1.0, clock=clock)
+        assert controller.admit("a", queued=0).admitted
+        assert not controller.admit("a", queued=0)
+        assert controller.admit("b", queued=0).admitted
+
+    def test_queue_bound_invariant_under_random_load(self):
+        """Simulated open-loop load: depth never exceeds capacity."""
+        rng = random.Random(7)
+        clock = FakeClock()
+        controller = AdmissionController(capacity=5, tenant_rate=50.0,
+                                         tenant_burst=50.0, clock=clock)
+        queued = 0
+        max_seen = 0
+        for _ in range(5000):
+            clock.advance(rng.random() * 0.01)
+            if rng.random() < 0.6:           # a submission arrives
+                tenant = rng.choice("abc")
+                if controller.admit(tenant, queued):
+                    queued += 1
+            elif queued:                     # the scheduler drains one
+                queued -= 1
+            max_seen = max(max_seen, queued)
+            assert queued <= controller.capacity
+        assert max_seen == controller.capacity  # the bound was exercised
+
+    def test_equal_tenants_admitted_fairly(self):
+        """Two tenants at equal rates get near-equal admissions even
+        when one submits far more aggressively."""
+        rng = random.Random(11)
+        clock = FakeClock()
+        controller = AdmissionController(capacity=1000, tenant_rate=5.0,
+                                         tenant_burst=5.0, clock=clock)
+        admitted = {"greedy": 0, "polite": 0}
+        for _ in range(4000):
+            clock.advance(0.01)
+            # greedy hammers every tick, polite submits sporadically
+            # but well above its refill rate.
+            if controller.admit("greedy", queued=0):
+                admitted["greedy"] += 1
+            if rng.random() < 0.25:
+                if controller.admit("polite", queued=0):
+                    admitted["polite"] += 1
+        # Both are rate-limited to ~ rate * elapsed admissions: the
+        # greedy tenant cannot starve the polite one.
+        assert admitted["greedy"] == pytest.approx(
+            admitted["polite"], rel=0.15)
+        assert admitted["greedy"] <= 5.0 * 40 + 5 + 1
+
+    def test_never_deadlocks_when_drained(self):
+        """After any rejection storm, a drained queue admits again."""
+        rng = random.Random(13)
+        clock = FakeClock()
+        controller = AdmissionController(capacity=2, tenant_rate=100.0,
+                                         tenant_burst=100.0,
+                                         clock=clock)
+        for _ in range(500):
+            controller.admit(rng.choice("ab"), queued=2)
+        clock.advance(1.0)
+        assert controller.admit("a", queued=0).admitted
+
+    def test_snapshot_is_json_safe(self):
+        import json
+        clock = FakeClock()
+        controller = AdmissionController(capacity=4, clock=clock)
+        controller.admit("t", queued=0)
+        controller.admit("t", queued=4)
+        doc = controller.snapshot()
+        json.dumps(doc)
+        assert doc["capacity"] == 4
+        assert doc["rejections"]["queue_full"] == 1
+        assert "t" in doc["tenants"]

@@ -271,6 +271,28 @@ class TestCache:
         assert report["removed"] == stats["entries"]
         assert report["kept_entries"] == 0
 
+    def test_json_flag_accepted_after_subcommand(self, blif_path,
+                                                 tmp_path, capsys):
+        # ``cache stats --json`` (flag trailing the subcommand) must
+        # work exactly like ``cache --json stats``.
+        proof_dir = tmp_path / "proofs"
+        self._populate(blif_path, proof_dir)
+        capsys.readouterr()
+        assert main(["cache", "--dir", str(proof_dir), "stats",
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert main(["cache", "--dir", str(proof_dir), "prune",
+                     "--max-size", "0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed"] == stats["entries"]
+
+    def test_stats_without_json_is_text(self, tmp_path, capsys):
+        assert main(["cache", "--dir", str(tmp_path / "none"),
+                     "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "proof cache" in out and "0 entries" in out
+
     def test_bad_size_suffix_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["cache", "--dir", str(tmp_path), "prune",
@@ -298,3 +320,30 @@ class TestCache:
         fresh = json.loads(victim.read_text())
         from repro.lab import ProofCache
         assert fresh["digest"] == ProofCache._digest(fresh)
+
+
+class TestServe:
+    def test_parser_flags_and_defaults(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "3",
+             "--backend", "thread", "--state-dir", "/tmp/x",
+             "--budget-deadline", "30"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.port == 0 and args.workers == 3
+        assert args.backend == "thread"
+        assert args.budget_deadline == 30.0
+        assert args.max_queue == 16
+        assert args.tenant_rate == 8.0 and args.tenant_burst == 16.0
+        assert args.drain_timeout == 60.0
+        assert args.words == 2 and args.seed == 2008
+
+    def test_config_construction_matches_flags(self):
+        from repro.serve import ServeConfig
+        config = ServeConfig(port=0, workers=4, backend="thread",
+                             budget_deadline_s=10.0)
+        assert config.budget_deadline_s == 10.0
+        with pytest.raises(ValueError):
+            ServeConfig(backend="fibers")
+        with pytest.raises(ValueError):
+            ServeConfig(workers=0)
