@@ -1,0 +1,72 @@
+"""Regenerate the committed lint SARIF baseline.
+
+Runs the structural linter over every bundled benchmark circuit and
+merges the per-circuit SARIF logs into one multi-run document at
+``benchmarks/lint_baseline.sarif``.  CI's analyze-smoke job lints the
+same circuits against this file and fails on any finding whose stable
+fingerprint is not already recorded here — so the baseline freezes the
+*known* findings (bundled benchmarks ship with dead cones, unread
+fanins, and the like) while letting regressions surface as ``new``.
+
+Regenerate after intentionally changing a lint rule or a benchmark::
+
+    python benchmarks/make_lint_baseline.py
+    git add benchmarks/lint_baseline.sarif
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.suite import load_benchmark, tiny_benchmark
+from repro.lint import lint_network, to_sarif, validate_sarif
+
+DEFAULT_OUT = ROOT / "benchmarks" / "lint_baseline.sarif"
+
+CIRCUITS = ("tiny", "cmb", "cordic", "term1", "x1", "i2", "frg2",
+            "dalu", "i10")
+
+
+def build_baseline(circuits=CIRCUITS) -> dict:
+    runs = []
+    for name in circuits:
+        network = tiny_benchmark() if name == "tiny" \
+            else load_benchmark(name)
+        report = lint_network(network, circuit=name)
+        doc = to_sarif(report)
+        runs.extend(doc["runs"])
+        print(f"{name:8s} {len(report.diagnostics):4d} finding(s)")
+    merged = {
+        "$schema": doc["$schema"],
+        "version": doc["version"],
+        "runs": runs,
+    }
+    problems = validate_sarif(merged)
+    if problems:
+        raise AssertionError(f"generated baseline invalid: {problems}")
+    return merged
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    doc = build_baseline()
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                        + "\n")
+    total = sum(len(run["results"]) for run in doc["runs"])
+    print(f"wrote {args.out} ({total} baselined findings, "
+          f"{len(doc['runs'])} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,250 @@
+"""Lazy per-network analysis bundles and the cross-process summary cache.
+
+:class:`NetworkAnalyses` runs each domain at most once per network
+version and exposes the solutions as cached properties; the
+:class:`~repro.flow.AnalysisContext` memoizes whole bundles by object
+identity + mutation version (and counts hits under the ``"static"``
+cache kind), so repair loops re-analyze only when the approx actually
+mutated — and then incrementally, via the fixpoint engine's
+``update`` path.
+
+:func:`analyze_network` distills a bundle into the JSON summary served
+by ``repro.cli analyze`` and ``bench_analyze``;
+:func:`load_cached_summary` / :func:`store_summary` persist summaries
+in ``.lab_cache/analyze/`` beside the PR 6 proof store, content-keyed
+by the circuit digest so equal circuits in different processes share
+one computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.network import Network
+
+from .domains import (ConstantAnalysis, ObservabilityAnalysis,
+                      ProbabilityIntervalAnalysis, StructuralHashAnalysis,
+                      UnatenessAnalysis, constant_signals,
+                      sdc_redundant_cubes, structural_classes,
+                      unate_summary, unread_fanin_positions)
+from .fixpoint import FixpointEngine, FixpointResult
+
+ANALYZE_SCHEMA = 1
+
+
+class NetworkAnalyses:
+    """All analysis solutions for one network at one mutation version.
+
+    Properties solve lazily and memoize; :meth:`refresh` re-solves
+    incrementally after a mutation using the network's
+    ``changed_signals`` log, falling back to full re-runs when the log
+    overflowed.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.version = network.version
+        self._engine = FixpointEngine()
+        self._results: dict[str, FixpointResult] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        return self.network.version != self.version
+
+    def refresh(self) -> None:
+        """Re-solve whatever is already solved after a mutation."""
+        if not self.stale:
+            return
+        changed = self.network.changed_signals(self.version)
+        for key in list(self._results):
+            if key == "observability":
+                # Depends on the constants solution; recompute whole.
+                del self._results[key]
+                continue
+            analysis = self._make(key)
+            self._results[key] = self._engine.update(
+                self.network, analysis, self._results[key], changed)
+        self.version = self.network.version
+
+    def _make(self, key: str):
+        if key == "constants":
+            return ConstantAnalysis()
+        if key == "unateness":
+            return UnatenessAnalysis()
+        if key == "probability":
+            return ProbabilityIntervalAnalysis()
+        if key == "structure":
+            return StructuralHashAnalysis()
+        raise KeyError(key)
+
+    def _solve(self, key: str) -> FixpointResult:
+        if self.stale:
+            self.refresh()
+        result = self._results.get(key)
+        if result is None:
+            if key == "observability":
+                analysis = ObservabilityAnalysis(self.constants)
+            else:
+                analysis = self._make(key)
+            result = self._engine.run(self.network, analysis)
+            self._results[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Solutions
+    # ------------------------------------------------------------------
+    @property
+    def constant_values(self) -> dict[str, object]:
+        return self._solve("constants").values
+
+    @property
+    def constants(self) -> dict[str, int]:
+        """Signals proven constant, with their values."""
+        return constant_signals(self.constant_values)
+
+    @property
+    def unateness(self) -> dict[str, object]:
+        return self._solve("unateness").values
+
+    @property
+    def probability_intervals(self) -> dict[str, object]:
+        return self._solve("probability").values
+
+    @property
+    def structure_hashes(self) -> dict[str, object]:
+        return self._solve("structure").values
+
+    @property
+    def observability(self) -> dict[str, object]:
+        return self._solve("observability").values
+
+    def fixpoint_costs(self) -> list[dict]:
+        return [self._results[key].cost()
+                for key in sorted(self._results)]
+
+    # ------------------------------------------------------------------
+    # Derived facts
+    # ------------------------------------------------------------------
+    def dead_cones(self) -> list[str]:
+        """PO-reaching nodes proven unobservable at every PO (ODC)."""
+        obs = self.observability
+        reachable = self.network.transitive_fanin(
+            [po for po in self.network.outputs
+             if not self.network.is_input(po)])
+        return [name for name in self.network.topological_order()
+                if name in reachable and not obs.get(name, 0)]
+
+    def sdc_cubes(self) -> dict[str, list[int]]:
+        return sdc_redundant_cubes(self.network, self.constants)
+
+    def duplicate_classes(self) -> list[list[str]]:
+        return structural_classes(self.network, self.structure_hashes)
+
+    def unread_fanins(self) -> dict[str, list[int]]:
+        return unread_fanin_positions(self.network)
+
+
+# ----------------------------------------------------------------------
+# Summary + cross-process cache
+# ----------------------------------------------------------------------
+def analyze_network(network: Network,
+                    analyses: NetworkAnalyses | None = None) -> dict:
+    """One-shot JSON-ready summary of every analysis over ``network``."""
+    bundle = analyses if analyses is not None \
+        else NetworkAnalyses(network)
+    constants = bundle.constants
+    dead = bundle.dead_cones()
+    sdc = bundle.sdc_cubes()
+    dups = bundle.duplicate_classes()
+    unread = bundle.unread_fanins()
+    intervals = bundle.probability_intervals
+    widths = [hi - lo for value in intervals.values()
+              if isinstance(value, tuple) for lo, hi in [value]]
+    unate = unate_summary(network, bundle.unateness)
+    doc = {
+        "schema": ANALYZE_SCHEMA,
+        "circuit": network.name,
+        "inputs": len(network.inputs),
+        "nodes": network.num_nodes,
+        "outputs": len(network.outputs),
+        "constants": {
+            "count": len(constants),
+            "signals": {name: constants[name]
+                        for name in sorted(constants)},
+        },
+        "dead_cones": sorted(dead),
+        "sdc_cubes": {
+            "nodes": len(sdc),
+            "cubes": sum(len(v) for v in sdc.values()),
+        },
+        "structural_duplicates": [sorted(group) for group in dups],
+        "unread_fanins": {
+            "nodes": len(unread),
+            "positions": sum(len(v) for v in unread.values()),
+        },
+        "probability_intervals": {
+            "signals": len(widths),
+            "mean_width": round(sum(widths) / len(widths), 6)
+            if widths else 0.0,
+            "exact": sum(1 for w in widths if w <= 1e-12),
+        },
+        "unateness": {
+            "pos_unate_po_inputs": sum(u["positive_unate"]
+                                       for u in unate.values()),
+            "neg_unate_po_inputs": sum(u["negative_unate"]
+                                       for u in unate.values()),
+            "binate_po_inputs": sum(u["binate"]
+                                    for u in unate.values()),
+        },
+        "fixpoint": bundle.fixpoint_costs(),
+    }
+    return doc
+
+
+def summary_token(network: Network) -> str:
+    """Content digest keying the cross-process summary cache."""
+    lines = ["inputs:" + ",".join(network.inputs)]
+    for name in network.topological_order():
+        node = network.nodes[name]
+        lines.append(f"{name}<{','.join(node.fanins)}"
+                     f"<{';'.join(node.cover.to_strings())}")
+    lines.append("outputs:" + ",".join(network.outputs))
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _summary_path(cache_dir: str | Path, token: str) -> Path:
+    return Path(cache_dir) / token[:2] / f"{token}.json"
+
+
+def load_cached_summary(cache_dir: str | Path,
+                        network: Network) -> dict | None:
+    """Serve a summary from disk; corrupt entries are evicted."""
+    path = _summary_path(cache_dir, summary_token(network))
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != ANALYZE_SCHEMA:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return doc
+
+
+def store_summary(cache_dir: str | Path, network: Network,
+                  doc: dict) -> Path:
+    """Atomic, racing-writer-safe summary write (pid-tagged temp)."""
+    path = _summary_path(cache_dir, summary_token(network))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path

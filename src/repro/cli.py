@@ -10,6 +10,11 @@ Subcommands:
 * ``lint``  — static verification: structural lint of a circuit, or
   (with ``--flow``) the full rule set over a CED flow run, emitting
   per-PO implication certificates; nonzero exit on error diagnostics;
+  ``--sarif`` exports SARIF 2.1.0 and ``--baseline`` suppresses
+  findings already present in a committed SARIF log;
+* ``analyze`` — run the repro.analyze dataflow analyses (constants,
+  unateness, probability intervals, structure, observability) over a
+  circuit and print the summary, cached in ``.lab_cache/analyze/``;
 * ``gen``   — export a suite benchmark (MCNC stand-in) as BLIF;
 * ``sweep`` — drive a (circuit x config) grid of CED flows through
   ``repro.lab``: parallel workers, content-addressed caching (killed
@@ -202,7 +207,8 @@ def cmd_ced(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import lint_flow, lint_network
+    from repro.lint import (diagnostic_fingerprint, lint_flow,
+                            lint_network, load_baseline, write_sarif)
 
     if args.blif:
         network = read_blif(args.blif)
@@ -224,13 +230,88 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print("lint: --certificates needs --flow (certificates "
                   "attest per-PO implications)", file=sys.stderr)
             return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"lint: cannot read baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.sarif:
+        try:
+            write_sarif(report, args.sarif, baseline=baseline)
+        except OSError as exc:
+            print(f"lint: cannot write SARIF log: {exc}",
+                  file=sys.stderr)
+            return 2
     if args.json:
         print(report.render_json())
     else:
         print(report.render_text())
-    failed = not report.ok or (args.strict
-                               and report.counts()["warning"] > 0)
+    diagnostics = report.diagnostics
+    if baseline is not None:
+        # Previously-baselined findings don't gate the run; only new
+        # ones do (matched by stable fingerprint, not position).
+        diagnostics = [d for d in diagnostics
+                       if diagnostic_fingerprint(d) not in baseline]
+        suppressed = len(report.diagnostics) - len(diagnostics)
+        if suppressed:
+            print(f"{suppressed} finding(s) suppressed by baseline",
+                  file=sys.stderr)
+    from repro.lint import Severity
+    errors = sum(1 for d in diagnostics
+                 if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in diagnostics
+                   if d.severity is Severity.WARNING)
+    failed = errors > 0 or (args.strict and warnings > 0)
     return 1 if failed else 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the dataflow analyses over one circuit."""
+    from repro.analyze import (analyze_network, load_cached_summary,
+                               store_summary)
+
+    if args.blif:
+        network = read_blif(args.blif)
+    else:
+        from repro.lab.tasks import load_circuit
+        network = load_circuit(args.circuit, args.table)
+    doc = None
+    cached = False
+    if args.cache_dir:
+        doc = load_cached_summary(args.cache_dir, network)
+        cached = doc is not None
+    if doc is None:
+        doc = analyze_network(network)
+        if args.cache_dir:
+            store_summary(args.cache_dir, network, doc)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"circuit   : {doc['circuit']}  "
+          f"({doc['inputs']} PIs, {doc['nodes']} nodes, "
+          f"{doc['outputs']} POs){'  [cached]' if cached else ''}")
+    print(f"constants : {doc['constants']['count']}")
+    print(f"dead cones: {len(doc['dead_cones'])}")
+    print(f"SDC cubes : {doc['sdc_cubes']['cubes']} "
+          f"(in {doc['sdc_cubes']['nodes']} nodes)")
+    print(f"dup cones : {len(doc['structural_duplicates'])} group(s)")
+    print(f"unread    : {doc['unread_fanins']['positions']} fanin "
+          f"position(s) in {doc['unread_fanins']['nodes']} node(s)")
+    probs = doc["probability_intervals"]
+    print(f"prob ivals: {probs['exact']}/{probs['signals']} exact, "
+          f"mean width {probs['mean_width']:.4f}")
+    unate = doc["unateness"]
+    print(f"unateness : +{unate['pos_unate_po_inputs']} "
+          f"-{unate['neg_unate_po_inputs']} "
+          f"binate {unate['binate_po_inputs']} (PO/PI pairs)")
+    for cost in doc["fixpoint"]:
+        print(f"  fixpoint {cost['analysis']:<13} "
+              f"{cost['iterations']:>5} iters  "
+              f"{cost['seconds']*1000:8.2f} ms")
+    return 0
 
 
 def _parse_floats(text: str) -> list[float]:
@@ -536,8 +617,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable report")
     p_lint.add_argument("--strict", action="store_true",
                         help="treat warnings as failures too")
+    p_lint.add_argument("--sarif", metavar="PATH",
+                        help="also write the report as SARIF 2.1.0 "
+                             "with stable result fingerprints")
+    p_lint.add_argument("--baseline", metavar="PATH",
+                        help="SARIF log of known findings; matching "
+                             "fingerprints are marked unchanged and "
+                             "do not gate the exit status")
     _add_config_flags(p_lint)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="dataflow analyses (constants, unateness, probability "
+             "intervals, structure, observability) over a circuit")
+    a_where = p_analyze.add_mutually_exclusive_group(required=True)
+    a_where.add_argument("--blif", help="analyze a BLIF file")
+    a_where.add_argument("--circuit",
+                         help="analyze a suite benchmark "
+                              "(cmb, ..., tiny)")
+    p_analyze.add_argument("--table", type=int, default=2,
+                           choices=(1, 2))
+    p_analyze.add_argument("--cache-dir", default=".lab_cache/analyze",
+                           help="cross-process summary cache root "
+                                "(empty string disables caching)")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="print the raw summary document")
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or prune the proof cache")

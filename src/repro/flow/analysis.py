@@ -29,9 +29,13 @@ from repro.network import GlobalBdds, Network, dfs_input_order
 from repro.sim import (get_simulator, signal_probabilities,
                        simulator_cache_stats, switching_activity)
 
-#: Artifact kinds tracked by the hit/miss counters.
+#: Artifact kinds tracked by the hit/miss counters.  ``static`` counts
+#: per-PO implication queries answered by the repro.analyze discharge
+#: rung (hit = discharged, miss = fell through to an engine);
+#: ``static_node`` counts the same for per-node repair-loop queries.
 CACHE_KINDS = ("global_bdds", "simulator", "probabilities",
-               "switching", "checkpoint", "proofs")
+               "switching", "checkpoint", "proofs", "static",
+               "static_node")
 
 
 def _serialize_circuit(circuit) -> str:
@@ -104,6 +108,9 @@ class AnalysisContext:
         #: the iterative checker and lint for per-PO implication
         #: verdicts; ``None`` (the default) keeps flows hermetic.
         self.proofs = None
+        #: Per-object memo of :class:`repro.analyze.NetworkAnalyses`
+        #: bundles (the static-discharge rung's dataflow solutions).
+        self._analyses: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -281,6 +288,30 @@ class AnalysisContext:
     def _drop_prefix(bdds: GlobalBdds, prefix: str) -> None:
         for key in [k for k in bdds.functions if k.startswith(prefix)]:
             del bdds.functions[key]
+
+    # ------------------------------------------------------------------
+    # Dataflow analyses (repro.analyze)
+    # ------------------------------------------------------------------
+    def analyses(self, network: Network):
+        """Version-refreshed :class:`~repro.analyze.NetworkAnalyses`.
+
+        One bundle per live network object; a mutated network gets its
+        fixpoint solutions updated incrementally rather than re-solved.
+        Bundles carry no verdicts of their own (the analyses are pure
+        functions of the network content), so sharing them cannot
+        change any downstream result — only skip recomputation.
+        """
+        from repro.analyze import NetworkAnalyses
+        obj = id(network)
+        entry = self._analyses.get(obj)
+        if self.enabled and entry is not None and entry[0] is network:
+            bundle = entry[1]
+            bundle.refresh()
+            return bundle
+        bundle = NetworkAnalyses(network)
+        if self.enabled:
+            self._analyses[obj] = (network, bundle)
+        return bundle
 
     # ------------------------------------------------------------------
     # Simulators / probabilities / switching activity

@@ -29,11 +29,17 @@ from dataclasses import dataclass, field
 #: Bump when the BudgetReport document layout changes incompatibly.
 BUDGET_REPORT_SCHEMA = 1
 
-#: Engines a ladder rung may name, in degradation order.
-LADDER_ENGINES = ("bdd", "sat", "sim", "conformance")
+#: Engines a ladder rung may name, in degradation order.  ``static``
+#: (the repro.analyze discharge rung) sits above the proving engines:
+#: implications it answers never reach BDD or SAT at all.
+LADDER_ENGINES = ("static", "bdd", "sat", "sim", "conformance")
 
-#: Outcomes a ladder rung may record.
-RUNG_OUTCOMES = ("selected", "overflow", "exhausted", "deadline")
+#: Outcomes a ladder rung may record.  ``assisted`` marks a rung that
+#: discharged part of the work without displacing the selected engine
+#: (the static rung answering some, but not all, implication queries);
+#: it is informational and does not count as degradation.
+RUNG_OUTCOMES = ("selected", "assisted", "overflow", "exhausted",
+                 "deadline")
 
 
 class BudgetExceeded(RuntimeError):
@@ -93,7 +99,7 @@ class BudgetReport:
     def degraded(self) -> bool:
         """True when anything beyond the first-choice path happened."""
         return bool(self.exhausted or self.skipped
-                    or any(e["outcome"] != "selected"
+                    or any(e["outcome"] not in ("selected", "assisted")
                            for e in self.ladder))
 
     def to_dict(self) -> dict:

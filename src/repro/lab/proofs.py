@@ -33,7 +33,8 @@ from pathlib import Path
 
 __all__ = ["ProofCache", "ConeFingerprinter", "implication_key",
            "pct_key", "cone_payload", "prove_implications",
-           "proof_workers", "PROOF_WORKERS_ENV", "PROOF_SCHEMA"]
+           "proof_workers", "PROOF_WORKERS_ENV", "PROOF_SCHEMA",
+           "EXACT_ENGINES", "STATIC_ENGINE", "TRUSTED_ENGINES"]
 
 #: Bump when the entry layout or the fingerprint recipe changes.
 PROOF_SCHEMA = 1
@@ -44,6 +45,13 @@ PROOF_WORKERS_ENV = "REPRO_PROOF_WORKERS"
 
 #: Engines whose verdicts are exact and therefore cacheable.
 EXACT_ENGINES = ("bdd", "sat")
+
+#: The static-discharge rung (repro.analyze): verdicts are theorems of
+#: the dataflow analyses, as trustworthy as BDD/SAT proofs.
+STATIC_ENGINE = "static"
+
+#: Every engine whose cached verdicts may be served without re-proving.
+TRUSTED_ENGINES = (*EXACT_ENGINES, STATIC_ENGINE)
 
 
 def proof_workers() -> int:

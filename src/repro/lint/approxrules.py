@@ -258,7 +258,7 @@ def po_implication(ctx, emit):
         # Refuted.  Exactly-checked flows claimed a proof, so this is
         # an error; simulation-checked (or admittedly incorrect) runs
         # only ever claimed statistical confidence.
-        exact_claim = ctx.claimed_method in ("bdd", "sat") \
+        exact_claim = ctx.claimed_method in ("bdd", "sat", "static") \
             and ctx.claimed_correct.get(po, True)
         severity = Severity.ERROR if exact_claim else Severity.WARNING
         emit(f"output {po!r}: implication {condition} does not hold "

@@ -120,7 +120,7 @@ def validate_certificate(doc: dict) -> list[str]:
     if doc["direction"] not in (0, 1):
         problems.append(f"direction must be 0 or 1, got "
                         f"{doc['direction']!r}")
-    if doc["method"] not in ("bdd", "sat"):
+    if doc["method"] not in ("bdd", "sat", "static"):
         problems.append(f"unknown method {doc['method']!r}")
     if doc["status"] != "proved":
         problems.append(f"unknown status {doc['status']!r}")

@@ -101,7 +101,7 @@ class LintReport:
     def sorted(self) -> list[Diagnostic]:
         return sorted(self.diagnostics,
                       key=lambda d: (d.severity.rank, d.rule,
-                                     d.circuit, d.location))
+                                     d.circuit, d.location, d.message))
 
     def to_dict(self) -> dict:
         return {

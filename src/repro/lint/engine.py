@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from repro.network import Network
 
-from . import approxrules as _approxrules  # noqa: F401  (registers rules)
-from . import flowrules as _flowrules      # noqa: F401
-from . import structural as _structural    # noqa: F401
+from . import analyzerules as _analyzerules  # noqa: F401 (registers rules)
+from . import approxrules as _approxrules    # noqa: F401
+from . import flowrules as _flowrules        # noqa: F401
+from . import structural as _structural      # noqa: F401
 from .certificates import build_certificate, write_certificates
 from .diagnostics import Diagnostic, LintReport
 from .registry import rules_for
@@ -42,6 +43,27 @@ class NetworkContext:
     def __init__(self, network: Network, circuit: str | None = None):
         self.network = network
         self.circuit = circuit if circuit is not None else network.name
+        self._analyses = None
+
+    def analyses(self):
+        """Lazy :class:`~repro.analyze.NetworkAnalyses` bundle.
+
+        Built at most once per lint run; the dataflow-backed rules all
+        share the same fixpoint solutions.  Returns None for ill-formed
+        networks (undefined fanins, combinational cycles) — those are
+        the structural rules' findings, and the fixpoint engine needs a
+        well-defined DAG to run on at all.
+        """
+        if self._analyses is None:
+            net = self.network
+            broken = any(not net.signal_exists(f)
+                         for node in net.nodes.values()
+                         for f in node.fanins) or self.stuck_nodes()
+            if broken:
+                return None
+            from repro.analyze import NetworkAnalyses
+            self._analyses = NetworkAnalyses(net)
+        return self._analyses
 
     def stuck_nodes(self) -> set[str]:
         """Nodes on (or fed only through) a combinational cycle.
@@ -96,6 +118,7 @@ class PairContext:
         self.bdd_node_budget = bdd_node_budget
         self.sat_conflict_budget = sat_conflict_budget
         self.ctx = ctx
+        self._static = None
         self._semantics: PairSemantics | None = None
         self._proof_cache: dict[tuple[str, int], ProofResult] = {}
         #: (po, direction, proof) triples for certificate emission.
@@ -109,6 +132,26 @@ class PairContext:
                 sat_conflict_budget=self.sat_conflict_budget,
                 ctx=self.ctx)
         return self._semantics
+
+    def static(self):
+        """Lazy :class:`~repro.analyze.StaticDischarger` for the pair.
+
+        Returns None when the networks do not share a primary-input
+        space (the analyses compare signals by name).
+        """
+        if self._static is None:
+            if set(self.original.inputs) != set(self.approx.inputs):
+                return None
+            from repro.analyze import StaticDischarger
+            if self.ctx is not None:
+                self._static = StaticDischarger(
+                    self.original, self.approx,
+                    self.ctx.analyses(self.original),
+                    self.ctx.analyses(self.approx))
+            else:
+                self._static = StaticDischarger(self.original,
+                                                self.approx)
+        return self._static
 
     def prove(self, po: str, direction: int) -> ProofResult:
         key = (po, direction)
@@ -132,6 +175,10 @@ def _run_scope(scope: str, ctx) -> list[Diagnostic]:
     sink: list[Diagnostic] = []
     for lint_rule in rules_for(scope):
         lint_rule.run(ctx, sink)
+    # Deterministic order regardless of rule iteration internals: SARIF
+    # fingerprint baselines and golden reports must not churn when a
+    # rule reorders its emissions.
+    sink.sort(key=lambda d: (d.rule, d.circuit, d.location, d.message))
     return sink
 
 

@@ -2,8 +2,10 @@
 
 :class:`PairSemantics` re-verifies the paper's per-PO implication
 condition (Sec 2.2) independently of whatever checker the synthesis run
-used: global BDDs over the shared primary-input space first (exact, and
-the proof doubles as a BDD witness), falling back to the CDCL SAT solver
+used: the static-discharge analyses first (constant/containment/
+relational dataflow over the pair — certificates of kind ``"static"``),
+then global BDDs over the shared primary-input space (exact, and the
+proof doubles as a BDD witness), falling back to the CDCL SAT solver
 (the implication holds iff the miter ``G & !F`` is UNSAT) when the BDD
 node budget blows up.  Every query returns a :class:`ProofResult` with
 enough provenance to build an offline-checkable certificate.
@@ -27,7 +29,7 @@ class ProofResult:
     """
 
     holds: bool | None
-    method: str                     # "bdd" | "sat"
+    method: str                     # "bdd" | "sat" | "static"
     stats: dict = field(default_factory=dict)
     witness: dict[str, bool] | None = None
 
@@ -38,16 +40,19 @@ class PairSemantics:
     def __init__(self, original: Network, approx: Network,
                  bdd_node_budget: int = 300_000,
                  sat_conflict_budget: int = 200_000,
-                 ctx: AnalysisContext | None = None):
+                 ctx: AnalysisContext | None = None,
+                 static: bool = True):
         self.original = original
         self.approx = approx
         self.bdd_node_budget = bdd_node_budget
         self.sat_conflict_budget = sat_conflict_budget
         self.ctx = ctx
+        self.static = static
         self._encoder = None
         self._bdds = None
         self._bdd_failed = False
         self._bdd_inputs: list[str] = []
+        self._static_discharger = None
         # Cross-process proof cache (repro.lab.proofs): re-verification
         # of a cone pair an earlier run already proved is served from
         # disk, and the pair BDDs are then never built at all.
@@ -96,6 +101,10 @@ class PairSemantics:
         if self.original.is_input(po):
             # An output wired straight to a PI has an exact "cone".
             return ProofResult(True, self.method, {"trivial": True})
+        static = self._static_proof(po, direction)
+        if static is not None:
+            self._store_proof(po, direction, static)
+            return static
         cached = self._cached_proof(po, direction)
         if cached is not None:
             return cached
@@ -109,6 +118,35 @@ class PairSemantics:
         self._store_proof(po, direction, proof)
         return proof
 
+    def _static_proof(self, po: str,
+                      direction: int) -> ProofResult | None:
+        """The static-discharge rung: decide by dataflow analysis alone.
+
+        Returns None when the analyses cannot decide (the engines take
+        over).  A decided verdict is a theorem — these proofs are
+        re-checkable offline without BDDs or SAT, which is what makes
+        ``"static"`` certificates cheap to audit.
+        """
+        if not self.static:
+            return None
+        if self._static_discharger is None:
+            from repro.analyze import StaticDischarger
+            if self.ctx is not None:
+                self._static_discharger = StaticDischarger(
+                    self.original, self.approx,
+                    self.ctx.analyses(self.original),
+                    self.ctx.analyses(self.approx))
+            else:
+                self._static_discharger = StaticDischarger(
+                    self.original, self.approx)
+        proof = self._static_discharger.implication(
+            po, 1 if direction == 1 else 0)
+        if proof.holds is None:
+            return None
+        return ProofResult(proof.holds, "static",
+                           {"reason": proof.reason, **proof.detail},
+                           witness=proof.witness)
+
     def _proof_key(self, po: str, direction: int) -> str:
         from repro.lab.proofs import ConeFingerprinter, implication_key
         if self._fp is None:
@@ -120,9 +158,9 @@ class PairSemantics:
                       direction: int) -> ProofResult | None:
         if self._proofs is None:
             return None
-        from repro.lab.proofs import EXACT_ENGINES
+        from repro.lab.proofs import TRUSTED_ENGINES
         entry = self._proofs.get(self._proof_key(po, direction))
-        if entry is None or entry.get("engine") not in EXACT_ENGINES \
+        if entry is None or entry.get("engine") not in TRUSTED_ENGINES \
                 or entry.get("holds") is not True:
             # Refuted or undecided entries are re-proved live: a
             # certificate-grade refutation needs a fresh witness.
@@ -132,7 +170,7 @@ class PairSemantics:
     def _store_proof(self, po: str, direction: int,
                      proof: ProofResult) -> None:
         if self._proofs is None or proof.holds is None \
-                or proof.method not in ("bdd", "sat"):
+                or proof.method not in ("bdd", "sat", "static"):
             return
         self._proofs.put(self._proof_key(po, direction), {
             "kind": "implication", "po": po,

@@ -1,0 +1,73 @@
+"""Shared helpers: exhaustive evaluation and random network stock.
+
+The analyze tests check soundness claims ("a definite answer is a
+theorem about the circuit") against brute force, so everything here is
+deliberately independent of the simulator and BDD machinery under
+test: covers are evaluated cube-by-cube in pure Python over every
+input assignment.
+"""
+
+from repro.cubes import Cover
+from repro.network import Network
+
+
+def cube_fires(cube, fanin_values) -> bool:
+    for i, value in enumerate(fanin_values):
+        lit = cube.literal(i)
+        if lit == "1" and value != 1:
+            return False
+        if lit == "0" and value != 0:
+            return False
+    return True
+
+
+def eval_cover(cover: Cover, fanin_values) -> int:
+    return 1 if any(cube_fires(c, fanin_values) for c in cover.cubes) \
+        else 0
+
+
+def eval_all(net: Network, force: dict[str, int] | None = None) -> dict:
+    """Signal truth rows over all ``2**len(inputs)`` assignments.
+
+    Assignment ``a`` sets PI ``inputs[j]`` to bit ``j`` of ``a``.
+    ``force`` overrides named internal signals to a fixed value
+    (fault-injection style) *before* their readers evaluate.
+    """
+    n = len(net.inputs)
+    count = 1 << n
+    rows: dict[str, list[int]] = {
+        pi: [(a >> j) & 1 for a in range(count)]
+        for j, pi in enumerate(net.inputs)}
+    for name in net.topological_order():
+        node = net.nodes[name]
+        fanin_rows = [rows[f] for f in node.fanins]
+        rows[name] = [eval_cover(node.cover,
+                                 [r[a] for r in fanin_rows])
+                      for a in range(count)]
+        if force and name in force:
+            rows[name] = [force[name]] * count
+    return rows
+
+
+def random_cover(rng, n_vars: int) -> Cover:
+    strings = sorted({
+        "".join(rng.choice("01-") for _ in range(n_vars))
+        for _ in range(rng.randint(1, 3))})
+    return Cover.from_strings(strings)
+
+
+def random_network(rng, n_inputs: int = 4, n_nodes: int = 6,
+                   name: str = "rand") -> Network:
+    net = Network(name)
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    for k in range(n_nodes):
+        width = rng.randint(1, min(3, len(signals)))
+        fanins = rng.sample(signals, width)
+        net.add_node(f"n{k}", fanins, random_cover(rng, width))
+        signals.append(f"n{k}")
+    for po in signals[-2:]:
+        net.add_output(po)
+    return net

@@ -1,0 +1,49 @@
+"""The static rung is behavior-neutral and visibly exercised.
+
+Acceptance property from ISSUE: every flow must produce an identical
+``CedFlowResult`` summary with static discharge on and off — the rung
+changes where proofs come from, never what gets synthesized.  The
+benchmarks assert this on all nine circuits; here the same property is
+pinned cheaply on the bundled circuits, including a forced ``sim``
+checker run, which exercises the wrapped-statistical-checker argument
+from iterative.py (a discharged implication has no violating vector,
+and a static refutation is violated on every vector, so skipping the
+query cannot change the simulator's answer).
+"""
+
+import pytest
+
+from repro.approx import ApproxConfig
+from repro.bench.suite import load_benchmark, tiny_benchmark
+from repro.ced.flow import run_ced_flow
+from repro.flow import AnalysisContext
+
+FLOW_KW = dict(reliability_words=1, coverage_words=1, seed=2008)
+
+
+def _flow(circuit, config):
+    network = tiny_benchmark() if circuit == "tiny" \
+        else load_benchmark(circuit)
+    return run_ced_flow(network, config=config,
+                        ctx=AnalysisContext(enabled=False), **FLOW_KW)
+
+
+@pytest.mark.parametrize("circuit,check", [
+    ("tiny", "auto"),
+    ("tiny", "sim"),
+    ("cmb", "auto"),
+])
+def test_flow_summary_identical_with_static_discharge(circuit, check):
+    on = _flow(circuit, ApproxConfig(seed=2008, check=check,
+                                     static_discharge=True))
+    off = _flow(circuit, ApproxConfig(seed=2008, check=check,
+                                      static_discharge=False))
+    assert on.summary() == off.summary()
+
+    totals = on.trace.cache_totals()
+    assert "static" in totals, "static rung left no trace counters"
+    attempts = totals["static"]["hits"] + totals["static"]["misses"]
+    assert attempts > 0
+    # The rung off: no static counters may appear at all.
+    off_static = off.trace.cache_totals().get("static", {})
+    assert off_static.get("hits", 0) == 0

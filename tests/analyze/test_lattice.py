@@ -1,0 +1,90 @@
+"""Lattice laws and the relation algebra of the analyze package."""
+
+import pytest
+
+from repro.analyze.lattice import (BOTTOM, REL_EQ, REL_GE, REL_LE,
+                                   REL_TOP, TOP, BitsetPairLattice,
+                                   FlatLattice, IntervalLattice,
+                                   RelationLattice, compose_relations,
+                                   flip_relation)
+
+SAMPLES = {
+    "flat": (FlatLattice(), [BOTTOM, 0, 1, "h", TOP]),
+    "interval": (IntervalLattice(),
+                 [BOTTOM, (0.0, 0.0), (0.25, 0.5), (0.5, 0.5),
+                  (0.0, 1.0)]),
+    "bitset": (BitsetPairLattice(3),
+               [(0, 0), (1, 0), (0, 5), (3, 4), (7, 7)]),
+    "relation": (RelationLattice(),
+                 [BOTTOM, REL_EQ, REL_LE, REL_GE, REL_TOP]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_join_semilattice_laws(name):
+    lattice, elems = SAMPLES[name]
+    for a in elems:
+        assert lattice.join(a, a) == a                    # idempotent
+        assert lattice.join(lattice.bottom, a) == a       # unit
+        assert lattice.join(lattice.top, a) == lattice.top
+        for b in elems:
+            ab = lattice.join(a, b)
+            assert ab == lattice.join(b, a)               # commutative
+            assert lattice.leq(a, ab) and lattice.leq(b, ab)
+            for c in elems:
+                assert lattice.join(ab, c) \
+                    == lattice.join(a, lattice.join(b, c))  # associative
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_leq_agrees_with_join(name):
+    lattice, elems = SAMPLES[name]
+    for a in elems:
+        for b in elems:
+            assert lattice.leq(a, b) == (lattice.join(a, b) == b)
+
+
+def test_flat_distinct_values_join_to_top():
+    flat = FlatLattice()
+    assert flat.join(0, 1) is TOP
+    assert flat.join("a", "a") == "a"
+
+
+def test_interval_join_is_convex_hull():
+    iv = IntervalLattice()
+    assert iv.join((0.1, 0.3), (0.5, 0.8)) == (0.1, 0.8)
+    assert iv.leq((0.2, 0.3), (0.1, 0.5))
+    assert not iv.leq((0.1, 0.5), (0.2, 0.3))
+
+
+def test_bitset_width_validation():
+    with pytest.raises(ValueError):
+        BitsetPairLattice(-1)
+    assert BitsetPairLattice(0).top == (0, 0)
+
+
+def test_relation_join_table():
+    rel = RelationLattice()
+    assert rel.join(REL_EQ, REL_LE) == REL_LE
+    assert rel.join(REL_EQ, REL_GE) == REL_GE
+    assert rel.join(REL_LE, REL_GE) == REL_TOP
+    assert rel.leq(REL_EQ, REL_LE)
+    assert not rel.leq(REL_LE, REL_EQ)
+    assert not rel.leq(REL_LE, REL_GE)
+
+
+def test_compose_relations():
+    assert compose_relations(REL_EQ, REL_LE) == REL_LE
+    assert compose_relations(REL_GE, REL_EQ) == REL_GE
+    assert compose_relations(REL_LE, REL_LE) == REL_LE
+    assert compose_relations(REL_GE, REL_GE) == REL_GE
+    assert compose_relations(REL_LE, REL_GE) == REL_TOP
+    assert compose_relations(REL_TOP, REL_EQ) == REL_TOP
+    assert compose_relations(REL_EQ, REL_EQ) == REL_EQ
+
+
+def test_flip_relation():
+    assert flip_relation(REL_LE) == REL_GE
+    assert flip_relation(REL_GE) == REL_LE
+    assert flip_relation(REL_EQ) == REL_EQ
+    assert flip_relation(REL_TOP) == REL_TOP

@@ -33,7 +33,7 @@ def cert():
 def test_certificate_is_schema_valid_and_rechecks(cert):
     assert validate_certificate(cert) == []
     assert check_certificate(cert) == []
-    assert cert["method"] in ("bdd", "sat")
+    assert cert["method"] in ("bdd", "sat", "static")
     assert cert["inputs"] == ["a", "b"]
     assert ".model" in cert["original_blif"]
 

@@ -23,10 +23,13 @@ EXPECTED_RULES = {
     "net.duplicate-output", "net.cube-width", "net.duplicate-fanin",
     "net.duplicate-cube", "net.contained-cube", "net.dangling-node",
     "net.unused-input", "net.no-outputs",
+    "net.const-node", "net.const-redundant", "net.structural-dup",
+    "net.dead-cone", "net.unread-fanin", "net.const-po",
     "pair.io-mismatch", "pair.direction-missing", "pair.direction-value",
     "pair.untyped-node", "pair.po-type", "pair.dc-read",
     "pair.ex-changed", "pair.direction-local", "pair.cube-unjustified",
-    "pair.po-implication",
+    "pair.po-implication", "pair.statically-implied",
+    "pair.static-conflict",
     "flow.direction-values", "flow.fault-sites", "flow.nonintrusive",
     "flow.output-preserved", "flow.checker-missing", "flow.trc-tree",
 }

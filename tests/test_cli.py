@@ -347,3 +347,92 @@ class TestServe:
             ServeConfig(backend="fibers")
         with pytest.raises(ValueError):
             ServeConfig(workers=0)
+
+
+class TestAnalyze:
+    def test_text_report(self, blif_path, capsys):
+        assert main(["analyze", "--blif", str(blif_path)]) == 0
+        out = capsys.readouterr().out
+        assert "circuit   : demo" in out
+        assert "constants" in out
+        assert "fixpoint" in out
+
+    def test_json_report_shape(self, blif_path, capsys):
+        assert main(["analyze", "--blif", str(blif_path),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["circuit"] == "demo"
+        for key in ("constants", "dead_cones", "sdc_cubes",
+                    "structural_duplicates", "unateness",
+                    "probability_intervals", "fixpoint"):
+            assert key in doc
+
+    def test_cache_round_trip(self, blif_path, tmp_path, capsys):
+        cache = tmp_path / "acache"
+        assert main(["analyze", "--blif", str(blif_path),
+                     "--cache-dir", str(cache), "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["analyze", "--blif", str(blif_path),
+                     "--cache-dir", str(cache)]) == 0
+        assert "[cached]" in capsys.readouterr().out
+        assert main(["analyze", "--blif", str(blif_path),
+                     "--cache-dir", str(cache), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == cold
+
+
+class TestLintSarif:
+    @pytest.fixture
+    def dirty_path(self, tmp_path):
+        # k is constant 0, so t is too: guaranteed lint findings.
+        path = tmp_path / "dirty.blif"
+        path.write_text("""
+.model dirty
+.inputs a b
+.outputs y
+.names k
+.names a k t
+11 1
+.names t b y
+1- 1
+-1 1
+.end
+""")
+        return path
+
+    def test_sarif_log_is_written_and_valid(self, dirty_path,
+                                            tmp_path, capsys):
+        from repro.lint import validate_sarif
+        log = tmp_path / "out.sarif"
+        assert main(["lint", "--blif", str(dirty_path),
+                     "--sarif", str(log)]) == 0
+        doc = json.loads(log.read_text())
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"]
+
+    def test_baseline_suppresses_known_findings(self, dirty_path,
+                                                tmp_path, capsys):
+        from repro.lint import new_results
+        base = tmp_path / "baseline.sarif"
+        assert main(["lint", "--blif", str(dirty_path),
+                     "--sarif", str(base)]) == 0
+        capsys.readouterr()
+        log = tmp_path / "rerun.sarif"
+        assert main(["lint", "--blif", str(dirty_path),
+                     "--sarif", str(log), "--baseline", str(base)]) == 0
+        captured = capsys.readouterr()
+        assert "suppressed by baseline" in captured.err
+        assert new_results(json.loads(log.read_text())) == []
+
+    def test_unreadable_baseline_exits_2(self, dirty_path, tmp_path,
+                                         capsys):
+        code = main(["lint", "--blif", str(dirty_path),
+                     "--baseline", str(tmp_path / "missing.sarif")])
+        assert code == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_unwritable_sarif_path_exits_2(self, dirty_path, tmp_path,
+                                           capsys):
+        code = main(["lint", "--blif", str(dirty_path), "--sarif",
+                     str(tmp_path / "no" / "such" / "dir.sarif")])
+        assert code == 2
+        assert "cannot write SARIF log" in capsys.readouterr().err

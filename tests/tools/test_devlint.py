@@ -1,0 +1,198 @@
+"""Devlint self-checks: each rule fires on a seeded violation and
+stays quiet on the idiomatic fix."""
+
+import textwrap
+
+from tools.devlint import check_paths, check_source, main
+
+
+def _rules(source, path="src/repro/serve/app.py"):
+    return [f.rule for f in check_source(textwrap.dedent(source),
+                                         path)]
+
+
+# ----------------------------------------------------------------------
+# async-blocking
+# ----------------------------------------------------------------------
+
+def test_blocking_sleep_in_async_serve_code():
+    src = """
+    import time
+    async def handler():
+        time.sleep(1)
+    """
+    assert _rules(src) == ["async-blocking"]
+
+
+def test_blocking_subprocess_and_open():
+    src = """
+    import subprocess
+    async def handler():
+        subprocess.run(["ls"])
+        open("/tmp/x")
+    """
+    assert _rules(src) == ["async-blocking", "async-blocking"]
+
+
+def test_blocking_pathlib_attribute():
+    src = """
+    async def handler(path):
+        return path.read_text()
+    """
+    assert _rules(src) == ["async-blocking"]
+
+
+def test_sync_code_may_block():
+    src = """
+    import time
+    def worker():
+        time.sleep(1)
+    """
+    assert _rules(src) == []
+
+
+def test_nested_sync_def_inside_async_may_block():
+    # The nested def doesn't run in the event-loop turn; it is handed
+    # to an executor/thread by whoever calls it.
+    src = """
+    import time
+    async def handler(loop):
+        def blocking():
+            time.sleep(1)
+        await loop.run_in_executor(None, blocking)
+    """
+    assert _rules(src) == []
+
+
+def test_async_blocking_only_applies_to_serve_modules():
+    src = """
+    import time
+    async def helper():
+        time.sleep(1)
+    """
+    assert _rules(src, path="src/repro/flow/analysis.py") == []
+
+
+# ----------------------------------------------------------------------
+# lock-across-await
+# ----------------------------------------------------------------------
+
+def test_lock_held_across_await():
+    src = """
+    async def handler(self):
+        with self._lock:
+            await self.flush()
+    """
+    assert _rules(src, path="src/repro/lab/executor.py") \
+        == ["lock-across-await"]
+
+
+def test_async_with_lock_is_fine():
+    src = """
+    async def handler(self):
+        async with self._lock:
+            await self.flush()
+    """
+    assert _rules(src, path="src/repro/lab/executor.py") == []
+
+
+def test_lock_without_await_is_fine():
+    src = """
+    async def handler(self):
+        with self._lock:
+            self.count += 1
+        await self.flush()
+    """
+    assert _rules(src, path="src/repro/lab/executor.py") == []
+
+
+def test_lock_await_in_nested_def_is_fine():
+    src = """
+    async def handler(self):
+        with self._lock:
+            async def later():
+                await self.flush()
+            self.cb = later
+    """
+    assert _rules(src, path="src/repro/lab/executor.py") == []
+
+
+# ----------------------------------------------------------------------
+# bare-except
+# ----------------------------------------------------------------------
+
+def test_bare_except_fires_anywhere():
+    src = """
+    def load():
+        try:
+            return 1
+        except:
+            return None
+    """
+    assert _rules(src, path="src/repro/flow/analysis.py") \
+        == ["bare-except"]
+
+
+def test_typed_except_is_fine():
+    src = """
+    def load():
+        try:
+            return 1
+        except Exception:
+            return None
+    """
+    assert _rules(src, path="src/repro/flow/analysis.py") == []
+
+
+# ----------------------------------------------------------------------
+# suppression, syntax errors, CLI
+# ----------------------------------------------------------------------
+
+def test_targeted_suppression():
+    src = """
+    import time
+    async def handler():
+        time.sleep(1)  # devlint: ignore[async-blocking]
+    """
+    assert _rules(src) == []
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    src = """
+    import time
+    async def handler():
+        time.sleep(1)  # devlint: ignore[bare-except]
+    """
+    assert _rules(src) == ["async-blocking"]
+
+
+def test_blanket_suppression():
+    src = """
+    def load():
+        try:
+            return 1
+        except:  # devlint: ignore
+            return None
+    """
+    assert _rules(src, path="src/repro/x.py") == []
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = check_source("def broken(:\n", "src/repro/x.py")
+    assert [f.rule for f in findings] == ["syntax-error"]
+
+
+def test_repo_tree_is_clean():
+    assert check_paths(["src/repro"]) == []
+
+
+def test_main_exit_status(tmp_path, capsys):
+    bad = tmp_path / "serve" / "mod.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\n"
+                   "async def f():\n"
+                   "    time.sleep(1)\n")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "async-blocking" in out and "1 finding(s)" in out
+    assert main(["src/repro"]) == 0

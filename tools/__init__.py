@@ -1,0 +1,1 @@
+"""Repository development tooling (not part of the repro package)."""

@@ -1,0 +1,228 @@
+"""AST-based self-lint for the repro source tree.
+
+``ruff`` covers style; this tool checks *project-specific* hazards the
+generic linters don't know about:
+
+* ``async-blocking`` — a blocking call (``time.sleep``, synchronous
+  ``subprocess``/``socket`` entry points, direct file IO) in the body
+  of an ``async def`` inside ``repro.serve``: the event loop stalls and
+  every in-flight request stalls with it.  Blocking work belongs in the
+  worker pool or behind ``loop.run_in_executor``.
+* ``lock-across-await`` — a synchronous ``with <lock>:`` whose body
+  awaits: the lock is held across a suspension point, so every other
+  task that touches it deadlocks the loop (asyncio locks must be
+  ``async with``; threading locks must never wrap an ``await``).
+* ``bare-except`` — ``except:`` catches ``SystemExit``/
+  ``KeyboardInterrupt`` and hides typos; catch ``Exception`` (or
+  something narrower) instead.
+
+Suppress a finding by appending ``# devlint: ignore[rule]`` (or a bare
+``# devlint: ignore``) to the offending line.
+
+Run as ``python -m tools.devlint [paths...]``; with no paths it checks
+``src/repro``.  Exit status 1 when findings remain.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Dotted call targets that block the calling thread.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "os.system", "os.waitpid",
+}
+
+#: Bare-name calls that block (builtins doing synchronous file IO).
+BLOCKING_NAMES = {"open", "input"}
+
+#: Attribute-call suffixes that do synchronous file IO regardless of
+#: the receiver (pathlib mostly).
+BLOCKING_ATTRS = {"read_text", "write_text", "read_bytes",
+                  "write_bytes", "unlink", "mkdir", "rename"}
+
+_IGNORE_RE = re.compile(r"#\s*devlint:\s*ignore(?:\[([a-z-]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One devlint diagnostic."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _mentions_lock(node: ast.AST) -> bool:
+    """True when an expression's name chain looks like a lock."""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and "lock" in name.lower():
+            return True
+    return False
+
+
+def _contains_await(nodes: list[ast.stmt]) -> ast.Await | None:
+    """First Await in the statements, not crossing function bounds."""
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, ast.Await):
+            return node
+        if isinstance(node, (ast.AsyncFunctionDef, ast.FunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, in_serve: bool):
+        self.path = path
+        self.in_serve = in_serve
+        self.findings: list[Finding] = []
+        self._async_depth = 0
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, getattr(node, "lineno", 0), rule,
+                    message))
+
+    # -- function nesting ------------------------------------------------
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        # A nested sync def runs outside the event loop turn; its
+        # blocking calls are the executor's business, not ours.
+        depth, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = depth
+
+    visit_Lambda = visit_FunctionDef
+
+    # -- async-blocking --------------------------------------------------
+    def visit_Call(self, node: ast.Call):
+        if self.in_serve and self._async_depth > 0:
+            target = _dotted(node.func)
+            blocking = (
+                target in BLOCKING_CALLS
+                or (isinstance(node.func, ast.Name)
+                    and node.func.id in BLOCKING_NAMES)
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in BLOCKING_ATTRS))
+            if blocking:
+                what = target or getattr(node.func, "attr", "?")
+                self._emit(node, "async-blocking",
+                           f"blocking call {what}() inside async def; "
+                           f"use the worker pool or run_in_executor")
+        self.generic_visit(node)
+
+    # -- lock-across-await -----------------------------------------------
+    def visit_With(self, node: ast.With):
+        if self._async_depth > 0 and any(
+                _mentions_lock(item.context_expr)
+                for item in node.items):
+            awaited = _contains_await(node.body)
+            if awaited is not None:
+                self._emit(
+                    node, "lock-across-await",
+                    f"synchronous lock held across the await on line "
+                    f"{awaited.lineno}; use 'async with' on an "
+                    f"asyncio.Lock, or release before awaiting")
+        self.generic_visit(node)
+
+    # -- bare-except -----------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler):
+        if node.type is None:
+            self._emit(node, "bare-except",
+                       "bare 'except:' swallows SystemExit and "
+                       "KeyboardInterrupt; catch Exception instead")
+        self.generic_visit(node)
+
+
+def _suppressed(lines: list[str], finding: Finding) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _IGNORE_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    rule = match.group(1)
+    return rule is None or rule == finding.rule
+
+
+def check_source(source: str, path: str = "<string>",
+                 in_serve: bool | None = None) -> list[Finding]:
+    """Devlint findings for one source text.
+
+    ``in_serve`` controls the async-blocking check (it only applies to
+    ``repro.serve`` modules); by default it is inferred from ``path``.
+    """
+    if in_serve is None:
+        in_serve = "serve" in Path(path).parts
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, "syntax-error",
+                        str(exc.msg))]
+    checker = _Checker(path, in_serve)
+    checker.visit(tree)
+    lines = source.splitlines()
+    return [f for f in checker.findings if not _suppressed(lines, f)]
+
+
+def check_paths(paths: list[str | Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(check_source(
+                file.read_text(), str(file)))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or ["src/repro"]
+    findings = check_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    count = len(findings)
+    print(f"devlint: {count} finding(s) in "
+          f"{', '.join(str(p) for p in paths)}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
