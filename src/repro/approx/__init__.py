@@ -1,6 +1,8 @@
 """Approximate logic synthesis — the paper's core contribution."""
 
-from .config import ApproxConfig
+from .config import ApproxConfig, ConfigError, ErrorSpec
+from .engine import (ApproxEngine, CubeSelectionEngine, engine_names,
+                     get_engine, register_engine)
 from .observability import (LocalObservability, local_observabilities,
                             local_odc_cover, observability_bdds)
 from .types import (NodeType, assign_types, fanin_requests, resolve_type,
@@ -9,19 +11,24 @@ from .cube_selection import (conforms, exact_select, feasible_subspace,
                              implement_phase, odc_select,
                              odc_select_from_sop, phase_cover)
 from .iterative import ApproxResult, synthesize_approximation
-from .metrics import (approximation_percentage,
+from .metrics import (ErrorEvaluation, approximation_percentage,
                       approximation_percentages, area_overhead,
-                      delay_change_pct, mean_approximation_percentage,
+                      delay_change_pct, evaluate_error,
+                      mean_approximation_percentage,
                       power_overhead_pct)
 
 __all__ = [
-    "ApproxConfig", "ApproxResult", "LocalObservability", "NodeType",
+    "ApproxConfig", "ApproxEngine", "ApproxResult", "ConfigError",
+    "CubeSelectionEngine", "ErrorEvaluation", "ErrorSpec",
+    "LocalObservability", "NodeType",
     "approximation_percentage", "approximation_percentages",
     "area_overhead", "assign_types",
-    "conforms", "delay_change_pct", "exact_select", "fanin_requests",
-    "feasible_subspace", "implement_phase", "local_observabilities",
+    "conforms", "delay_change_pct", "engine_names", "evaluate_error",
+    "exact_select", "fanin_requests",
+    "feasible_subspace", "get_engine", "implement_phase",
+    "local_observabilities",
     "local_odc_cover", "mean_approximation_percentage",
     "observability_bdds", "odc_select", "odc_select_from_sop",
-    "phase_cover", "power_overhead_pct", "resolve_type",
-    "synthesize_approximation", "type_histogram",
+    "phase_cover", "power_overhead_pct", "register_engine",
+    "resolve_type", "synthesize_approximation", "type_histogram",
 ]

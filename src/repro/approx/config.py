@@ -7,7 +7,113 @@ trade-offs between area-power overhead and CED coverage").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
+
+#: Error metrics understood by :class:`ErrorSpec` (Mrazek,
+#: arXiv:2205.03267 nomenclature): error rate, mean error distance,
+#: worst-case error.
+ERROR_METRICS = ("er", "med", "wce")
+
+
+class ConfigError(ValueError):
+    """Structured configuration error raised at construction time.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; carries a machine-readable payload the CLI
+    and serve layers surface as exit 2 / HTTP 400 respectively.
+    """
+
+    def __init__(self, message: str, *, field_name: str | None = None,
+                 value=None):
+        super().__init__(message)
+        self.message = message
+        self.field = field_name
+        self.value = value
+
+    def to_dict(self) -> dict:
+        doc = {"error": "config", "message": self.message}
+        if self.field is not None:
+            doc["field"] = self.field
+        if self.value is not None:
+            doc["value"] = repr(self.value)
+        return doc
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """Error budget for error-constrained engines (e.g. ``resub``).
+
+    ``metric`` selects the quantity to bound:
+
+    * ``er`` — error rate: probability (uniform inputs) that any
+      primary output differs from the exact circuit; ``bound`` is a
+      fraction in (0, 1].
+    * ``med`` — mean error distance of the output word read as an
+      unsigned integer (outputs ordered as ``network.outputs``, LSB
+      first); ``bound`` is a non-negative absolute value.
+    * ``wce`` — worst-case error of the same output word; ``bound`` is
+      a non-negative absolute value.
+
+    ``exact_threshold`` caps the input-count up to which metrics are
+    evaluated exhaustively on the compiled simulator (2^n vectors);
+    beyond it the evaluator uses exact BDD sweeps where the metric
+    permits and Monte-Carlo upper bounds otherwise.
+    """
+
+    metric: str = ""
+    bound: float = -1.0
+    exact_threshold: int = 12
+
+    def __post_init__(self):
+        if not self.metric:
+            if self.bound >= 0:
+                raise ConfigError(
+                    "error bound given but metric unset "
+                    "(pick one of er|med|wce)",
+                    field_name="error.metric", value=self.bound)
+            raise ConfigError("error spec requires a metric (er|med|wce)",
+                              field_name="error.metric", value=self.metric)
+        if self.metric not in ERROR_METRICS:
+            raise ConfigError(
+                f"unknown error metric {self.metric!r} "
+                f"(expected one of {', '.join(ERROR_METRICS)})",
+                field_name="error.metric", value=self.metric)
+        if not isinstance(self.bound, (int, float)) \
+                or isinstance(self.bound, bool):
+            raise ConfigError("error bound must be a number",
+                              field_name="error.bound", value=self.bound)
+        if self.bound < 0:
+            raise ConfigError("error bound must be non-negative",
+                              field_name="error.bound", value=self.bound)
+        if self.metric == "er" and self.bound > 1.0:
+            raise ConfigError("er bound is a probability in [0, 1]",
+                              field_name="error.bound", value=self.bound)
+        if not isinstance(self.exact_threshold, int) \
+                or isinstance(self.exact_threshold, bool) \
+                or self.exact_threshold < 0:
+            raise ConfigError("exact_threshold must be a non-negative int",
+                              field_name="error.exact_threshold",
+                              value=self.exact_threshold)
+
+    @classmethod
+    def from_value(cls, value) -> "ErrorSpec | None":
+        """Coerce ``None`` / dict / ErrorSpec into an ErrorSpec."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            known = {f.name for f in fields(cls)}
+            unknown = sorted(set(value) - known)
+            if unknown:
+                raise ConfigError(
+                    f"unknown error-spec field(s): {', '.join(unknown)}",
+                    field_name="error", value=unknown)
+            return cls(**value)
+        raise ConfigError("error spec must be a mapping or ErrorSpec",
+                          field_name="error", value=value)
+
+    def to_dict(self) -> dict:
+        return {"metric": self.metric, "bound": self.bound,
+                "exact_threshold": self.exact_threshold}
 
 
 @dataclass
@@ -86,6 +192,17 @@ class ApproxConfig:
     #: Safety bound on check-repair rounds before restoring exact cones.
     max_repair_rounds: int = 64
 
+    # -- engine selection (repro.approx.engine) --------------------------
+    #: Registered synthesis engine.  "cube" is the paper's iterative
+    #: cube-selection flow (the default, bit-identical to the seed
+    #: behaviour); "resub" is the error-constrained resubstitution
+    #: engine and requires ``error`` to be set.
+    engine: str = "cube"
+    #: Error budget for error-constrained engines; ``None`` for
+    #: implication-exact engines.  Dicts are coerced to ErrorSpec so
+    #: ``ApproxConfig(**json_config)`` round-trips.
+    error: ErrorSpec | None = field(default=None)
+
     # -- shared ----------------------------------------------------------
     #: Words (x64 vectors) for signal-probability estimation.
     prob_words: int = 32
@@ -107,3 +224,32 @@ class ApproxConfig:
             raise ValueError("cube_drop_threshold must be in [0, 1)")
         if self.disparity_ratio < 1.0:
             raise ValueError("disparity_ratio must be >= 1")
+        self.error = ErrorSpec.from_value(self.error)
+        from .engine import engine_names
+        if self.engine not in engine_names():
+            raise ConfigError(
+                f"unknown engine {self.engine!r} "
+                f"(registered: {', '.join(engine_names())})",
+                field_name="engine", value=self.engine)
+        if self.engine == "resub" and self.error is None:
+            raise ConfigError(
+                "engine 'resub' is error-constrained and requires an "
+                "error spec (metric + bound)", field_name="error")
+        if self.engine == "cube" and self.error is not None:
+            raise ConfigError(
+                "engine 'cube' is implication-exact and takes no error "
+                "spec; use engine='resub' for error-constrained "
+                "synthesis", field_name="error")
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "ApproxConfig":
+        """Strict constructor: unknown keys raise :class:`ConfigError`."""
+        if not isinstance(values, dict):
+            raise ConfigError("config must be a mapping", value=values)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown config field(s): {', '.join(unknown)}",
+                field_name=unknown[0], value=unknown)
+        return cls(**values)

@@ -84,6 +84,12 @@ class ApproxResult:
     restored_cones: list[str] = field(default_factory=list)
     #: Static-verification report, when ApproxConfig.lint_level != "off".
     lint: object | None = None
+    #: Registered engine that produced this result.
+    engine: str = "cube"
+    #: Error-constrained engines attach the final
+    #: :meth:`~repro.approx.metrics.ErrorEvaluation.to_dict` here;
+    #: implication-exact engines leave it None.
+    error_report: dict | None = None
 
     @property
     def all_correct(self) -> bool:

@@ -25,9 +25,8 @@ from dataclasses import dataclass, field
 import dataclasses
 import json
 
-from repro.approx import (ApproxConfig, ApproxResult,
-                          approximation_percentages,
-                          synthesize_approximation)
+from repro.approx import ApproxConfig, ApproxResult
+from repro.approx.engine import get_engine
 from repro.flow import (AnalysisContext, FlowContext, FlowTrace, Pass,
                         PassManager, PassRecord, flow_token)
 from repro.guard import Budget, apply_chaos, parse_chaos
@@ -96,6 +95,9 @@ class CedFlowResult:
             "metrics": {k: float(v) for k, v in self.metrics.items()},
             "directions": {po: int(d) for po, d
                            in self.assembly.directions.items()},
+            "engine": self.approx_result.engine,
+            **({"error_report": self.approx_result.error_report}
+               if self.approx_result.error_report is not None else {}),
             "check_method": self.approx_result.check_method,
             "all_correct": bool(self.approx_result.all_correct),
             "repair_rounds": int(self.approx_result.repair_rounds),
@@ -129,50 +131,16 @@ def _synthesize_with_floor(network: Network, directions: dict[str, int],
                            record: PassRecord | None = None,
                            budget: Budget | None = None
                            ) -> tuple[ApproxResult, dict[str, float]]:
-    """Synthesize, retrying with gentler configs below the quality floor.
+    """Engine dispatch for synthesis under the flow's quality floor.
 
-    The ladder widens the disparity/tiebreak ratios and lowers the DC
-    and cube-drop thresholds — each step keeps more of the circuit — and
-    ends at conservative-EX typing, which approaches the exact circuit.
-    The best attempt (highest minimum per-output percentage) wins if
-    the floor is never reached.
+    The quality-floor retry ladder itself moved to
+    :class:`repro.approx.engine.CubeSelectionEngine` (bit-identical);
+    this shim keeps the historical entry point and routes any
+    configured engine.
     """
-    ladder = [config]
-    if min_approx_pct > 0:
-        ladder.append(dataclasses.replace(
-            config, disparity_ratio=max(config.disparity_ratio, 8.0),
-            phase_tiebreak=max(config.phase_tiebreak, 8.0),
-            dc_threshold=min(config.dc_threshold, 0.1),
-            cube_drop_threshold=min(config.cube_drop_threshold, 0.01)))
-        ladder.append(dataclasses.replace(
-            ladder[-1], conservative_ex=True, collapse_dc=False))
-    best: tuple[ApproxResult, dict[str, float]] | None = None
-    best_floor = -1.0
-    attempts = 0
-    for attempt in ladder:
-        attempts += 1
-        result = synthesize_approximation(network, directions, attempt,
-                                          ctx=ctx, budget=budget)
-        metric_cap = attempt.bdd_node_budget if budget is None \
-            else budget.bdd_cap(attempt.bdd_node_budget)
-        pct = approximation_percentages(
-            network, result.approx, directions,
-            bdd_node_budget=metric_cap, ctx=ctx)
-        floor = min(pct.values(), default=100.0)
-        if floor > best_floor:
-            best, best_floor = (result, pct), floor
-        if floor >= min_approx_pct:
-            break
-    assert best is not None
-    if record is not None:
-        record.stats.update({
-            "ladder_attempts": attempts,
-            "repair_rounds": best[0].repair_rounds,
-            "check_method": best[0].check_method,
-            "dropped_cubes": best[0].dropped_cubes,
-            "restored_cones": len(best[0].restored_cones),
-        })
-    return best
+    return get_engine(config.engine).synthesize_with_floor(
+        network, directions, config, min_approx_pct, ctx=ctx,
+        record=record, budget=budget)
 
 
 # ----------------------------------------------------------------------
@@ -220,7 +188,14 @@ class ReliabilityPass(Pass):
 
 
 class SynthesizeApproxPass(Pass):
-    """Approximate synthesis with the quality-floor retry ladder."""
+    """Approximate synthesis, dispatched through the engine registry.
+
+    ``config.engine`` picks the registered
+    :class:`~repro.approx.engine.ApproxEngine`; the engine's own
+    flow entry point handles quality policy (the cube engine's
+    quality-floor retry ladder, the resub engine's error bound) and
+    records engine identity plus error budget spent in the trace.
+    """
 
     name = "synthesize"
     requires = ("directions",)
@@ -233,7 +208,8 @@ class SynthesizeApproxPass(Pass):
         self.min_approx_pct = min_approx_pct
 
     def run(self, ctx: FlowContext, record: PassRecord) -> dict:
-        approx_result, per_output_pct = _synthesize_with_floor(
+        engine = get_engine(self.config.engine)
+        approx_result, per_output_pct = engine.synthesize_with_floor(
             ctx.network, ctx["directions"], self.config,
             self.min_approx_pct, ctx=ctx.analysis, record=record,
             budget=ctx.budget)

@@ -33,7 +33,8 @@ import argparse
 import json
 import sys
 
-from repro.approx import (ApproxConfig, approximation_percentages,
+from repro.approx import (ApproxConfig, ConfigError, engine_names,
+                          approximation_percentages,
                           synthesize_approximation)
 from repro.bench import load_benchmark
 from repro.ced import run_ced_flow
@@ -41,6 +42,10 @@ from repro.guard import Budget, BudgetExceeded
 from repro.network import read_blif, write_blif
 from repro.reliability import analyze_reliability
 from repro.synth import quick_map
+
+#: Exit status of a rejected configuration (unknown engine, malformed
+#: error spec, ...); the ConfigError document is printed as JSON.
+EXIT_CONFIG_ERROR = 2
 
 #: Exit status of a run that exceeded its resource budget in a way the
 #: degradation ladder could not absorb (e.g. --budget-deadline 0).
@@ -58,12 +63,40 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--check", choices=("auto", "bdd", "sat", "sim"),
                         default="auto", help="correctness check backend")
     parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--engine", default="cube", metavar="NAME",
+                        help="synthesis engine (registered: "
+                             f"{', '.join(engine_names())}; "
+                             "default: cube)")
+    parser.add_argument("--error-metric", default=None,
+                        metavar="METRIC",
+                        help="error-constrained synthesis metric "
+                             "(er, med, wce); requires --error-bound "
+                             "and an error-aware engine such as resub")
+    parser.add_argument("--error-bound", type=float, default=None,
+                        metavar="BOUND",
+                        help="upper bound the measured metric must "
+                             "respect (er: a rate in [0, 1]; med/wce: "
+                             "a magnitude)")
+    parser.add_argument("--error-exact-threshold", type=int,
+                        default=None, metavar="N",
+                        help="input count up to which the error is "
+                             "evaluated by exhaustive simulation "
+                             "(default: 12)")
 
 
 def _config_from(args: argparse.Namespace) -> ApproxConfig:
+    error = None
+    if args.error_metric is not None or args.error_bound is not None \
+            or args.error_exact_threshold is not None:
+        error = {"metric": args.error_metric or "",
+                 "bound": args.error_bound
+                 if args.error_bound is not None else -1.0}
+        if args.error_exact_threshold is not None:
+            error["exact_threshold"] = args.error_exact_threshold
     return ApproxConfig(cube_drop_threshold=args.cube_drop_threshold,
                         dc_threshold=args.dc_threshold,
-                        check=args.check, seed=args.seed)
+                        check=args.check, seed=args.seed,
+                        engine=args.engine, error=error)
 
 
 def _directions_for(network, args) -> dict[str, int]:
@@ -169,6 +202,13 @@ def cmd_ced(args: argparse.Namespace) -> int:
     summary = flow.summary()
     print(f"circuit               : {network.name} "
           f"({int(summary['gates'])} mapped gates)")
+    print(f"engine                : {flow.approx_result.engine}")
+    report = flow.approx_result.error_report
+    if report is not None:
+        print(f"error                 : {report['metric']} = "
+              f"{report['value']:.6g} <= {report['bound']:g} "
+              f"({report['method']}, "
+              f"{'within' if report['within'] else 'EXCEEDED'})")
     print(f"area overhead         : {summary['area_overhead_pct']:.1f}%")
     print(f"power overhead        : "
           f"{summary['power_overhead_pct']:.1f}%")
@@ -437,15 +477,26 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     cache = ProofCache(args.dir)
     if args.cache_command == "prune":
-        report = cache.prune(_parse_size(args.max_size))
-        doc = {"root": str(cache.root), **report}
+        if args.max_size is None and not args.stale:
+            raise SystemExit("cache prune: give --max-size and/or "
+                             "--stale")
+        doc = {"root": str(cache.root)}
+        if args.stale:
+            doc.update(cache.prune_stale())
+        if args.max_size is not None:
+            doc.update(cache.prune(_parse_size(args.max_size)))
         if args.json:
             print(json.dumps(doc, indent=2, sort_keys=True))
         else:
-            print(f"pruned {doc['removed']} entr"
-                  f"{'y' if doc['removed'] == 1 else 'ies'}; "
-                  f"{doc['kept_entries']} kept "
-                  f"({doc['kept_bytes']} bytes)")
+            parts = []
+            if "removed_stale" in doc:
+                parts.append(f"{doc['removed_stale']} stale entr"
+                             f"{'y' if doc['removed_stale'] == 1 else 'ies'}"
+                             " removed")
+            if "removed" in doc:
+                parts.append(f"{doc['removed']} evicted for size")
+            print(f"pruned: {', '.join(parts)}; "
+                  f"{doc['kept_entries']} kept")
         return 0
     stats = cache.stats()
     if args.json:
@@ -657,10 +708,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = cache_sub.add_parser("stats",
                                    help="entry count and on-disk size")
     p_prune = cache_sub.add_parser(
-        "prune", help="evict oldest entries down to a size budget")
-    p_prune.add_argument("--max-size", required=True,
+        "prune", help="evict stale entries and/or oldest entries "
+                      "down to a size budget")
+    p_prune.add_argument("--max-size", default=None,
                          help="size budget in bytes (K/M/G suffixes "
                               "accepted), e.g. 64M")
+    p_prune.add_argument("--stale", action="store_true",
+                         help="sweep entries written under an older "
+                              "proof schema or with a bad digest "
+                              "(e.g. after a cache-key version bump)")
     for leaf in (p_stats, p_prune):
         # Accepted after the subcommand too (``cache stats --json``).
         # SUPPRESS keeps the leaf's default from clobbering a --json
@@ -717,7 +773,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(json.dumps(exc.to_dict(), indent=2, sort_keys=True),
+              file=sys.stderr)
+        return EXIT_CONFIG_ERROR
 
 
 if __name__ == "__main__":

@@ -32,12 +32,23 @@ import os
 from pathlib import Path
 
 __all__ = ["ProofCache", "ConeFingerprinter", "implication_key",
-           "pct_key", "cone_payload", "prove_implications",
+           "pct_key", "error_key", "cone_payload", "prove_implications",
            "proof_workers", "PROOF_WORKERS_ENV", "PROOF_SCHEMA",
-           "EXACT_ENGINES", "STATIC_ENGINE", "TRUSTED_ENGINES"]
+           "CHECK_KIND_VERSIONS", "EXACT_ENGINES", "STATIC_ENGINE",
+           "TRUSTED_ENGINES"]
 
 #: Bump when the entry layout or the fingerprint recipe changes.
-PROOF_SCHEMA = 1
+#: v2: keys carry the synthesis-engine name and a per-check-kind
+#: version, so mixed-engine sweeps sharing one cache directory can
+#: never serve a cube-selection verdict to a resub query (or vice
+#: versa); v1 entries are stale-format and evicted on read or via
+#: ``cache prune``.
+PROOF_SCHEMA = 2
+
+#: Version of each check kind's *meaning*.  Bumping one invalidates
+#: that kind's keys only, instead of the whole cache via PROOF_SCHEMA.
+CHECK_KIND_VERSIONS = {"implication": 1, "approx_pct": 1,
+                       "error_metric": 1}
 
 #: Environment variable selecting the parallel-prover worker count.
 #: ``0`` (the default) disables out-of-process proving.
@@ -107,26 +118,41 @@ class ConeFingerprinter:
                         + [lines[n] for n in members])
 
 
-def implication_key(fp: ConeFingerprinter, original, approx,
-                    po: str, direction: int) -> str:
-    """Content address of one per-PO implication check."""
+def _key(fp: ConeFingerprinter, original, approx, po: str,
+         kind: str, engine: str, extra: list[str]) -> str:
     payload = "\n".join([
-        f"proof-v{PROOF_SCHEMA}", "kind=implication",
-        f"direction={int(direction)}",
+        f"proof-v{PROOF_SCHEMA}", f"kind={kind}",
+        f"kind-v{CHECK_KIND_VERSIONS[kind]}", f"engine={engine}",
+        *extra,
         "[original]", fp.cone(original, po),
         "[approx]", fp.cone(approx, po)])
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def implication_key(fp: ConeFingerprinter, original, approx,
+                    po: str, direction: int,
+                    engine: str = "cube") -> str:
+    """Content address of one per-PO implication check.
+
+    ``engine`` is the synthesis engine asking — its verdicts never
+    collide with another engine's even on identical cones.
+    """
+    return _key(fp, original, approx, po, "implication", engine,
+                [f"direction={int(direction)}"])
 
 
 def pct_key(fp: ConeFingerprinter, original, approx,
-            po: str, direction: int) -> str:
+            po: str, direction: int, engine: str = "cube") -> str:
     """Content address of one per-PO approximation percentage."""
-    payload = "\n".join([
-        f"proof-v{PROOF_SCHEMA}", "kind=approx_pct",
-        f"direction={int(direction)}",
-        "[original]", fp.cone(original, po),
-        "[approx]", fp.cone(approx, po)])
-    return hashlib.sha256(payload.encode()).hexdigest()
+    return _key(fp, original, approx, po, "approx_pct", engine,
+                [f"direction={int(direction)}"])
+
+
+def error_key(fp: ConeFingerprinter, original, approx, po: str,
+              metric: str, engine: str = "resub") -> str:
+    """Content address of one per-PO exact error-metric evaluation."""
+    return _key(fp, original, approx, po, "error_metric", engine,
+                [f"metric={metric}"])
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +282,33 @@ class ProofCache:
             removed += 1
         return {"removed": removed, "kept_entries": len(entries) - removed,
                 "kept_bytes": total}
+
+    def prune_stale(self) -> dict:
+        """Evict stale-format entries (old schema, corrupt, torn).
+
+        ``get`` already evicts lazily on read; this sweeps the whole
+        store eagerly so a ``cache prune`` after a schema bump leaves
+        only current-format entries behind.
+        """
+        removed = 0
+        kept = 0
+        for path, _, _ in self._entries():
+            try:
+                entry = json.loads(path.read_text())
+                stale = (not isinstance(entry, dict)
+                         or entry.get("schema") != PROOF_SCHEMA
+                         or entry.get("digest") != self._digest(entry))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    kept += 1
+            else:
+                kept += 1
+        return {"removed_stale": removed, "kept_entries": kept}
 
 
 # ----------------------------------------------------------------------

@@ -60,7 +60,7 @@ def ced_flow_task(circuit: str, table: int = 2, words: int = 4,
     bit-identical; see :mod:`repro.lab.proofs`).
     """
     net = load_circuit(circuit, table)
-    cfg = ApproxConfig(**config) if config else None
+    cfg = ApproxConfig.from_dict(config) if config else None
     if directions is not None:
         directions = {po: int(d) for po, d in directions.items()}
     flow = run_ced_flow(net, config=cfg, share_logic=share_logic,

@@ -22,9 +22,13 @@ export as SARIF 2.1.0 with stable fingerprints for CI baselines
 (:mod:`repro.lint.sarif`).
 """
 
-from .certificates import (CERT_SCHEMA_VERSION, build_certificate,
+from .certificates import (CERT_SCHEMA_VERSION, ERROR_CERT_KIND,
+                           build_certificate, build_error_certificate,
                            certificate_digest, check_certificate,
-                           validate_certificate, write_certificates)
+                           check_error_certificate,
+                           validate_certificate,
+                           validate_error_certificate,
+                           write_certificates)
 from .diagnostics import Diagnostic, LintReport, Severity
 from .engine import (LINT_LEVELS, FlowContext, LintError, NetworkContext,
                      PairContext, lint_approx_result, lint_assembly,
@@ -37,6 +41,7 @@ from .semantics import PairSemantics, ProofResult
 
 __all__ = [
     "CERT_SCHEMA_VERSION",
+    "ERROR_CERT_KIND",
     "Diagnostic",
     "FINGERPRINT_KEY",
     "FlowContext",
@@ -51,8 +56,10 @@ __all__ = [
     "Severity",
     "all_rules",
     "build_certificate",
+    "build_error_certificate",
     "certificate_digest",
     "check_certificate",
+    "check_error_certificate",
     "diagnostic_fingerprint",
     "finding_fingerprint",
     "get_rule",
@@ -67,6 +74,7 @@ __all__ = [
     "rules_for",
     "to_sarif",
     "validate_certificate",
+    "validate_error_certificate",
     "validate_sarif",
     "write_certificates",
     "write_sarif",

@@ -25,6 +25,7 @@ from .semantics import PairSemantics, ProofResult
 
 CERT_SCHEMA_VERSION = 1
 CERT_KIND = "implication-certificate"
+ERROR_CERT_KIND = "error-bound-certificate"
 
 _REQUIRED_KEYS = {
     "schema_version": int,
@@ -38,6 +39,23 @@ _REQUIRED_KEYS = {
     "original_blif": str,
     "approx_blif": str,
     "stats": dict,
+    "digest": str,
+}
+
+_ERROR_REQUIRED_KEYS = {
+    "schema_version": int,
+    "kind": str,
+    "circuit": str,
+    "metric": str,
+    "bound": (int, float),
+    "value": (int, float),
+    "method": str,
+    "exact": bool,
+    "exact_threshold": int,
+    "outputs": list,
+    "per_output": dict,
+    "original_blif": str,
+    "approx_blif": str,
     "digest": str,
 }
 
@@ -193,7 +211,143 @@ def check_certificate(doc: dict,
     return problems
 
 
+def build_error_certificate(original: Network, approx: Network,
+                            evaluation, circuit: str | None = None
+                            ) -> dict:
+    """``error <= bound`` certificate for one whole-circuit evaluation.
+
+    ``evaluation`` is a *sound and satisfied*
+    :class:`~repro.approx.metrics.ErrorEvaluation` — exact exhaustive /
+    BDD measurements or mathematically sound upper bounds; statistical
+    (Monte-Carlo) evaluations cannot be attested.  The document embeds
+    the complete original and approximate networks, so
+    :func:`check_error_certificate` re-measures the metric from
+    scratch, offline, with the same two-tier evaluator.
+    """
+    if not evaluation.sound:
+        raise ValueError("error certificates attest sound (exact or "
+                         "bounded) evaluations only")
+    if not evaluation.within:
+        raise ValueError("error certificates attest satisfied bounds "
+                         "only")
+    doc = {
+        "schema_version": CERT_SCHEMA_VERSION,
+        "kind": ERROR_CERT_KIND,
+        "circuit": circuit if circuit is not None else original.name,
+        "metric": evaluation.metric,
+        "bound": float(evaluation.bound),
+        "value": float(evaluation.value),
+        "method": evaluation.method,
+        "exact": bool(evaluation.exact),
+        "exact_threshold": _eval_exact_threshold(evaluation),
+        "outputs": list(original.outputs),
+        "per_output": {po: float(r)
+                       for po, r in evaluation.per_output.items()},
+        "original_blif": write_blif(original),
+        "approx_blif": write_blif(approx),
+    }
+    doc["digest"] = certificate_digest(doc)
+    return doc
+
+
+def _eval_exact_threshold(evaluation) -> int:
+    # The tier split must be reproducible offline; record the threshold
+    # that selected the tier (stored in work by the evaluator).
+    return int(evaluation.work.get("exact_threshold", 12))
+
+
+def validate_error_certificate(doc: dict) -> list[str]:
+    """Schema problems of an error certificate (empty list = valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["certificate is not a JSON object"]
+    for key, kind in _ERROR_REQUIRED_KEYS.items():
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], kind):
+            name = kind.__name__ if isinstance(kind, type) else "number"
+            problems.append(f"key {key!r} is not {name}")
+    if problems:
+        return problems
+    if doc["schema_version"] != CERT_SCHEMA_VERSION:
+        problems.append(f"unknown schema_version "
+                        f"{doc['schema_version']!r}")
+    if doc["kind"] != ERROR_CERT_KIND:
+        problems.append(f"unknown kind {doc['kind']!r}")
+    if doc["metric"] not in ("er", "med", "wce"):
+        problems.append(f"unknown metric {doc['metric']!r}")
+    if doc["value"] > doc["bound"]:
+        problems.append("claimed value exceeds the claimed bound")
+    if doc["digest"] != certificate_digest(doc):
+        problems.append("digest mismatch (document was modified)")
+    return problems
+
+
+def check_error_certificate(doc: dict,
+                            bdd_node_budget: int = 300_000,
+                            strict: bool = False) -> list[str]:
+    """Re-verify an error certificate offline (empty = checks out).
+
+    Re-parses the embedded networks and re-measures the metric with
+    the two-tier evaluator.  The re-measurement must itself be sound
+    (a fall to the statistical tier reports "undecided") and must meet
+    the certified bound; exact re-measurements must also reproduce the
+    certified value.
+    """
+    problems = validate_error_certificate(doc)
+    if problems:
+        return problems
+    try:
+        original = parse_blif(doc["original_blif"],
+                              source="<certificate:original>")
+        approx = parse_blif(doc["approx_blif"],
+                            source="<certificate:approx>")
+    except Exception as err:  # noqa: BLE001 - report, don't crash
+        if strict:
+            raise
+        return [_crash_summary("embedded BLIF does not parse", err)]
+    if list(original.outputs) != doc["outputs"]:
+        problems.append("original outputs differ from the certified "
+                        "output order")
+    if list(approx.outputs) != doc["outputs"]:
+        problems.append("approx outputs differ from the certified "
+                        "output order")
+    if problems:
+        return problems
+    try:
+        from repro.approx.config import ErrorSpec
+        from repro.approx.metrics import evaluate_error
+        spec = ErrorSpec(metric=doc["metric"], bound=doc["bound"],
+                         exact_threshold=doc["exact_threshold"])
+        evaluation = evaluate_error(original, approx, spec,
+                                    bdd_node_budget=bdd_node_budget)
+    except Exception as err:  # noqa: BLE001 - report, don't crash
+        if strict:
+            raise
+        return problems + [_crash_summary("error re-measurement crashed",
+                                          err)]
+    if not evaluation.sound:
+        problems.append("error re-measurement fell to the statistical "
+                        "tier within the recheck budget; undecided")
+        return problems
+    if not evaluation.within:
+        problems.append(
+            f"measured {doc['metric']} "
+            f"{'value' if evaluation.exact else 'bound'} "
+            f"{evaluation.value:g} exceeds the certified bound "
+            f"{doc['bound']:g}")
+    if evaluation.exact and doc["exact"] \
+            and abs(evaluation.value - doc["value"]) > 1e-9:
+        problems.append(f"re-measured exact value {evaluation.value:g} "
+                        f"differs from certified {doc['value']:g}")
+    return problems
+
+
 def certificate_filename(doc: dict) -> str:
+    if doc.get("kind") == ERROR_CERT_KIND:
+        slug = re.sub(r"[^A-Za-z0-9_.-]", "_",
+                      f"{doc['circuit']}__{doc['metric']}_bound")
+        return f"{slug}.cert.json"
     slug = re.sub(r"[^A-Za-z0-9_.-]", "_",
                   f"{doc['circuit']}__{doc['po']}__d{doc['direction']}")
     return f"{slug}.cert.json"

@@ -122,6 +122,6 @@ class LintReport:
         lines.append(f"{c['error']} error(s), {c['warning']} warning(s), "
                      f"{c['info']} info")
         if self.certificates:
-            lines.append(f"{len(self.certificates)} implication "
+            lines.append(f"{len(self.certificates)} "
                          f"certificate(s) emitted")
         return "\n".join(lines)

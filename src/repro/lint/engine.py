@@ -16,9 +16,11 @@ from repro.network import Network
 
 from . import analyzerules as _analyzerules  # noqa: F401 (registers rules)
 from . import approxrules as _approxrules    # noqa: F401
+from . import errorrules as _errorrules      # noqa: F401
 from . import flowrules as _flowrules        # noqa: F401
 from . import structural as _structural      # noqa: F401
-from .certificates import build_certificate, write_certificates
+from .certificates import (build_certificate, build_error_certificate,
+                           write_certificates)
 from .diagnostics import Diagnostic, LintReport
 from .registry import rules_for
 from .semantics import PairSemantics, ProofResult
@@ -107,7 +109,7 @@ class PairContext:
                  circuit: str | None = None,
                  bdd_node_budget: int = 300_000,
                  sat_conflict_budget: int = 200_000,
-                 ctx=None):
+                 ctx=None, error_spec=None, error_report=None):
         self.original = original
         self.approx = approx
         self.types = types
@@ -118,6 +120,16 @@ class PairContext:
         self.bdd_node_budget = bdd_node_budget
         self.sat_conflict_budget = sat_conflict_budget
         self.ctx = ctx
+        #: ErrorSpec of an error-constrained pair (engine "resub" and
+        #: friends): switches the ERROR-severity contract from
+        #: pair.po-implication to the pair.error-bound family.
+        self.error_spec = error_spec
+        #: The synthesis run's own error report (ApproxResult
+        #: .error_report), cross-checked by pair.error-claim.
+        self.error_report = error_report
+        #: The lint run's own re-measurement (ErrorEvaluation), filled
+        #: by the error-bound rules; feeds certificate emission.
+        self._error_evaluation = None
         self._static = None
         self._semantics: PairSemantics | None = None
         self._proof_cache: dict[tuple[str, int], ProofResult] = {}
@@ -197,14 +209,20 @@ def lint_pair(original: Network, approx: Network, types: dict,
               certificates: bool = False,
               bdd_node_budget: int = 300_000,
               sat_conflict_budget: int = 200_000,
-              ctx=None) -> LintReport:
+              ctx=None, error_spec=None,
+              error_report=None) -> LintReport:
     """Structural + approximation-semantics lint of a pair.
 
     ``claimed_method``/``claimed_correct`` are the synthesis run's own
     claims (``ApproxResult.check_method``/``.correctness``); a refuted
     implication is an error only when an exact proof was claimed.
-    With ``certificates=True`` every proved implication is recorded as
-    an offline-checkable certificate in ``report.certificates``.
+    ``error_spec`` marks an error-constrained pair: the per-PO
+    implication rule stands down and the ``pair.error-bound`` family
+    re-measures the metric against the bound instead.  With
+    ``certificates=True`` every proved implication — and, for
+    error-constrained pairs, the soundly re-measured ``error <= bound``
+    verdict — is recorded as an offline-checkable certificate in
+    ``report.certificates``.
     """
     name = circuit if circuit is not None else original.name
     report = lint_network(original, circuit=name)
@@ -214,23 +232,40 @@ def lint_pair(original: Network, approx: Network, types: dict,
                            claimed_correct=claimed_correct, circuit=name,
                            bdd_node_budget=bdd_node_budget,
                            sat_conflict_budget=sat_conflict_budget,
-                           ctx=ctx)
+                           ctx=ctx, error_spec=error_spec,
+                           error_report=error_report)
     report.diagnostics.extend(_run_scope("pair", pair_ctx))
     if certificates:
         for po, direction, proof in pair_ctx.proofs:
             if proof.holds is True and not proof.stats.get("trivial"):
                 report.certificates.append(build_certificate(
                     original, approx, po, direction, proof))
+        evaluation = pair_ctx._error_evaluation
+        if evaluation is not None and evaluation.sound \
+                and evaluation.within:
+            report.certificates.append(build_error_certificate(
+                original, approx, evaluation, circuit=name))
     return report
 
 
 def lint_approx_result(original: Network, result,
                        **kwargs) -> LintReport:
     """:func:`lint_pair` with the claims taken from an ApproxResult."""
+    error_report = getattr(result, "error_report", None)
+    error_spec = None
+    if error_report is not None:
+        from repro.approx.config import ErrorSpec
+        error_spec = ErrorSpec(
+            metric=error_report["metric"],
+            bound=error_report["bound"],
+            exact_threshold=int(error_report.get(
+                "budget_spent", {}).get("exact_threshold", 12)))
     return lint_pair(original, result.approx, result.types,
                      result.output_approximations,
                      claimed_method=result.check_method,
-                     claimed_correct=result.correctness, **kwargs)
+                     claimed_correct=result.correctness,
+                     error_spec=error_spec, error_report=error_report,
+                     **kwargs)
 
 
 def lint_assembly(assembly, circuit: str | None = None) -> LintReport:

@@ -1,0 +1,95 @@
+"""Error-bound lint rules for error-constrained synthesis results.
+
+The ``pair.error-bound`` family is the error-constrained counterpart
+of ``pair.po-implication``: when a pair carries an
+:class:`~repro.approx.config.ErrorSpec` (engine ``resub`` and
+friends), the per-PO implication is *expected* to fail — the contract
+is instead that the measured error stays within the configured bound.
+The rules re-measure the metric from scratch with the two-tier
+evaluator and cross-check the synthesis run's own claims; a sound,
+satisfied re-measurement is what the error certificate attests.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Severity
+from .registry import rule
+
+
+def _spec(ctx):
+    """The pair's ErrorSpec, or None for implication-exact pairs."""
+    return getattr(ctx, "error_spec", None)
+
+
+def _evaluate(ctx):
+    """Re-measure once per lint run; cached on the context."""
+    if getattr(ctx, "_error_evaluation", None) is None:
+        from repro.approx.metrics import evaluate_error
+        ctx._error_evaluation = evaluate_error(
+            ctx.original, ctx.approx, _spec(ctx),
+            bdd_node_budget=ctx.bdd_node_budget,
+            ctx=ctx.ctx)
+    return ctx._error_evaluation
+
+
+@rule("pair.error-bound", "pair", Severity.ERROR,
+      "measured error of an error-constrained pair is within its bound")
+def error_bound(ctx, emit):
+    spec = _spec(ctx)
+    if spec is None:
+        return
+    if set(ctx.approx.inputs) != set(ctx.original.inputs) \
+            or list(ctx.approx.outputs) != list(ctx.original.outputs):
+        return  # pair.io-mismatch already fired
+    evaluation = _evaluate(ctx)
+    if evaluation.within:
+        if not evaluation.sound:
+            emit(f"{spec.metric} bound {spec.bound:g} met only "
+                 f"statistically (method {evaluation.method}, "
+                 f"confidence {evaluation.confidence:g})",
+                 severity=Severity.INFO,
+                 data={"value": evaluation.value})
+        return
+    kind = "value" if evaluation.exact else "upper bound"
+    # A statistical excess is only a warning — the run never claimed
+    # more; a sound excess refutes the engine's bound guarantee.
+    severity = Severity.ERROR if evaluation.sound else Severity.WARNING
+    emit(f"measured {spec.metric} {kind} {evaluation.value:g} exceeds "
+         f"the configured bound {spec.bound:g} "
+         f"(method {evaluation.method})",
+         severity=severity,
+         hint="undo commits or tighten the screening margin; the "
+              "engine must return within-budget networks",
+         data={"value": evaluation.value, "bound": spec.bound,
+               "method": evaluation.method})
+
+
+@rule("pair.error-claim", "pair", Severity.WARNING,
+      "the synthesis run's error report matches the re-measurement")
+def error_claim(ctx, emit):
+    spec = _spec(ctx)
+    report = getattr(ctx, "error_report", None)
+    if spec is None or report is None:
+        return
+    if set(ctx.approx.inputs) != set(ctx.original.inputs) \
+            or list(ctx.approx.outputs) != list(ctx.original.outputs):
+        return
+    if report.get("metric") != spec.metric:
+        emit(f"run reported metric {report.get('metric')!r} but the "
+             f"spec says {spec.metric!r}")
+        return
+    evaluation = _evaluate(ctx)
+    claimed = report.get("value")
+    if claimed is None:
+        emit("run's error report carries no value")
+        return
+    # Same exact tier => same value; bounded/statistical tiers may
+    # legitimately differ between runs.
+    if evaluation.exact and report.get("exact") \
+            and abs(float(claimed) - evaluation.value) > 1e-9:
+        emit(f"run claimed exact {spec.metric} {float(claimed):g} but "
+             f"re-measurement gives {evaluation.value:g}",
+             data={"claimed": claimed, "measured": evaluation.value})
+    if report.get("within") is False:
+        emit("run admitted exceeding its own error bound",
+             severity=Severity.ERROR)

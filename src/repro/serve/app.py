@@ -396,7 +396,8 @@ class CedService:
                 error_response(writer, 404, "not_found",
                                f"no route for {method} {path}")
         except HttpError as exc:
-            error_response(writer, exc.status, "bad_request", str(exc))
+            error_response(writer, exc.status, "bad_request", str(exc),
+                           **exc.detail)
         except Exception as exc:      # pragma: no cover - last resort
             error_response(writer, 500, "internal_error",
                            f"{type(exc).__name__}: {exc}")
@@ -485,6 +486,40 @@ class CedService:
         if isinstance(source, dict) and \
                 isinstance(source.get("config"), dict):
             params["config"] = dict(source["config"])
+
+        # Engine / error-budget selection: top-level fields (or query
+        # keys on raw-BLIF submissions) fold into the config object and
+        # are validated *here*, so a bad combination costs a structured
+        # 400 instead of queue space and a failed job.
+        config = params.get("config", {})
+        if source.get("engine") is not None:
+            config["engine"] = str(source["engine"])
+        error_obj = source.get("error")
+        if error_obj is not None and not isinstance(error_obj, dict):
+            raise HttpError(400, "error must be an object with "
+                                 "metric/bound", field="error")
+        if error_obj is not None:
+            config["error"] = dict(error_obj)
+        elif any(k in source for k in ("error_metric", "error_bound",
+                                       "error_exact_threshold")):
+            error_kw = {"metric": str(source.get("error_metric", "")),
+                        "bound": pick("error_bound", -1.0, float)}
+            if "error_exact_threshold" in source:
+                error_kw["exact_threshold"] = pick(
+                    "error_exact_threshold", 12, int)
+            config["error"] = error_kw
+        if config:
+            from repro.approx import ApproxConfig, ConfigError
+            try:
+                ApproxConfig.from_dict(config)
+            except ConfigError as exc:
+                detail = {k: v for k, v in exc.to_dict().items()
+                          if k in ("field", "value")}
+                raise HttpError(400, f"config: {exc.message}", **detail)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"config: {exc}")
+            params["config"] = config
+
         requested_budget = source.get("budget") \
             if isinstance(source, dict) else None
         if requested_budget is not None and \

@@ -116,7 +116,7 @@ def run_flow_request(req: dict, state: WorkerState, emit) -> None:
         start = time.perf_counter()
         try:
             flow = run_ced_flow(
-                net, config=ApproxConfig(**config_kw),
+                net, config=ApproxConfig.from_dict(config_kw),
                 share_logic=bool(params.get("share_logic", False)),
                 reliability_words=words, coverage_words=words,
                 seed=seed, directions=directions,

@@ -37,11 +37,16 @@ MAX_HEADERS = 64
 
 
 class HttpError(Exception):
-    """A malformed or oversized request; carries the response status."""
+    """A malformed or oversized request; carries the response status.
 
-    def __init__(self, status: int, message: str):
+    ``detail`` keys are merged into the structured error document
+    (e.g. the offending config ``field`` of a rejected submission).
+    """
+
+    def __init__(self, status: int, message: str, **detail):
         super().__init__(message)
         self.status = status
+        self.detail = detail
 
 
 @dataclass

@@ -1,0 +1,31 @@
+"""Shared helpers for the approx test suite."""
+
+
+def oracle(original, approx):
+    """(er, med, wce) by full truth-table enumeration.
+
+    Evaluates both networks through ``Network.evaluate_outputs`` — a
+    code path disjoint from the compiled simulator and the BDD engine —
+    so it can serve as an independent ground truth for the evaluator
+    and the error-constrained engines.
+    """
+    inputs = original.inputs
+    n = len(inputs)
+    diffs = 0
+    total_dist = 0
+    worst = 0
+    for v in range(1 << n):
+        pi = {name: bool((v >> i) & 1) for i, name in enumerate(inputs)}
+        o = original.evaluate_outputs(pi)
+        a = approx.evaluate_outputs(pi)
+        word_o = sum(1 << i for i, po in enumerate(original.outputs)
+                     if o[po])
+        word_a = sum(1 << i for i, po in enumerate(original.outputs)
+                     if a[po])
+        if word_o != word_a:
+            diffs += 1
+        dist = abs(word_o - word_a)
+        total_dist += dist
+        worst = max(worst, dist)
+    vectors = 1 << n
+    return diffs / vectors, total_dist / vectors, float(worst)

@@ -1,0 +1,114 @@
+"""The resub engine honours its error budget — brute-force verified."""
+
+import pytest
+
+from repro.approx import ApproxConfig, get_engine
+from repro.bench.suite import load_benchmark, tiny_benchmark
+from repro.flow import AnalysisContext
+from repro.guard import Budget
+
+from .helpers import oracle
+
+
+def run_resub(network, metric, bound, **spec_kw):
+    config = ApproxConfig(engine="resub",
+                          error={"metric": metric, "bound": bound,
+                                 **spec_kw})
+    directions = {po: 1 for po in network.outputs}
+    return get_engine("resub").synthesize(network, directions, config,
+                                          ctx=AnalysisContext())
+
+
+class TestBoundRespected:
+    @pytest.mark.parametrize("metric,bound", [
+        ("er", 0.05),
+        ("er", 0.0),
+        ("med", 4.0),
+        ("wce", 16.0),
+    ])
+    def test_measured_error_within_bound_tiny(self, metric, bound):
+        network = tiny_benchmark()
+        result = run_resub(network, metric, bound)
+        er, med, wce = oracle(network, result.approx)
+        truth = {"er": er, "med": med, "wce": wce}[metric]
+        assert truth <= bound + 1e-12
+        report = result.error_report
+        assert report["within"] is True
+        assert report["value"] <= bound + 1e-12
+        # The attested value is itself an upper bound on the truth.
+        assert report["value"] >= truth - 1e-12
+
+    def test_zero_bound_keeps_exact_function(self):
+        network = tiny_benchmark()
+        result = run_resub(network, "er", 0.0)
+        er, _, _ = oracle(network, result.approx)
+        assert er == 0.0
+
+    def test_bdd_tier_bound_respected_cmb(self):
+        network = load_benchmark("cmb")     # 16 inputs: BDD tier
+        result = run_resub(network, "er", 0.05)
+        report = result.error_report
+        assert report["method"] == "bdd"
+        assert report["exact"] is True
+        assert report["within"] is True
+        er, _, _ = oracle(network, result.approx)
+        assert er <= 0.05 + 1e-12
+        assert er == pytest.approx(report["value"], abs=1e-12)
+
+
+class TestResultShape:
+    def test_result_fields(self):
+        network = tiny_benchmark()
+        result = run_resub(network, "er", 0.1)
+        assert result.engine == "resub"
+        assert result.check_method.startswith("error-")
+        assert set(result.correctness) == set(network.outputs)
+        report = result.error_report
+        for key in ("metric", "bound", "value", "within", "method",
+                    "exact", "sound", "commits", "candidates"):
+            assert key in report, key
+        assert report["metric"] == "er"
+        assert report["sound"] is True
+
+    def test_loose_bound_shrinks_the_network(self):
+        network = tiny_benchmark()
+        result = run_resub(network, "er", 0.5)
+        assert result.approx.num_nodes < network.num_nodes
+        assert result.error_report["commits"] > 0
+
+    def test_budget_deadline_zero_still_sound(self):
+        network = tiny_benchmark()
+        config = ApproxConfig(engine="resub",
+                              error={"metric": "er", "bound": 0.25})
+        directions = {po: 1 for po in network.outputs}
+        budget = Budget(deadline_s=1e9)
+        result = get_engine("resub").synthesize(
+            network, directions, config, ctx=AnalysisContext(),
+            budget=budget)
+        er, _, _ = oracle(network, result.approx)
+        assert er <= 0.25 + 1e-12
+
+
+class TestFlowIntegration:
+    def test_flow_dispatch_and_to_dict(self):
+        from repro.ced import run_ced_flow
+        network = tiny_benchmark()
+        flow = run_ced_flow(
+            network,
+            config=ApproxConfig(engine="resub",
+                                error={"metric": "er", "bound": 0.1}),
+            reliability_words=1, coverage_words=1, seed=2008)
+        doc = flow.to_dict()
+        assert doc["engine"] == "resub"
+        assert doc["error_report"]["within"] is True
+        er, _, _ = oracle(network, flow.approx_result.approx)
+        assert er <= 0.1 + 1e-12
+
+    def test_cube_flow_to_dict_has_engine_no_error(self):
+        from repro.ced import run_ced_flow
+        flow = run_ced_flow(tiny_benchmark(), config=ApproxConfig(),
+                            reliability_words=1, coverage_words=1,
+                            seed=2008)
+        doc = flow.to_dict()
+        assert doc["engine"] == "cube"
+        assert "error_report" not in doc

@@ -1,0 +1,130 @@
+"""Error-bound certificates and the pair.error-* rule family."""
+
+import pytest
+
+from repro.approx import ApproxConfig, evaluate_error, get_engine
+from repro.approx.config import ErrorSpec
+from repro.bench.suite import tiny_benchmark
+from repro.flow import AnalysisContext
+from repro.lint import (ERROR_CERT_KIND, build_error_certificate,
+                        check_error_certificate, lint_approx_result,
+                        validate_error_certificate)
+from repro.lint.certificates import certificate_filename
+
+from tests.lint.helpers import fired
+
+
+def resub_result(bound=0.1, metric="er"):
+    network = tiny_benchmark()
+    config = ApproxConfig(engine="resub",
+                          error={"metric": metric, "bound": bound})
+    directions = {po: 1 for po in network.outputs}
+    result = get_engine("resub").synthesize(network, directions, config,
+                                            ctx=AnalysisContext())
+    return network, result
+
+
+@pytest.fixture(scope="module")
+def pair():
+    network, result = resub_result()
+    return network, result
+
+
+@pytest.fixture(scope="module")
+def cert(pair):
+    network, result = pair
+    evaluation = evaluate_error(
+        network, result.approx,
+        ErrorSpec(metric="er", bound=0.1))
+    return build_error_certificate(network, result.approx, evaluation)
+
+
+class TestBuildValidateCheck:
+    def test_schema_valid_and_rechecks_clean(self, cert):
+        assert cert["kind"] == ERROR_CERT_KIND
+        assert validate_error_certificate(cert) == []
+        assert check_error_certificate(cert) == []
+        assert cert["metric"] == "er"
+        assert cert["value"] <= cert["bound"]
+        assert ".model" in cert["original_blif"]
+        assert ".model" in cert["approx_blif"]
+
+    def test_filename_is_metric_scoped(self, cert):
+        name = certificate_filename(cert)
+        assert name.endswith("__er_bound.cert.json")
+
+    def test_tampered_bound_is_detected(self, cert):
+        doc = dict(cert)
+        doc["bound"] = 1e-9          # claim far below the measurement
+        problems = validate_error_certificate(doc)
+        assert problems, "digest/bound tamper must be caught"
+
+    def test_recheck_catches_wrong_value(self, cert):
+        from repro.lint.certificates import certificate_digest
+        doc = dict(cert)
+        doc["value"] = 0.0           # forged measurement, re-signed
+        doc["digest"] = certificate_digest(doc)
+        assert validate_error_certificate(doc) == []
+        assert check_error_certificate(doc), \
+            "re-evaluation must expose the forged value"
+
+    def test_build_refuses_unsound_or_exceeded(self, pair):
+        network, result = pair
+        good = evaluate_error(network, result.approx,
+                              ErrorSpec(metric="er", bound=0.1))
+        exceeded = evaluate_error(network, result.approx,
+                                  ErrorSpec(metric="er", bound=0.0))
+        if not exceeded.within:
+            with pytest.raises(ValueError):
+                build_error_certificate(network, result.approx, exceeded)
+        # MC-tier er results are not sound; they must be refused too.
+        mc = evaluate_error(network, result.approx,
+                            ErrorSpec(metric="er", bound=1.0,
+                                      exact_threshold=0),
+                            bdd_node_budget=1)
+        assert not mc.sound
+        with pytest.raises(ValueError):
+            build_error_certificate(network, result.approx, mc)
+        assert good.within  # sanity: the good path really is sound
+
+
+class TestErrorRules:
+    def test_strict_lint_clean_and_certified(self, pair):
+        network, result = pair
+        report = lint_approx_result(network, result, certificates=True)
+        assert not report.errors(), [d.message for d in
+                                     report.errors()]
+        error_certs = [c for c in report.certificates
+                       if c.get("kind") == ERROR_CERT_KIND]
+        assert len(error_certs) == 1
+        assert check_error_certificate(error_certs[0]) == []
+
+    def test_po_implication_stands_down(self, pair):
+        network, result = pair
+        report = lint_approx_result(network, result)
+        assert fired(report, "pair.po-implication") == []
+
+    def test_error_claim_cross_checks_report(self, pair):
+        network, result = pair
+        doctored = dict(result.error_report)
+        doctored["metric"] = "wce"  # claim a different metric
+        result_bad = type(result)(**{**result.__dict__,
+                                     "error_report": doctored})
+        report = lint_approx_result(network, result_bad)
+        claims = fired(report, "pair.error-claim")
+        assert claims, "metric mismatch must be reported"
+
+    def test_exceeded_bound_is_an_error(self, pair):
+        network, result = pair
+        # Shrink the claimed bound below the measured value: the lint
+        # re-measurement is sound and exceeds it -> ERROR severity.
+        value = result.error_report["value"]
+        if value == 0.0:
+            pytest.skip("synthesis landed on a zero-error result")
+        doctored = dict(result.error_report)
+        doctored["bound"] = value / 2
+        result_bad = type(result)(**{**result.__dict__,
+                                     "error_report": doctored})
+        report = lint_approx_result(network, result_bad)
+        assert any(d.rule == "pair.error-bound"
+                   for d in report.errors())

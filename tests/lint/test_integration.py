@@ -30,6 +30,7 @@ EXPECTED_RULES = {
     "pair.ex-changed", "pair.direction-local", "pair.cube-unjustified",
     "pair.po-implication", "pair.statically-implied",
     "pair.static-conflict",
+    "pair.error-bound", "pair.error-claim",
     "flow.direction-values", "flow.fault-sites", "flow.nonintrusive",
     "flow.output-preserved", "flow.checker-missing", "flow.trc-tree",
 }
