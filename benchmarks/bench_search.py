@@ -1,0 +1,129 @@
+"""Benchmark the evolutionary checker search (``repro.search``).
+
+For each circuit this runs the paper flow once (the baseline checker)
+and then an evolutionary search seeded with it, recording whether the
+search finds a candidate with coverage >= the paper-flow checker at
+<= its area — elitism guarantees "no worse"; the interesting number is
+how often (and by how much) the search does strictly better — plus
+per-generation trajectory and wall time.  Results land in
+``BENCH_search.json``.
+
+Run as a script::
+
+    python benchmarks/bench_search.py            # full suite
+    python benchmarks/bench_search.py --quick    # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.search import SearchConfig, run_search
+
+DEFAULT_OUT = ROOT / "BENCH_search.json"
+
+#: (circuit, generations, offspring, words) per mode.
+FULL_PLAN = [("tiny", 6, 8, 2), ("cmb", 4, 8, 2), ("x1", 3, 6, 1)]
+QUICK_PLAN = [("tiny", 3, 6, 2), ("cmb", 2, 4, 1)]
+
+
+def run_one(circuit: str, generations: int, offspring: int,
+            words: int, seed: int, scratch: Path, backend: "str | None",
+            quiet: bool) -> dict:
+    config = SearchConfig(
+        circuit=circuit, words=words, seed=seed,
+        generations=generations, population=max(2, offspring // 2),
+        offspring=offspring,
+        state_dir=scratch / "state", cache_dir=scratch / "cache",
+        results_dir=scratch / "results", backend=backend)
+    start = time.perf_counter()
+    result = run_search(config, log=None if quiet else (
+        lambda line: print(f"  {line}", flush=True)))
+    wall = time.perf_counter() - start
+    base, best = result.baseline, result.best
+    meets_bar = (best.coverage >= base.coverage
+                 and best.area <= base.area
+                 and best.false_alarms == 0
+                 and best.golden_invalid == 0)
+    return {
+        "circuit": circuit,
+        "generations": result.generations_run,
+        "offspring_per_generation": offspring,
+        "baseline_coverage_pct": round(base.coverage, 4),
+        "baseline_area": base.area,
+        "best_coverage_pct": round(best.coverage, 4),
+        "best_area": best.area,
+        "best_origin": best.origin,
+        "improved": result.improved,
+        "meets_paper_bar": meets_bar,
+        "coverage_gain_pct": round(best.coverage - base.coverage, 4),
+        "wall_time_s": round(wall, 3),
+        "history": result.history,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small plan for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--backend", default=None,
+                        help="lab execution backend for the "
+                             "generation grids")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    plan = QUICK_PLAN if args.quick else FULL_PLAN
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-search-") as tmp:
+        scratch = Path(tmp)
+        for circuit, generations, offspring, words in plan:
+            if not args.quiet:
+                print(f"[search] {circuit}: {generations} generations "
+                      f"x {offspring} offspring", flush=True)
+            rows.append(run_one(circuit, generations, offspring,
+                                words, args.seed, scratch / circuit,
+                                args.backend, args.quiet))
+
+    doc = {
+        "bench": "search",
+        "mode": "quick" if args.quick else "full",
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+        "all_meet_paper_bar": all(r["meets_paper_bar"] for r in rows),
+        "any_strict_improvement": any(r["improved"] for r in rows),
+    }
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                        + "\n")
+    if not args.quiet:
+        for row in rows:
+            print(f"{row['circuit']:>6}: baseline "
+                  f"{row['baseline_coverage_pct']:.2f}% "
+                  f"@ {row['baseline_area']} gates -> best "
+                  f"{row['best_coverage_pct']:.2f}% "
+                  f"@ {row['best_area']} gates "
+                  f"({'improved' if row['improved'] else 'held'}, "
+                  f"{row['wall_time_s']:.1f}s)")
+        print(f"wrote {args.out}")
+    if not doc["all_meet_paper_bar"]:
+        print("FAIL: a search returned a candidate below the "
+              "paper-flow bar (elitism violated?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,11 @@ Subcommands:
   circuit and print the summary, cached in ``.lab_cache/analyze/``;
 * ``gen``   — export a suite benchmark (MCNC stand-in) as BLIF;
 * ``sweep`` — drive a (circuit x config) grid of CED flows through
-  ``repro.lab``: parallel workers, content-addressed caching (killed
+  ``repro.lab``: parallel workers on a pluggable execution backend
+  (``local``/``tcp``/``workqueue``), content-addressed caching (killed
   runs resume), and a structured run manifest;
+* ``search`` — budget-governed, resumable evolutionary search over
+  checker candidates (``repro.search``), one lab grid per generation;
 * ``cache`` — stats/prune for the cross-process implication proof
   cache (``.lab_cache/proofs/``);
 * ``serve`` — run the CED-synthesis service (async HTTP front end over
@@ -407,7 +410,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ArtifactStore(args.cache_dir)
     quiet = args.json or args.quiet
     runner = LabRunner(
-        workers=args.workers, cache=cache,
+        workers=args.workers, backend=args.backend, cache=cache,
         results_dir=args.results_dir,
         log=None if quiet else (lambda line: print(
             line, file=sys.stderr, flush=True)),
@@ -456,6 +459,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                       f"{result.status} {reason}")
         print(f"\nmanifest: {run.manifest_path}")
     return 0 if run.ok else 1
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Evolutionary search over checker candidates via repro.search."""
+    from repro.search import SearchConfig, run_search
+
+    config = SearchConfig(
+        circuit=args.circuit, table=args.table, words=args.words,
+        seed=args.seed, generations=args.generations,
+        population=args.population, offspring=args.offspring,
+        moves_per_child=args.moves, area_slack=args.area_slack,
+        budget_s=args.budget, backend=args.backend,
+        workers=args.workers, state_dir=args.state_dir,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        results_dir=args.results_dir)
+    quiet = args.json or args.quiet
+    result = run_search(config, log=None if quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)))
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(result.best.blif)
+    if args.json:
+        doc = result.summary()
+        doc["history"] = result.history
+        doc["state_path"] = str(result.state_path)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        base, best = result.baseline, result.best
+        print(f"circuit    : {config.circuit}")
+        print(f"generations: {result.generations_run}"
+              f"/{config.generations}")
+        print(f"baseline   : coverage={base.coverage:.2f}% "
+              f"area={base.area}")
+        print(f"best       : coverage={best.coverage:.2f}% "
+              f"area={best.area} ({best.origin})")
+        print(f"improved   : {result.improved}")
+        if args.out:
+            print(f"best checker written to {args.out}")
+    return 0
 
 
 def _parse_size(text: str) -> int:
@@ -628,6 +670,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", default=None,
         help="worker count, or 'serial' (default: REPRO_LAB_WORKERS "
              "env, else cpu_count()-1)")
+    p_sweep.add_argument(
+        "--backend", default=None,
+        help="execution backend: local, tcp, workqueue (default: "
+             "REPRO_LAB_BACKEND env, else local)")
     p_sweep.add_argument("--timeout", type=float, default=None,
                          help="per-job timeout in seconds")
     p_sweep.add_argument("--retries", type=int, default=0,
@@ -646,6 +692,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-job progress lines")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_search = sub.add_parser(
+        "search",
+        help="evolutionary search over checker candidates "
+             "(one repro.lab grid per generation; resumable)")
+    p_search.add_argument(
+        "--circuit", required=True,
+        help="suite circuit to search on (cmb, x1, ..., or tiny)")
+    p_search.add_argument("--table", type=int, default=2,
+                          choices=(1, 2))
+    p_search.add_argument("--words", type=int, default=2,
+                          help="64-vector words for fault campaigns")
+    p_search.add_argument("--seed", type=int, default=2008,
+                          help="root seed (drives mutation and "
+                               "evaluation determinism)")
+    p_search.add_argument("--generations", type=int, default=4)
+    p_search.add_argument("--population", type=int, default=4,
+                          help="mu: survivors per generation")
+    p_search.add_argument("--offspring", type=int, default=8,
+                          help="lambda: mutants per generation")
+    p_search.add_argument("--moves", type=int, default=1,
+                          help="mutation moves per offspring")
+    p_search.add_argument("--area-slack", type=int, default=0,
+                          help="gates over baseline area a candidate "
+                               "may use and still qualify")
+    p_search.add_argument("--budget", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget; the search stops "
+                               "after the generation that exceeds it "
+                               "(state is saved; rerun resumes)")
+    p_search.add_argument("--backend", default=None,
+                          help="execution backend: local, tcp, "
+                               "workqueue (default: REPRO_LAB_BACKEND "
+                               "env, else local)")
+    p_search.add_argument("--workers", default=None,
+                          help="worker count, or 'serial'")
+    p_search.add_argument("--state-dir", default=".search_state",
+                          help="per-generation search state (resume)")
+    p_search.add_argument("--cache-dir", default=".lab_cache")
+    p_search.add_argument("--no-cache", action="store_true")
+    p_search.add_argument("--results-dir", default="results")
+    p_search.add_argument("--out", default=None,
+                          help="write the best checker BLIF here")
+    p_search.add_argument("--json", action="store_true",
+                          help="machine-readable result")
+    p_search.add_argument("--quiet", action="store_true",
+                          help="suppress progress lines")
+    p_search.set_defaults(func=cmd_search)
 
     p_lint = sub.add_parser(
         "lint", help="static verification of a circuit or CED flow")

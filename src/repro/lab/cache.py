@@ -86,13 +86,28 @@ class ArtifactStore:
         return self._paths(key)[0].exists()
 
     def get(self, key: str, default: Any = MISS) -> Any:
-        """The cached artifact, or ``default`` on miss/corruption."""
+        """The cached artifact, or ``default`` on miss/corruption.
+
+        A truncated or corrupt pickle (killed writer on a pre-atomic
+        store, bit rot, hand editing) is *evicted* and reported as a
+        miss — the same evict-and-recompute policy as the proof cache —
+        so one bad entry costs a re-run instead of crashing the whole
+        grid.  ``pickle.loads`` on garbage can raise nearly anything
+        (``UnpicklingError``, ``EOFError``, ``ValueError``, ``KeyError``,
+        ``MemoryError`` on absurd length prefixes, ...), so anything but
+        a plain read miss counts as corruption.
+        """
         path, _ = self._paths(key)
         try:
             blob = path.read_bytes()
+        except OSError:
+            return default
+        try:
             return pickle.loads(blob)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, IndexError):
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.evict(key)
             return default
 
     def meta(self, key: str) -> dict[str, Any] | None:

@@ -1,8 +1,11 @@
-"""Scheduler/executor: ready jobs onto a process pool, with caching.
+"""Scheduler/executor: ready jobs onto an execution backend.
 
-``LabRunner`` runs a :class:`~repro.lab.job.JobGraph` on a
-``ProcessPoolExecutor`` (or inline in ``serial`` mode for debugging),
-with per-job timeouts enforced inside the worker via ``SIGALRM``,
+``LabRunner`` runs a :class:`~repro.lab.job.JobGraph` on a pluggable
+:class:`~repro.lab.backends.ExecutorBackend` — the default ``local``
+process pool, the distributed ``tcp`` coordinator/worker pair, or the
+in-process ``workqueue`` work stealer — or inline in ``serial`` mode
+for debugging.  Jobs get per-job timeouts enforced inside the worker
+via ``SIGALRM``,
 bounded retry on failure, and graceful partial-failure semantics: a
 failed job marks its transitive dependents ``skipped`` instead of
 aborting the whole grid.  Completed artifacts land in the
@@ -20,11 +23,13 @@ import threading
 import time
 import traceback
 from concurrent.futures import (FIRST_COMPLETED, CancelledError, Future,
-                                ProcessPoolExecutor, wait)
+                                wait)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from .backends import (ExecutorBackend, JobRequest, create_backend,
+                       resolve_backend)
 from .cache import MISS, ArtifactStore, cache_key
 from .job import Job, JobGraph
 from .manifest import build_manifest, new_run_id, write_manifest
@@ -46,16 +51,32 @@ def resolve_workers(value: "int | str | None" = None) -> "int | str":
     Returns the string ``"serial"`` (run jobs inline, no subprocesses —
     the debugging escape hatch) or an integer >= 2.  ``0``/``1`` map to
     serial: a one-worker pool only adds pickling overhead.
+
+    An unparseable value — from the argument or from
+    ``REPRO_LAB_WORKERS`` — raises a structured
+    :class:`~repro.approx.ConfigError` naming the bad value, so the CLI
+    can reject it as exit 2 with a JSON document instead of dying on a
+    bare ``ValueError`` traceback.
     """
+    source = "workers"
     if value is None:
         value = os.environ.get(WORKERS_ENV)
+        if value is not None:
+            source = WORKERS_ENV
     if value is None:
         value = max(1, (os.cpu_count() or 2) - 1)
     if isinstance(value, str):
         text = value.strip().lower()
         if text == "serial":
             return "serial"
-        value = int(text)
+        try:
+            value = int(text)
+        except ValueError:
+            from repro.approx import ConfigError
+            raise ConfigError(
+                f"invalid worker count {value!r} "
+                f"(expected an integer or 'serial')",
+                field_name=source, value=value) from None
     return "serial" if value <= 1 else int(value)
 
 
@@ -113,7 +134,11 @@ def _execute_payload(fn: Callable[..., Any], params: dict[str, Any],
     fires in the window before the timer is disarmed.
     """
     start = time.perf_counter()
-    use_alarm = bool(timeout) and hasattr(signal, "SIGALRM")
+    # SIGALRM can only be armed on the main thread; the workqueue
+    # backend (and any other thread-hosted executor) runs jobs to
+    # completion instead of interrupting them.
+    use_alarm = bool(timeout) and hasattr(signal, "SIGALRM") \
+        and threading.current_thread() is threading.main_thread()
     old_handler = old_timer = None
     completed, value = False, None
     if use_alarm:
@@ -182,6 +207,7 @@ class LabRun:
     wall_time_s: float
     manifest_path: "Path | None" = None
     workers: "int | str" = "serial"
+    backend: str = "local"
 
     @property
     def ok(self) -> bool:
@@ -220,6 +246,9 @@ class LabRunner:
     """
 
     workers: "int | str | None" = None
+    #: Execution backend name (``local``/``tcp``/``workqueue``/...);
+    #: ``None`` falls back to ``REPRO_LAB_BACKEND`` then ``local``.
+    backend: "str | None" = None
     cache: "ArtifactStore | None" = field(
         default_factory=ArtifactStore)
     results_dir: "str | Path | None" = "results"
@@ -244,18 +273,22 @@ class LabRunner:
             ) -> LabRun:
         graph.validate()
         workers = resolve_workers(self.workers)
+        backend_name = resolve_backend(self.backend)
         run_id = run_id or new_run_id()
         start = time.perf_counter()
         results: dict[str, JobResult] = {}
         total = len(graph)
         self._emit(f"[lab] run {run_id}: {total} jobs, "
-                   f"workers={workers}")
+                   f"workers={workers}, backend={backend_name}")
         interrupt: "BaseException | None" = None
         try:
             if workers == "serial":
                 self._run_serial(graph, results)
             else:
-                self._run_pool(graph, results, int(workers))
+                backend = create_backend(backend_name, int(workers),
+                                         cache=self.cache,
+                                         log=self.log)
+                self._run_backend(graph, results, backend)
         except (KeyboardInterrupt, SystemExit) as exc:
             # Pool teardown (Ctrl-C or a harness kill): the manifest
             # below records what actually happened — in-flight jobs as
@@ -264,7 +297,7 @@ class LabRunner:
             interrupt = exc
         wall = time.perf_counter() - start
         run = LabRun(run_id=run_id, results=results, wall_time_s=wall,
-                     workers=workers)
+                     workers=workers, backend=backend_name)
         run.manifest_path = self._write_manifest(graph, run)
         counts = ", ".join(f"{k}={v}"
                            for k, v in sorted(run.counts().items()))
@@ -420,23 +453,30 @@ class LabRunner:
                 self._skip_dependents(graph, name, results, total)
             self._progress(result, len(results), total)
 
-    # -- process-pool mode -----------------------------------------------
-    def _run_pool(self, graph: JobGraph,
-                  results: dict[str, JobResult],
-                  workers: int) -> None:
+    # -- backend mode ----------------------------------------------------
+    def _run_backend(self, graph: JobGraph,
+                     results: dict[str, JobResult],
+                     backend: ExecutorBackend) -> None:
+        """Drive the graph on any :class:`ExecutorBackend`.
+
+        This is the historical process-pool scheduling loop with the
+        executor behind the :class:`ExecutorBackend` seam; with the
+        ``local`` backend it is move-for-move identical to the old
+        ``_run_pool``.
+        """
         total = len(graph)
         pending = set(graph.names)
         running: dict[Future, tuple[str, int]] = {}
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with backend:
 
             def submit(job: Job, attempts: int) -> bool:
                 try:
-                    future = pool.submit(
-                        _execute_payload, job.fn, job.params,
-                        self._timeout_of(job),
-                        self._dep_results(job, results))
-                except Exception as exc:  # unpicklable fn/params
+                    future = backend.submit(JobRequest(
+                        name=job.name, fn=job.fn, params=job.params,
+                        timeout=self._timeout_of(job),
+                        dep_results=self._dep_results(job, results)))
+                except Exception as exc:  # unpicklable/unshippable fn
                     results[job.name] = JobResult(
                         name=job.name, status="failed",
                         error=f"submit failed: {exc}",
@@ -483,7 +523,7 @@ class LabRunner:
                 return progressed
 
             def teardown(current: "str | None" = None) -> None:
-                """Record every in-flight job as cancelled, stop pool."""
+                """Record in-flight jobs cancelled, stop the backend."""
                 if current is not None:
                     self._cancel(graph, current, results, total)
                 for name, _ in running.values():
@@ -491,7 +531,7 @@ class LabRunner:
                         self._cancel(graph, name, results, total)
                 running.clear()
                 pending.clear()
-                pool.shutdown(wait=False, cancel_futures=True)
+                backend.shutdown(cancel_futures=True)
 
             try:
                 while pending or running:
@@ -594,7 +634,8 @@ class LabRunner:
         doc = build_manifest(
             run_id=run.run_id, root_seed=graph.root_seed,
             workers=run.workers, wall_time_s=run.wall_time_s,
-            jobs=entries, extra=self.manifest_extra)
+            jobs=entries, backend=run.backend,
+            extra=self.manifest_extra)
         run_dir = Path(self.results_dir) / "runs" / run.run_id
         return write_manifest(run_dir, doc)
 

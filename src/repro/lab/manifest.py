@@ -19,7 +19,8 @@ from typing import Any
 from repro.flow import validate_trace
 
 __all__ = ["MANIFEST_SCHEMA_VERSION", "new_run_id", "write_manifest",
-           "load_manifest", "validate_manifest", "JOB_STATUSES"]
+           "load_manifest", "validate_manifest", "merge_manifests",
+           "JOB_STATUSES"]
 
 MANIFEST_SCHEMA_VERSION = 1
 
@@ -61,6 +62,7 @@ def load_manifest(path: "str | Path") -> dict[str, Any]:
 def build_manifest(*, run_id: str, root_seed: int, workers: Any,
                    wall_time_s: float,
                    jobs: dict[str, dict[str, Any]],
+                   backend: str = "local",
                    extra: dict[str, Any] | None = None
                    ) -> dict[str, Any]:
     """Assemble a schema-conformant manifest document."""
@@ -75,6 +77,7 @@ def build_manifest(*, run_id: str, root_seed: int, workers: Any,
             datetime.timezone.utc).isoformat(),
         "root_seed": root_seed,
         "workers": workers,
+        "backend": backend,
         "wall_time_s": round(wall_time_s, 6),
         "counts": counts,
         "jobs": jobs,
@@ -83,6 +86,53 @@ def build_manifest(*, run_id: str, root_seed: int, workers: Any,
         for key, value in extra.items():
             doc.setdefault(key, value)
     return doc
+
+
+def merge_manifests(docs: "list[dict[str, Any]]", *,
+                    run_id: "str | None" = None) -> dict[str, Any]:
+    """Combine per-host manifests of one split sweep into one document.
+
+    A grid split across hosts (each running its slice of the job graph,
+    or a ``tcp`` coordinator per site) yields one manifest per run;
+    this folds them into a single schema-valid manifest.  Job names
+    must not collide across slices — a collision means two hosts ran
+    the same job, which is a partitioning bug worth loud failure.
+    Wall time is the max (slices ran concurrently), ``workers`` the
+    sum of integer worker counts, and ``backend``/``root_seed`` are
+    carried through when the slices agree (else marked ``mixed``).
+    """
+    if not docs:
+        raise ValueError("merge_manifests needs at least one manifest")
+    jobs: dict[str, dict[str, Any]] = {}
+    sources: list[str] = []
+    for doc in docs:
+        for name, entry in doc.get("jobs", {}).items():
+            if name in jobs:
+                raise ValueError(
+                    f"job {name!r} appears in more than one manifest "
+                    f"(overlapping sweep slices?)")
+            jobs[name] = entry
+        sources.append(str(doc.get("run_id", "?")))
+
+    def agreed(key: str, default: Any) -> Any:
+        values = {json.dumps(doc.get(key, default), sort_keys=True)
+                  for doc in docs}
+        return docs[0].get(key, default) if len(values) == 1 \
+            else "mixed"
+
+    worker_counts = [doc.get("workers") for doc in docs]
+    workers: Any = (sum(w for w in worker_counts if isinstance(w, int))
+                    or agreed("workers", "serial"))
+    merged = build_manifest(
+        run_id=run_id or f"merged-{'+'.join(sources)}",
+        root_seed=agreed("root_seed", 0),
+        workers=workers,
+        wall_time_s=max(float(doc.get("wall_time_s", 0.0))
+                        for doc in docs),
+        jobs=jobs,
+        backend=agreed("backend", "local"),
+        extra={"merged_from": sources})
+    return merged
 
 
 def validate_manifest(doc: dict[str, Any]) -> list[str]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 __all__ = ["ProofCache", "ConeFingerprinter", "implication_key",
@@ -266,17 +267,45 @@ class ProofCache:
             "evictions": self.evictions,
         }
 
+    @staticmethod
+    def _unlink_if_older(path: Path, scan_start: float) -> bool:
+        """Unlink ``path`` unless a writer refreshed it after the scan.
+
+        Prune scans race with concurrent ``put`` writers: the atomic
+        ``os.replace`` can land between the directory walk and the
+        unlink, and blindly unlinking would then delete the *fresh*
+        entry that the scan never judged.  Re-stat right before the
+        unlink and spare anything written at or after ``scan_start``;
+        an entry already evicted by someone else is simply not ours to
+        count.  Returns True when this call removed the entry.
+        """
+        try:
+            if path.stat().st_mtime >= scan_start:
+                return False
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+
     def prune(self, max_bytes: int) -> dict:
-        """Evict oldest entries (by mtime) until under ``max_bytes``."""
+        """Evict oldest entries (by mtime) until under ``max_bytes``.
+
+        Safe against concurrent writers: entries written after the scan
+        started are never deleted, and an entry vanishing mid-scan
+        (evicted by a reader, pruned by another process) is tolerated.
+        """
+        scan_start = time.time()
         entries = sorted(self._entries(), key=lambda e: e[2])
         total = sum(size for _, size, _ in entries)
         removed = 0
-        for path, size, _ in entries:
+        for path, size, mtime in entries:
             if total <= max_bytes:
                 break
-            try:
-                path.unlink()
-            except OSError:
+            if mtime >= scan_start:
+                continue
+            if not self._unlink_if_older(path, scan_start):
                 continue
             total -= size
             removed += 1
@@ -288,8 +317,12 @@ class ProofCache:
 
         ``get`` already evicts lazily on read; this sweeps the whole
         store eagerly so a ``cache prune`` after a schema bump leaves
-        only current-format entries behind.
+        only current-format entries behind.  Concurrent writers are
+        tolerated: a file that disappears mid-scan is skipped, and an
+        entry rewritten after the scan started is never unlinked even
+        when the bytes the scan judged looked stale.
         """
+        scan_start = time.time()
         removed = 0
         kept = 0
         for path, _, _ in self._entries():
@@ -298,13 +331,14 @@ class ProofCache:
                 stale = (not isinstance(entry, dict)
                          or entry.get("schema") != PROOF_SCHEMA
                          or entry.get("digest") != self._digest(entry))
+            except FileNotFoundError:
+                continue               # evicted under us: not ours to count
             except (OSError, json.JSONDecodeError, UnicodeDecodeError):
                 stale = True
             if stale:
-                try:
-                    path.unlink()
+                if self._unlink_if_older(path, scan_start):
                     removed += 1
-                except OSError:
+                else:
                     kept += 1
             else:
                 kept += 1

@@ -1,0 +1,95 @@
+"""Mutation operators for evolutionary checker search.
+
+A candidate is an approximate network (the check-symbol generator of
+the CED architecture); mutation perturbs one node's local SOP cover —
+the same representation the paper's cube-selection engine optimizes —
+by one of three moves:
+
+* ``cube_drop`` — remove one cube (shrinks the ON-set; pushes toward
+  0-approximation);
+* ``cube_add`` — add one random cube over the node's fanins (grows the
+  ON-set; pushes toward 1-approximation);
+* ``literal_flip`` — cycle one literal of one cube through
+  ``0 -> 1 -> - -> 0`` (a local reshaping move).
+
+Moves are blind to the approximation directions: a mutant may violate
+the one-sided error contract, in which case fault-injection evaluation
+reports ``golden_invalid > 0`` and the fitness function disqualifies
+it.  Cheap generation + strict evaluation beats building a
+direction-aware mutator, and matches how the paper treats candidate
+covers (generate, then check).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cubes import Cover
+from repro.network import Network
+
+__all__ = ["MUTATION_OPS", "mutate_network", "mutable_nodes"]
+
+MUTATION_OPS = ("cube_drop", "cube_add", "literal_flip")
+
+_FLIP = {"0": "1", "1": "-", "-": "0"}
+
+
+def mutable_nodes(net: Network) -> list[str]:
+    """Internal nodes a mutation can act on, in deterministic order."""
+    return sorted(name for name, node in net.nodes.items()
+                  if len(node.fanins) > 0)
+
+
+def _random_cube(n: int, rng: random.Random) -> str:
+    """A random cube string biased toward a few care literals."""
+    row = ["-"] * n
+    cares = rng.randint(1, max(1, min(n, 3)))
+    for var in rng.sample(range(n), cares):
+        row[var] = rng.choice("01")
+    return "".join(row)
+
+
+def _mutate_rows(rows: list[str], n: int, rng: random.Random
+                 ) -> "tuple[list[str], str]":
+    ops = list(MUTATION_OPS)
+    if not rows:                       # constant-0 node: only growth
+        ops = ["cube_add"]
+    op = rng.choice(ops)
+    rows = list(rows)
+    if op == "cube_drop":
+        del rows[rng.randrange(len(rows))]
+    elif op == "cube_add":
+        rows.append(_random_cube(n, rng))
+    else:
+        index = rng.randrange(len(rows))
+        var = rng.randrange(n)
+        row = rows[index]
+        rows[index] = row[:var] + _FLIP[row[var]] + row[var + 1:]
+    return rows, op
+
+
+def mutate_network(net: Network, rng: random.Random,
+                   moves: int = 1) -> "tuple[Network, list[str]]":
+    """``moves`` random mutations on a copy of ``net``.
+
+    Returns the mutated copy and a human-readable move log
+    (``["cube_add@n3", ...]``) for manifests and search history.
+    Deterministic given the ``rng`` state.
+    """
+    mutant = net.copy()
+    log: list[str] = []
+    candidates = mutable_nodes(mutant)
+    if not candidates:
+        return mutant, log
+    for _ in range(max(1, moves)):
+        name = rng.choice(candidates)
+        node = mutant.nodes[name]
+        n = len(node.fanins)
+        rows, op = _mutate_rows(node.cover.to_strings(), n, rng)
+        if rows:
+            cover = Cover.from_strings(rows)
+        else:
+            cover = Cover.zero(n)
+        mutant.replace_cover(name, cover)
+        log.append(f"{op}@{name}")
+    return mutant, log

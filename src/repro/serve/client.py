@@ -1,18 +1,33 @@
 """Blocking client for the serve API (tests, benchmarks, CI smoke).
 
 Built on :mod:`http.client` so it shares no code with the server — the
-wire format is exercised for real.  One :class:`ServeClient` opens a
-fresh connection per call (the server supports keep-alive, but fresh
-connections keep the client trivially robust to server-side drains).
+wire format is exercised for real.  One :class:`ServeClient` holds one
+*persistent* keep-alive connection per thread (the server speaks
+HTTP/1.1 keep-alive) and reconnects transparently when the socket went
+stale — a server-side drain, an idle timeout, or a restart between
+calls.  A request is retried at most once, and only when it failed on a
+*reused* connection before any response byte arrived (the classic
+stale-keep-alive race); a failure on a freshly opened connection is a
+real error and propagates.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
 from http.client import HTTPConnection
 
 __all__ = ["ServeClient", "ServeError"]
+
+#: Errors that mean "the reused socket was stale": the server closed
+#: its end between our requests.  Safe to retry once on a fresh
+#: connection because no response bytes were received.
+_STALE_ERRORS = (http.client.BadStatusLine,
+                 http.client.CannotSendRequest,
+                 http.client.ResponseNotReady,
+                 ConnectionError, BrokenPipeError, OSError)
 
 
 class ServeError(Exception):
@@ -33,29 +48,62 @@ class ServeClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: New sockets opened over this client's lifetime (all threads);
+        #: a keep-alive regression shows up as one count per request.
+        self.connections_opened = 0
+        self._local = threading.local()
 
     # -- plumbing --------------------------------------------------------
+    def _connection(self) -> tuple[HTTPConnection, bool]:
+        """This thread's connection; ``(conn, was_just_opened)``."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, False
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        self._local.conn = conn
+        self.connections_opened += 1
+        return conn, True
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (idempotent)."""
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            conn.close()
+
     def _request(self, method: str, path: str,
                  body: bytes | None = None,
                  content_type: str = "application/json"
                  ) -> tuple[int, dict]:
-        conn = HTTPConnection(self.host, self.port,
-                              timeout=self.timeout)
-        try:
-            headers = {"Connection": "close"}
-            if body is not None:
-                headers["Content-Type"] = content_type
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
+        for attempt in (0, 1):
+            conn, fresh = self._connection()
+            try:
+                headers = {}
+                if body is not None:
+                    headers["Content-Type"] = content_type
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except _STALE_ERRORS as exc:
+                # The socket died under us.  Only a previously-reused
+                # connection earns a silent retry; a fresh one failing
+                # means the server is actually unreachable.  A timeout
+                # is never retried: the server may well have processed
+                # the request, and replaying a POST would duplicate it.
+                self.close()
+                if fresh or attempt or isinstance(exc, TimeoutError):
+                    raise
+                continue
+            if response.will_close:
+                self.close()
             try:
                 doc = json.loads(raw.decode("utf-8")) if raw else {}
             except ValueError:
                 doc = {"error": "unparseable_body",
                        "body": raw[:200].decode("utf-8", "replace")}
             return response.status, doc
-        finally:
-            conn.close()
+        raise AssertionError("unreachable")          # pragma: no cover
 
     def _checked(self, method: str, path: str,
                  body: bytes | None = None) -> dict:
@@ -126,7 +174,12 @@ class ServeClient:
         return self.result(accepted["job_id"])
 
     def events(self, job_id: str, since: int = 0):
-        """Yield the job's NDJSON progress events (blocks until done)."""
+        """Yield the job's NDJSON progress events (blocks until done).
+
+        Streams ride a dedicated connection: the server ends a chunked
+        response by closing, which must not tear down the persistent
+        request/response connection.
+        """
         conn = HTTPConnection(self.host, self.port,
                               timeout=self.timeout)
         try:

@@ -1,0 +1,191 @@
+"""Backend parity: local, tcp (loopback), workqueue run the same grids.
+
+The contract: the backend changes *where* jobs execute, never *what*
+they compute or how the runner accounts for them.  Every backend must
+produce bit-identical job results for the same graph, schema-valid
+manifests naming the backend, and the same failure taxonomy — plus the
+tcp-specific resilience properties (worker death -> structured
+``failed``, grid completes).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.lab import (BACKEND_ENV, ArtifactStore, Job, JobGraph,
+                       LabRunner, load_manifest, merge_manifests,
+                       resolve_backend, validate_manifest)
+from repro.approx import ConfigError
+
+from .helpers import (add_seeded, always_fail, combine, kill_worker,
+                      spin, square)
+
+BACKENDS = ("local", "tcp", "workqueue")
+
+
+def runner_for(backend, tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("log", None)
+    kwargs.setdefault("cache",
+                      ArtifactStore(tmp_path / backend / "cache"))
+    kwargs.setdefault("results_dir", tmp_path / backend / "results")
+    return LabRunner(backend=backend, **kwargs)
+
+
+def demo_graph():
+    jobs = [Job(name=f"sq-{i}", fn=square, params={"x": i})
+            for i in range(5)]
+    jobs.append(Job(name="seeded", fn=add_seeded, params={"x": 10}))
+    jobs.append(Job(name="sum", fn=combine, params={},
+                    deps=("sq-2", "sq-3"), pass_deps=True))
+    return JobGraph(jobs, root_seed=77)
+
+
+class TestBackendParity:
+    def test_all_backends_bit_identical(self, tmp_path):
+        records = {}
+        for backend in BACKENDS:
+            run = runner_for(backend, tmp_path).run(demo_graph())
+            assert run.backend == backend
+            records[backend] = {
+                name: (result.status, result.value, result.seed)
+                for name, result in run.results.items()}
+            doc = load_manifest(run.manifest_path)
+            assert validate_manifest(doc) == []
+            assert doc["backend"] == backend
+        reference = records["local"]
+        assert reference["sum"] == ("ok", 4 + 9, reference["sum"][2])
+        for backend in BACKENDS[1:]:
+            assert records[backend] == reference
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_failure_taxonomy(self, backend, tmp_path):
+        graph = JobGraph([
+            Job(name="good", fn=square, params={"x": 4}),
+            Job(name="bad", fn=always_fail, params={}),
+            Job(name="downstream", fn=square, params={"x": 5},
+                deps=("bad",)),
+        ], root_seed=3)
+        run = runner_for(backend, tmp_path).run(graph)
+        statuses = {n: r.status for n, r in run.results.items()}
+        assert statuses == {"good": "ok", "bad": "failed",
+                            "downstream": "skipped"}
+        assert "always fails" in run.results["bad"].error
+        doc = load_manifest(run.manifest_path)
+        assert validate_manifest(doc) == []
+        assert doc["counts"]["failed"] == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cancelled_taxonomy_on_shutdown(self, backend, tmp_path):
+        graph = JobGraph([
+            Job(name=f"spin-{i}", fn=spin, params={"seconds": 5.0})
+            for i in range(3)
+        ], root_seed=3)
+        runner = runner_for(backend, tmp_path, cache=None)
+        timer = threading.Timer(0.5, runner.request_shutdown)
+        timer.start()
+        try:
+            run = runner.run(graph)
+        finally:
+            timer.cancel()
+        statuses = {r.status for r in run.results.values()}
+        assert "cancelled" in statuses
+        assert statuses <= {"cancelled", "ok"}
+        doc = load_manifest(run.manifest_path)
+        assert validate_manifest(doc) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_caching_resumes_across_backends(self, backend, tmp_path):
+        # A cache written by one backend serves any other: results are
+        # content-addressed, not backend-addressed.
+        cache = ArtifactStore(tmp_path / "shared-cache")
+        first = LabRunner(backend="local", workers=2, cache=cache,
+                          results_dir=None, log=None).run(demo_graph())
+        again = LabRunner(backend=backend, workers=2, cache=cache,
+                          results_dir=None, log=None).run(demo_graph())
+        assert all(r.status == "cached"
+                   for r in again.results.values())
+        assert again.values() == first.values()
+
+
+class TestTcpResilience:
+    def test_worker_death_fails_job_and_grid_completes(self, tmp_path):
+        graph = JobGraph(
+            [Job(name=f"sq-{i}", fn=square, params={"x": i})
+             for i in range(4)]
+            + [Job(name="killer", fn=kill_worker, params={})],
+            root_seed=5)
+        run = runner_for("tcp", tmp_path).run(graph)
+        assert run.results["killer"].status == "failed"
+        assert "died" in run.results["killer"].error
+        for i in range(4):
+            assert run.results[f"sq-{i}"].status == "ok"
+        doc = load_manifest(run.manifest_path)
+        assert validate_manifest(doc) == []
+        assert doc["counts"] == {"ok": 4, "cached": 0, "failed": 1,
+                                 "skipped": 0, "cancelled": 0}
+
+    def test_unshippable_fn_is_failed_submit(self, tmp_path):
+        graph = JobGraph([
+            Job(name="lambda", fn=lambda: 1, params={}),
+            Job(name="fine", fn=square, params={"x": 2}),
+        ], root_seed=5)
+        run = runner_for("tcp", tmp_path).run(graph)
+        assert run.results["lambda"].status == "failed"
+        assert "submit failed" in run.results["lambda"].error
+        assert run.results["fine"].status == "ok"
+
+
+class TestMergeManifests:
+    def test_split_sweep_merges_into_one_valid_manifest(self, tmp_path):
+        slices = []
+        for half, names in enumerate((range(0, 3), range(3, 6))):
+            graph = JobGraph(
+                [Job(name=f"sq-{i}", fn=square, params={"x": i})
+                 for i in names], root_seed=9)
+            run = runner_for("local", tmp_path / f"h{half}").run(graph)
+            slices.append(load_manifest(run.manifest_path))
+        merged = merge_manifests(slices, run_id="merged-test")
+        assert validate_manifest(merged) == []
+        assert merged["run_id"] == "merged-test"
+        assert sorted(merged["jobs"]) == [f"sq-{i}" for i in range(6)]
+        assert merged["counts"]["ok"] == 6
+        assert merged["workers"] == 4          # 2 + 2
+        assert merged["backend"] == "local"
+        assert len(merged["merged_from"]) == 2
+
+    def test_overlapping_slices_are_rejected(self, tmp_path):
+        graph = JobGraph([Job(name="sq-0", fn=square,
+                              params={"x": 0})], root_seed=9)
+        run = runner_for("local", tmp_path).run(graph)
+        doc = load_manifest(run.manifest_path)
+        with pytest.raises(ValueError, match="more than one manifest"):
+            merge_manifests([doc, doc])
+
+    def test_merge_needs_input(self):
+        with pytest.raises(ValueError):
+            merge_manifests([])
+
+
+class TestBackendSelection:
+    def test_unknown_backend_is_config_error(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_backend("carrier-pigeon")
+        doc = excinfo.value.to_dict()
+        assert doc["error"] == "config"
+        assert doc["field"] == "backend"
+        assert "carrier-pigeon" in doc["message"]
+
+    def test_env_selects_and_is_named_on_error(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "workqueue")
+        assert resolve_backend() == "workqueue"
+        monkeypatch.setenv(BACKEND_ENV, "bogus")
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_backend()
+        assert excinfo.value.to_dict()["field"] == BACKEND_ENV
+
+    def test_default_is_local(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend() == "local"
+        assert resolve_backend("TCP") == "tcp"

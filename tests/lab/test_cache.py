@@ -70,6 +70,38 @@ class TestArtifactStore:
         path.write_bytes(path.read_bytes()[:3])
         assert store.get(key) is MISS
 
+    def test_corrupt_artifact_is_evicted_then_writable(self, tmp_path):
+        # Regression: corruption used to leave the bad bytes in place,
+        # so has() stayed True and every subsequent get() re-parsed the
+        # garbage.  Now the entry is evicted on first detection and the
+        # slot is immediately reusable.
+        store = ArtifactStore(tmp_path / "cache")
+        key = cache_key(Job("j", square, {"x": 3}))
+        store.put(key, "value")
+        path = store._paths(key)[0]
+        path.write_bytes(path.read_bytes()[:3])
+        assert store.get(key) is MISS
+        assert not store.has(key)
+        store.put(key, "rewritten")
+        assert store.get(key) == "rewritten"
+
+    def test_corruption_beyond_the_usual_suspects(self, tmp_path):
+        # pickle.loads on garbage raises far more than UnpicklingError/
+        # EOFError: a bogus length prefix raises ValueError or
+        # MemoryError, truncated opcodes raise KeyError.  Any of these
+        # must read as a miss and evict, not crash the grid.
+        store = ArtifactStore(tmp_path / "cache")
+        for i, garbage in enumerate([
+            b"\x80\x05\x95\xff\xff\xff\xff\xff\xff\xff\xff",  # huge frame
+            b"\x80\x05\x8c\xff",                              # bad length
+            b"\xfe\xfd\xfc",                                  # junk opcodes
+        ]):
+            key = cache_key(Job(f"g{i}", square, {"x": i}))
+            store.put(key, i)
+            store._paths(key)[0].write_bytes(garbage)
+            assert store.get(key) is MISS
+            assert not store.has(key)
+
     def test_evict(self, tmp_path):
         store = ArtifactStore(tmp_path / "cache")
         key = cache_key(Job("j", square, {"x": 3}))

@@ -42,6 +42,23 @@ class TestResolveWorkers:
         workers = resolve_workers()
         assert workers == "serial" or workers >= 2
 
+    def test_garbage_argument_is_config_error(self):
+        from repro.approx import ConfigError
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_workers("bogus")
+        doc = excinfo.value.to_dict()
+        assert doc["error"] == "config"
+        assert doc["field"] == "workers"
+        assert "bogus" in doc["value"]
+        assert "integer or 'serial'" in doc["message"]
+
+    def test_garbage_env_names_the_env_var(self, monkeypatch):
+        from repro.approx import ConfigError
+        monkeypatch.setenv("REPRO_LAB_WORKERS", "many")
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_workers()
+        assert excinfo.value.to_dict()["field"] == "REPRO_LAB_WORKERS"
+
 
 class TestDeterminism:
     GRID = [("sq/3", {"x": 3}), ("sq/5", {"x": 5}), ("sq/9", {"x": 9})]

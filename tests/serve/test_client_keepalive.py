@@ -1,0 +1,95 @@
+"""ServeClient keep-alive: one socket per thread, not per request.
+
+Regression suite for the reconnect rework: sequential requests reuse
+one persistent connection, a dropped socket is replayed transparently
+exactly once, and the NDJSON event stream rides its own connection
+without disturbing the persistent one.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import ServeClient, ServeError
+
+from .test_service import TINY, service  # noqa: F401  (fixture reuse)
+
+
+class TestKeepAlive:
+    def test_sequential_requests_reuse_one_connection(self, service):
+        _, client = service
+        for _ in range(6):
+            assert client.health()["status"] in ("ok", "draining")
+        client.stats()
+        client.jobs()
+        assert client.connections_opened == 1
+
+    def test_full_flow_on_one_connection(self, service):
+        _, client = service
+        doc = client.run(TINY, words=1, seed=2008)
+        assert doc["state"] == "done"
+        # submit + every wait() poll + result: still one socket.
+        assert client.connections_opened == 1
+
+    def test_close_then_request_reconnects_once(self, service):
+        _, client = service
+        client.health()
+        assert client.connections_opened == 1
+        client.close()
+        client.close()                       # idempotent
+        client.health()
+        assert client.connections_opened == 2
+        client.health()
+        assert client.connections_opened == 2
+
+    def test_stale_socket_is_replayed_transparently(self, service):
+        _, client = service
+        client.health()
+        # Kill the kept-alive socket out from under the client: the
+        # next request hits a dead connection mid-reuse and must be
+        # retried once on a fresh one, invisibly to the caller.
+        client._local.conn.sock.close()
+        assert client.health()["status"] in ("ok", "draining")
+        assert client.connections_opened == 2
+
+    def test_fresh_connection_failure_propagates(self):
+        client = ServeClient(port=1, timeout=2.0)  # nothing listens
+        with pytest.raises(OSError):
+            client.health()
+
+    def test_event_stream_leaves_persistent_connection_alone(
+            self, service):
+        _, client = service
+        accepted = client.submit(TINY, words=1, seed=2008)
+        opened_before_stream = client.connections_opened
+        events = list(client.events(accepted["job_id"]))
+        assert events, "expected at least one progress event"
+        # events() uses its own throwaway socket, which is not counted
+        # and must not invalidate the persistent one.
+        assert client.connections_opened == opened_before_stream
+        assert client.wait(accepted["job_id"])["state"] == "done"
+        assert client.connections_opened == opened_before_stream
+
+    def test_connections_are_per_thread(self, service):
+        _, client = service
+        client.health()
+        seen = []
+
+        def probe():
+            seen.append(client.health()["status"])
+
+        threads = [threading.Thread(target=probe) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert len(seen) == 3
+        # One socket for the main thread plus one per worker thread.
+        assert client.connections_opened == 4
+
+    def test_error_responses_do_not_burn_the_connection(self, service):
+        _, client = service
+        with pytest.raises(ServeError):
+            client.job("no-such-job")
+        assert client.health()["status"] in ("ok", "draining")
+        assert client.connections_opened == 1

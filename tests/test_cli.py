@@ -437,3 +437,38 @@ class TestLintSarif:
                      str(tmp_path / "no" / "such" / "dir.sarif")])
         assert code == 2
         assert "cannot write SARIF log" in capsys.readouterr().err
+
+
+class TestSweepConfigErrors:
+    """Bad runtime configuration exits 2 with a JSON document, not a
+    traceback — scripts driving sweeps can parse the failure."""
+
+    def test_bogus_workers_exits_2_with_json(self, tmp_path, capsys):
+        code = main(["sweep", "--circuits", "tiny",
+                     "--workers", "bogus", "--no-cache", "--quiet",
+                     "--results-dir", str(tmp_path / "results")])
+        assert code == 2
+        doc = json.loads(capsys.readouterr().err)
+        assert doc["error"] == "config"
+        assert doc["field"] == "workers"
+        assert "bogus" in doc["value"]
+
+    def test_bogus_env_workers_exits_2(self, tmp_path, capsys,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_LAB_WORKERS", "not-a-number")
+        code = main(["sweep", "--circuits", "tiny", "--no-cache",
+                     "--quiet",
+                     "--results-dir", str(tmp_path / "results")])
+        assert code == 2
+        doc = json.loads(capsys.readouterr().err)
+        assert doc["field"] == "REPRO_LAB_WORKERS"
+
+    def test_bogus_backend_exits_2(self, tmp_path, capsys):
+        code = main(["sweep", "--circuits", "tiny",
+                     "--backend", "smoke-signals", "--workers",
+                     "serial", "--no-cache", "--quiet",
+                     "--results-dir", str(tmp_path / "results")])
+        assert code == 2
+        doc = json.loads(capsys.readouterr().err)
+        assert doc["error"] == "config"
+        assert doc["field"] == "backend"
